@@ -1,0 +1,224 @@
+"""Ablations beyond the paper's charts, for the design choices DESIGN.md
+calls out.
+
+1. Recurring Minimum refinements: plain RM vs RM+marker filter vs
+   Trapping RM, on a skewed insert-only stream (error ratio + additive).
+2. Hash families: the paper's modulo/multiply scheme vs multiply-shift,
+   tabulation and double hashing — Bloom-error rates should be
+   indistinguishable if modulo/multiply mixes well enough.
+3. [MW94] blocked (external-memory) hashing: accuracy vs block size —
+   large segments free, tiny segments measurably worse (§2.2's citation).
+4. Storage backends: array vs String-Array Index vs §4.5 stream must give
+   bit-identical estimates (the backend is purely a representation).
+5. §4.6 storage reduction: the Theorem 9 exponent shrinks the realised
+   index without touching any stored value.
+6. MI vs Count-Min + conservative update: the same estimator over two
+   layouts should land in the same accuracy ballpark at equal space.
+"""
+
+from repro.bench.metrics import evaluate_filter
+from repro.bench.runner import average_trials
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+from repro.data.streams import insertion_stream
+from repro.filters.count_min import CountMinSketch
+
+N = 1000
+K = 5
+TOTAL = 20_000
+M = round(N * K / 0.7)
+
+
+def run_rm_variants():
+    def one(method, options, seed):
+        sbf = SpectralBloomFilter(M, K, method=method, seed=seed,
+                                  method_options=options)
+        truth: dict[int, int] = {}
+        for x in insertion_stream(N, TOTAL, 1.0, seed=seed):
+            truth[x] = truth.get(x, 0) + 1
+            sbf.insert(x)
+        return evaluate_filter(sbf, truth)
+
+    rows = []
+    for label, method, options in [
+        ("rm", "rm", {}),
+        ("rm+marker", "rm", {"use_marker": True}),
+        ("trm", "trm", {}),
+    ]:
+        avg = average_trials(
+            lambda seed, me=method, op=options: one(me, op, seed),
+            trials=3, base_seed=1000)
+        rows.append([label, avg["error_ratio"], avg["additive_error"],
+                     avg["false_negative_ratio"]])
+    return rows
+
+
+def run_hash_families():
+    rows = []
+    for family in ("modmul", "multiply-shift", "tabulation", "double"):
+        def one(seed, fam=family):
+            sbf = SpectralBloomFilter(M, K, method="ms", seed=seed,
+                                      hash_family=fam)
+            truth: dict[int, int] = {}
+            for x in insertion_stream(N, TOTAL, 0.5, seed=seed):
+                truth[x] = truth.get(x, 0) + 1
+                sbf.insert(x)
+            return evaluate_filter(sbf, truth)
+
+        avg = average_trials(one, trials=3, base_seed=1100)
+        rows.append([family, avg["error_ratio"], avg["additive_error"]])
+    return rows
+
+
+def run_blocked_hashing():
+    """[MW94] / §2.2 'External memory SBF': accuracy vs block size."""
+    from repro.hashing import BlockedHashFamily
+
+    def one(seed, block_size):
+        if block_size is None:
+            sbf = SpectralBloomFilter(M, K, method="ms", seed=seed)
+        else:
+            fam = BlockedHashFamily(M, K, seed=seed, block_size=block_size)
+            sbf = SpectralBloomFilter(M, K, method="ms", seed=seed,
+                                      hash_family=fam)
+        truth: dict[int, int] = {}
+        for x in insertion_stream(N, TOTAL, 0.5, seed=seed):
+            truth[x] = truth.get(x, 0) + 1
+            sbf.insert(x)
+        return evaluate_filter(sbf, truth)
+
+    rows = []
+    for label, block in [("unblocked", None), ("m/8 blocks", M // 8),
+                         ("m/64 blocks", M // 64), ("64-bit blocks", 64)]:
+        avg = average_trials(lambda seed, b=block: one(seed, b),
+                             trials=3, base_seed=1300)
+        rows.append([label, avg["error_ratio"], avg["additive_error"]])
+    return rows
+
+
+def run_backend_equivalence():
+    stream = insertion_stream(300, 4000, 0.8, seed=5)
+    estimates = {}
+    for backend in ("array", "compact", "stream"):
+        sbf = SpectralBloomFilter(2200, K, seed=5, backend=backend)
+        for x in stream:
+            sbf.insert(x)
+        estimates[backend] = [sbf.query(x) for x in range(300)]
+    return estimates
+
+
+def run_storage_reduction():
+    """§4.6 / Theorem 9: the reduction exponent shrinks the index."""
+    import random as _random
+    from repro.succinct.string_array import StringArrayIndex
+
+    rng = _random.Random(21)
+    values = [rng.randrange(1, 200) for _ in range(6000)]
+    rows = []
+    for c in (0.0, 0.5, 1.0):
+        sai = StringArrayIndex(list(values), reduction_c=c)
+        for i in range(0, len(values), 5):
+            sai.get(i)   # realise the lookup-table entries readers pay for
+        rows.append([c, sai.index_bits(), sai.total_bits(),
+                     sai.raw_bits()])
+    return rows
+
+
+def run_mi_vs_conservative_cm():
+    def one(seed):
+        truth: dict[int, int] = {}
+        sbf = SpectralBloomFilter(M, K, method="mi", seed=seed)
+        cms = CountMinSketch(width=M // K, depth=K, conservative=True,
+                             seed=seed)
+        for x in insertion_stream(N, TOTAL, 0.5, seed=seed):
+            truth[x] = truth.get(x, 0) + 1
+            sbf.insert(x)
+            cms.insert(x)
+        sbf_metrics = evaluate_filter(sbf, truth)
+        cms_estimates = {x: cms.query(x) for x in truth}
+        from repro.bench.metrics import additive_error
+        return {
+            "sbf_add": sbf_metrics["additive_error"],
+            "cms_add": additive_error(cms_estimates, truth),
+        }
+
+    return average_trials(one, trials=3, base_seed=1200)
+
+
+def test_rm_variants(run_once):
+    rows = run_once(run_rm_variants)
+    by_label = {row[0]: row for row in rows}
+    # All variants land in the same accuracy band: trapping targets the
+    # late-detection scenario (see the unit test that reproduces it) and
+    # may trade a little aggregate E_add for it via over-corrections.
+    assert by_label["trm"][2] <= by_label["rm"][2] * 2.0
+    assert by_label["rm+marker"][1] <= by_label["rm"][1] * 2.0
+    # Plain RM and RM+marker have no false negatives on insert-only data.
+    assert by_label["rm"][3] == 0.0
+    assert by_label["rm+marker"][3] == 0.0
+    table = format_table(["variant", "error ratio", "E_add", "FN share"],
+                         rows, title="Ablation: RM refinements")
+    write_results("ablation_rm_variants", table)
+
+
+def test_hash_families(run_once):
+    rows = run_once(run_hash_families)
+    ratios = [row[1] for row in rows]
+    # The paper's modmul scheme is as good as the stronger families: all
+    # error ratios within a small band of each other.
+    assert max(ratios) < max(3 * min(ratios), min(ratios) + 0.02)
+    table = format_table(["family", "error ratio", "E_add"], rows,
+                         title="Ablation: hash families (MS, gamma=0.7)")
+    write_results("ablation_hash_families", table)
+
+
+def test_blocked_hashing(run_once):
+    rows = run_once(run_blocked_hashing)
+    by_label = {row[0]: row for row in rows}
+    baseline = by_label["unblocked"][1]
+    # Large segments: negligible accuracy impact ([MW94]'s conclusion).
+    assert by_label["m/8 blocks"][1] < 2 * baseline + 0.01
+    # Tiny segments: measurable degradation (the analysis' other side).
+    assert by_label["64-bit blocks"][1] > baseline
+    table = format_table(["blocking", "error ratio", "E_add"], rows,
+                         title="Ablation: [MW94] blocked hashing "
+                               "(external-memory SBF)")
+    write_results("ablation_blocked_hashing", table)
+
+
+def test_backend_equivalence(run_once):
+    estimates = run_once(run_backend_equivalence)
+    assert estimates["array"] == estimates["compact"] == estimates["stream"]
+    write_results("ablation_backends",
+                  "All three backends (array / string-array index / coded "
+                  "stream)\nreturned bit-identical estimates for 300 "
+                  "queried keys.\n")
+
+
+def test_storage_reduction(run_once):
+    rows = run_once(run_storage_reduction)
+    index_bits = [row[1] for row in rows]
+    # Theorem 9's direction: reduction shrinks the index vs c = 0.
+    assert index_bits[1] < index_bits[0]
+    assert index_bits[2] < index_bits[0]
+    # ... without touching the represented values (raw bits identical).
+    raws = {row[3] for row in rows}
+    assert len(raws) == 1
+    table = format_table(["reduction c", "index bits", "total bits",
+                          "raw bits"], rows,
+                         title="Ablation: §4.6 storage-reduction exponent")
+    write_results("ablation_storage_reduction", table)
+
+
+def test_mi_vs_conservative_cm(run_once):
+    avg = run_once(run_mi_vs_conservative_cm)
+    # Same estimator family, different layout: same ballpark (within 5x
+    # either way — layouts do differ in collision structure).
+    ratio = (avg["sbf_add"] + 1e-9) / (avg["cms_add"] + 1e-9)
+    assert 0.2 < ratio < 5.0
+    table = format_table(
+        ["structure", "E_add"],
+        [["SBF + Minimal Increase", avg["sbf_add"]],
+         ["Count-Min + conservative update", avg["cms_add"]]],
+        title="Ablation: MI vs conservative-update CM at equal space")
+    write_results("ablation_mi_vs_cm", table)

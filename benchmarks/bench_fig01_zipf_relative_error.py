@@ -1,0 +1,52 @@
+"""Figure 1 — expected relative error vs item rank for Zipfian skews.
+
+Paper setting: n = 10 000 distinct items, k = 5 hash functions, skews
+z in {0.2, 0.6, 1, 1.4, 1.8, 2}; the plotted quantity is the Equation (1)
+bound E'(RE_i^z) conditioned on a Bloom error.
+
+Shape claims asserted:
+- every curve rises monotonically with rank (less frequent -> worse);
+- higher skews start lower for frequent items but cross above lower skews
+  for rare items (the crossover the paper highlights);
+- magnitudes match the figure's axis (peak around 1-2 for these params).
+"""
+
+from repro.analysis.zipf_errors import figure1_curves
+from repro.bench.tables import format_table, write_results
+
+N = 10_000
+K = 5
+SKEWS = (0.2, 0.6, 1.0, 1.4, 1.8, 2.0)
+
+
+def run_figure1():
+    return figure1_curves(n=N, k=K, skews=SKEWS, points=20)
+
+
+def test_figure1_curves(run_once):
+    curves = run_once(run_figure1)
+
+    # Monotone rising in rank, for every skew.
+    for z, series in curves.items():
+        values = [v for _rank, v in series]
+        assert values == sorted(values), f"skew {z} curve not monotone"
+
+    # Crossover: at the most frequent sampled rank high skew wins; at the
+    # rarest rank the ordering flips.
+    first_rank_vals = {z: series[0][1] for z, series in curves.items()}
+    last_rank_vals = {z: series[-1][1] for z, series in curves.items()}
+    assert first_rank_vals[2.0] < first_rank_vals[0.2]
+    assert last_rank_vals[2.0] > last_rank_vals[0.2]
+
+    # Magnitude: the figure's y-axis tops out around 1.8.
+    peak = max(v for series in curves.values() for _r, v in series)
+    assert 0.3 < peak < 4.0
+
+    # Render the series as one table: rank x skew grid.
+    ranks = [r for r, _v in curves[SKEWS[0]]]
+    headers = ["rank"] + [f"z={z}" for z in SKEWS]
+    rows = [[rank] + [curves[z][i][1] for z in SKEWS]
+            for i, rank in enumerate(ranks)]
+    table = format_table(headers, rows,
+                         title=f"Figure 1: E'(RE_i^z), n={N}, k={K}")
+    write_results("fig01_zipf_relative_error", table)

@@ -1,0 +1,110 @@
+"""Figure 4 — iceberg false-positive rates vs threshold for Zipfian skews.
+
+Paper setting: k = 5, gamma = 1 ("a smaller Bloom Filter than the
+optimal"), skews {0, 0.2, 0.4, 0.6, 0.8, 1, 1.2}; thresholds sweep 0-100%
+of the maximal frequency.  The analytic model is
+``E = sum_f d(f) (1 - e^(-k*D_f/m))^k`` (§5.2), and the key observation:
+although the raw Bloom error at these parameters is Eb ~= 0.1, the iceberg
+error "never exceeds 0.025, while at most relevant thresholds it drops
+below 0.01".
+
+The benchmark computes the analytic curves AND validates one skew
+empirically against a real SBF iceberg query.
+"""
+
+import collections
+
+from repro.analysis.iceberg_math import figure4_curve, iceberg_error_rate
+from repro.apps.iceberg import IcebergIndex
+from repro.bench.tables import format_table, write_results
+from repro.core.params import bloom_error_from_gamma
+from repro.data.streams import insertion_stream
+
+N = 1000
+TOTAL = 50_000
+K = 5
+GAMMA = 1.0
+SKEWS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2)
+POINTS = 20
+
+
+def run_curves():
+    return {z: figure4_curve(N, TOTAL, z, k=K, target_gamma=GAMMA,
+                             thresholds=POINTS)
+            for z in SKEWS}
+
+
+def empirical_validation(z: float = 1.0, seed: int = 9):
+    """Build a real SBF iceberg index and measure its false positives."""
+    stream = insertion_stream(N, TOTAL, z, seed=seed)
+    truth = collections.Counter(stream)
+    m = round(len(truth) * K / GAMMA)
+    # Minimum Selection so the measurement matches the analytic model,
+    # which assumes plain Bloom-style contamination.
+    index = IcebergIndex(m=m, k=K, method="ms", seed=seed)
+    index.consume(stream)
+    top = max(truth.values())
+    out = []
+    for pct in (0.05, 0.2, 0.5):
+        threshold = max(1, round(pct * top))
+        reported = set(index.query(threshold))
+        true_ice = {x for x, c in truth.items() if c >= threshold}
+        assert true_ice <= reported          # no false negatives, ever
+        fp_rate = len(reported - true_ice) / len(truth)
+        model = iceberg_error_rate(dict(truth), threshold, m, K)
+        out.append((pct, fp_rate, model))
+    return out
+
+
+def test_figure4_analytic_curves(run_once):
+    curves = run_once(run_curves)
+    eb = bloom_error_from_gamma(GAMMA, K)
+
+    peak_by_skew = {}
+    for z, series in curves.items():
+        errors = [e for _pct, e in series]
+        # Never exceeds the raw Bloom error (iceberg errors are a subset).
+        assert all(0.0 <= e <= eb * 1.02 for e in errors)
+        peak_by_skew[z] = errors.index(max(errors))
+
+    # The headline claim is about skewed data ("at most relevant
+    # thresholds it drops below 0.01"): for z >= 0.6 the whole curve sits
+    # far below Eb ~= 0.1.  (Near-uniform data behaves differently in our
+    # model at extreme thresholds — recorded in EXPERIMENTS.md.)
+    for z in SKEWS:
+        if z >= 0.6:
+            errors = [e for _pct, e in curves[z]]
+            assert max(errors) < 0.03
+            assert errors[-1] < max(0.01, max(errors))
+
+    # The peak moves to lower thresholds as the skew increases (0.2 vs 1.0).
+    assert peak_by_skew[1.0] <= peak_by_skew[0.2]
+    # ... and skewed curves fall after their peak.
+    for z in (0.2, 0.4, 0.6):
+        errors = [e for _pct, e in curves[z]]
+        assert errors[-1] < max(errors)
+
+    headers = ["threshold %"] + [f"z={z}" for z in SKEWS]
+    pcts = [pct for pct, _e in curves[SKEWS[0]]]
+    rows = [[pct] + [curves[z][i][1] for z in SKEWS]
+            for i, pct in enumerate(pcts)]
+    table = format_table(headers, rows,
+                         title=(f"Figure 4: iceberg error rates "
+                                f"(k={K}, gamma={GAMMA}, n={N}, "
+                                f"M={TOTAL})"))
+    write_results("fig04_iceberg_errors", table)
+
+
+def test_figure4_empirical_validation(run_once):
+    points = run_once(empirical_validation)
+    for _pct, fp_rate, model in points:
+        # The measured rate should live in the model's neighbourhood (the
+        # model ignores secondary stepping, so allow a loose band) and,
+        # like the model, stay far under the raw Bloom error.
+        assert fp_rate <= 0.05
+        assert abs(fp_rate - model) < 0.03
+    table = format_table(
+        ["threshold %top", "measured FP rate", "model"],
+        [[f"{pct:.0%}", fp, model] for pct, fp, model in points],
+        title="Figure 4 validation: real SBF iceberg vs analytic model")
+    write_results("fig04_empirical_validation", table)

@@ -1,0 +1,93 @@
+"""Figure 7 — MS vs MI vs RM on the Forest-Cover elevation data.
+
+Paper setting: the UCI Forest Cover Type database, 581 012 records with
+1 978 distinct elevation values, indexed by the SBF; additive error and
+error ratio vs gamma in ~[0.2, 1.4], k = 5.
+
+Substitution (DESIGN.md §3): the database is unreachable offline, so a
+seeded synthetic generator reproduces the count statistics and the
+multi-modal Figure 7a shape.  Scaled to 58 101 records (10%) by default;
+REPRO_BENCH_SCALE=10 restores the full size.
+
+Shape claims asserted (matching §6.1's reading of the figure):
+- results are "consistent with the results over synthetic data-sets":
+  MI and RM beat MS, "with a slight advantage to the Minimal Increase";
+- all methods deteriorate as gamma grows.
+"""
+
+from repro.bench.metrics import evaluate_filter
+from repro.bench.runner import bench_scale
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+from repro.data.forest import forest_cover_elevations
+from repro.data.streams import stream_from_counts
+
+K = 5
+GAMMAS = (0.2, 0.4, 0.7, 1.0, 1.4)
+N_DISTINCT = 1978
+
+
+def n_records() -> int:
+    return int(58_101 * bench_scale())
+
+
+def run_forest():
+    counts = forest_cover_elevations(n_records=n_records(),
+                                     n_distinct=N_DISTINCT, seed=77)
+    stream = stream_from_counts(counts, seed=77)
+    n = len(counts)
+    rows = []
+    for gamma in GAMMAS:
+        m = round(n * K / gamma)
+        row = [gamma]
+        for method in ("ms", "rm-budget", "rm-extra", "mi"):
+            if method == "rm-budget":
+                sbf = SpectralBloomFilter(
+                    2 * m // 3, K, method="rm", seed=77,
+                    method_options={"secondary_m": m // 3})
+            elif method == "rm-extra":
+                sbf = SpectralBloomFilter(
+                    m, K, method="rm", seed=77,
+                    method_options={"secondary_m": m // 2})
+            else:
+                sbf = SpectralBloomFilter(m, K, method=method, seed=77)
+            for value in stream:
+                sbf.insert(value)
+            metrics = evaluate_filter(sbf, counts)
+            row.extend([metrics["additive_error"], metrics["error_ratio"]])
+        rows.append(row)
+    return rows
+
+
+def test_figure7(run_once):
+    rows = run_once(run_forest)
+    # Columns: gamma, then (E_add, ratio) for ms, rm-budget, rm-extra, mi.
+    sum_ratio = {"ms": 0.0, "rm_b": 0.0, "rm_x": 0.0, "mi": 0.0}
+    for row in rows:
+        sum_ratio["ms"] += row[2]
+        sum_ratio["rm_b"] += row[4]
+        sum_ratio["rm_x"] += row[6]
+        sum_ratio["mi"] += row[8]
+        # MI dominates MS pointwise (Claim 4 holds on real-shaped data).
+        assert row[7] <= row[1] + 1e-9
+        assert row[8] <= row[2] + 1e-9
+
+    # "advantage to the Minimal Increase method" over both others.
+    assert sum_ratio["mi"] <= sum_ratio["rm_x"] + 1e-9
+    assert sum_ratio["mi"] < sum_ratio["ms"]
+    # RM in the Table-1 convention beats MS; the shared-budget variant
+    # pays for its overloaded primary (recorded in EXPERIMENTS.md).
+    assert sum_ratio["rm_x"] < sum_ratio["ms"]
+    assert sum_ratio["rm_b"] < 3 * sum_ratio["ms"]
+
+    # Degradation with load.
+    assert rows[-1][2] > rows[0][2]
+
+    table = format_table(
+        ["gamma", "MS E_add", "MS ratio", "RM(budget) E_add",
+         "RM(budget) ratio", "RM(extra) E_add", "RM(extra) ratio",
+         "MI E_add", "MI ratio"],
+        rows,
+        title=(f"Figure 7: Forest-Cover elevation (synthetic substitute), "
+               f"{n_records()} records, {N_DISTINCT} distinct, k={K}"))
+    write_results("fig07_forest_cover", table)

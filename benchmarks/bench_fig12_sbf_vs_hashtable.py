@@ -1,0 +1,104 @@
+"""Figure 12 — SBF vs chained hash table: build/update/lookup times.
+
+Paper setting: the SBF (k = 5, §4 storage) against the LEDA chained hash
+table with the same number of buckets and the same hash functions; the
+hash table has "an inherent advantage" (1 probe vs k), but its chains grow
+with collisions while the SBF's cost is load-independent.  The paper
+observes the table only ~2x faster at large sizes instead of the naive kx.
+
+Shape claims asserted:
+- the hash table is faster, but by a bounded factor (< ~3k);
+- the SBF's per-op cost is roughly size-independent;
+- (paper's diagnosis aid) the table's chains do grow: max chain length
+  exceeds the perfectly-uniform expectation.
+"""
+
+import random
+import time
+
+from repro.bench.runner import bench_scale
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+from repro.filters.hashtable import ChainedHashTable
+
+K = 5
+
+
+def sizes() -> list[int]:
+    scale = bench_scale()
+    return [int(s * scale) for s in (1000, 4000, 16000)]
+
+
+def run_one_size(m: int, seed: int = 6):
+    rng = random.Random(seed)
+    keys = [rng.randrange(m) for _ in range(10 * m)]
+
+    t0 = time.perf_counter()
+    sbf = SpectralBloomFilter(m, K, backend="compact", seed=seed)
+    sbf_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for x in keys:
+        sbf.insert(x)
+    sbf_update = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for x in range(m):
+        sbf.query(x)
+    sbf_lookup = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    table = ChainedHashTable(m, seed=seed)
+    ht_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for x in keys:
+        table.insert(x)
+    ht_update = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for x in range(m):
+        table.query(x)
+    ht_lookup = time.perf_counter() - t0
+
+    return {
+        "m": m,
+        "sbf": (sbf_build, sbf_update, sbf_lookup),
+        "ht": (ht_build, ht_update, ht_lookup),
+        "max_chain": table.max_chain_length(),
+    }
+
+
+def run_figure12():
+    return [run_one_size(m) for m in sizes()]
+
+
+def test_figure12(run_once):
+    results = run_once(run_figure12)
+
+    for res in results:
+        sbf_update, ht_update = res["sbf"][1], res["ht"][1]
+        sbf_lookup, ht_lookup = res["sbf"][2], res["ht"][2]
+        # The table wins, but by a *bounded* factor.  (The paper's C++
+        # sees ~2x; our SBF pays the String-Array Index's bit surgery in
+        # pure Python on top of the k probes, so the band is wider — what
+        # matters is that the gap does not explode with size.)
+        assert ht_update < sbf_update
+        assert ht_lookup < sbf_lookup
+        assert sbf_update / ht_update < 10 * K
+        assert sbf_lookup / ht_lookup < 10 * K
+        # Collisions exist: chains beyond a perfectly uniform layout.
+        assert res["max_chain"] >= 2
+
+    # SBF per-op cost roughly constant across sizes.
+    per_op = [res["sbf"][1] / (10 * res["m"]) for res in results]
+    assert max(per_op) < 8 * min(per_op)
+    # The SBF/table gap stays bounded across sizes (no blow-up).
+    ratios = [res["sbf"][1] / res["ht"][1] for res in results]
+    assert max(ratios) < 4 * min(ratios)
+
+    table = format_table(
+        ["m", "SBF build", "SBF update", "SBF lookup", "HT build",
+         "HT update", "HT lookup", "update ratio", "max chain"],
+        [[res["m"], *res["sbf"], *res["ht"],
+          res["sbf"][1] / res["ht"][1], res["max_chain"]]
+         for res in results],
+        title=(f"Figure 12: SBF (compact backend, k={K}) vs chained hash "
+               f"table, 10m inserts + m lookups (seconds)"))
+    write_results("fig12_sbf_vs_hashtable", table)

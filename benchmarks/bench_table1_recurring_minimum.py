@@ -1,0 +1,112 @@
+"""Table 1 — Recurring Minimum error anatomy across loads.
+
+Paper setting: k = 5, n = 1000 distinct items, Zipf skew 0.5, secondary
+SBF of size ms = m/2, gamma in {1, 0.83, 0.7, 0.625, 0.5}.  Columns:
+gamma, the theoretical Bloom error Eb, the measured fraction of recurring
+minima P(Rx), the error rate among them P(Ex|Rx), the secondary load
+gamma_s = n(1-P(Rx))k/ms, the secondary Bloom error Eb^s, the overall RM
+error E_RM, and the gain Eb/E_RM.
+
+Shape claims asserted (vs the paper's rows):
+- P(Rx) grows as gamma shrinks (0.657 at gamma=1 -> 0.969 at gamma=0.5);
+- errors given a recurring minimum are far rarer than Eb;
+- at gamma = 0.7 the overall gain Eb/E_RM is well above 1 (paper: 18.5x;
+  we assert >= 2x to stay robust across substrate details).
+"""
+
+from repro.bench.runner import average_trials
+from repro.bench.tables import format_table, write_results
+from repro.core.params import bloom_error_from_gamma
+from repro.core.sbf import SpectralBloomFilter
+from repro.data.streams import insertion_stream
+
+N = 1000
+K = 5
+TOTAL = 20_000
+SKEW = 0.5
+GAMMAS = (1.0, 0.83, 0.7, 0.625, 0.5)
+TRIALS = 3
+
+
+def run_gamma(gamma: float, seed: int) -> dict[str, float]:
+    m = round(N * K / gamma)
+    sbf = SpectralBloomFilter(m, K, method="rm", seed=seed,
+                              method_options={"secondary_m": m // 2})
+    truth: dict[int, int] = {}
+    for x in insertion_stream(N, TOTAL, SKEW, seed=seed):
+        truth[x] = truth.get(x, 0) + 1
+        sbf.insert(x)
+    method = sbf.method
+    recurring = 0
+    recurring_errors = 0
+    errors = 0
+    for x, f in truth.items():
+        estimate = sbf.query(x)
+        if estimate != f:
+            errors += 1
+        if method._has_recurring_minimum(sbf.counter_values(x)):
+            recurring += 1
+            if estimate != f:
+                recurring_errors += 1
+    n_items = len(truth)
+    p_rx = recurring / n_items
+    return {
+        "p_rx": p_rx,
+        "p_ex_given_rx": recurring_errors / recurring if recurring else 0.0,
+        "gamma_s": n_items * (1 - p_rx) * K / (m // 2),
+        "e_rm": errors / n_items,
+    }
+
+
+def run_table1():
+    rows = []
+    for gamma in GAMMAS:
+        avg = average_trials(lambda seed, g=gamma: run_gamma(g, seed),
+                             trials=TRIALS, base_seed=100)
+        eb = bloom_error_from_gamma(gamma, K)
+        ebs = bloom_error_from_gamma(avg["gamma_s"], K)
+        # The paper's Table 1 computes E_RM from its components:
+        # E_RM = P(Rx) P(Ex|Rx) + (1 - P(Rx)) Eb^s.  We report that plus
+        # the directly measured error ratio (which also carries the
+        # transfer-time contamination the formula ignores).
+        e_rm_formula = (avg["p_rx"] * avg["p_ex_given_rx"]
+                        + (1 - avg["p_rx"]) * ebs)
+        gain = eb / e_rm_formula if e_rm_formula > 0 else float("inf")
+        rows.append([gamma, eb, avg["p_rx"], avg["p_ex_given_rx"],
+                     avg["gamma_s"], ebs, e_rm_formula, gain,
+                     avg["e_rm"]])
+    return rows
+
+
+def test_table1(run_once):
+    rows = run_once(run_table1)
+    by_gamma = {row[0]: row for row in rows}
+
+    # P(Rx) grows as the load shrinks (paper: 0.657 -> 0.969).
+    p_rx = [row[2] for row in rows]  # ordered gamma 1.0 -> 0.5
+    assert p_rx[0] < p_rx[-1]
+    assert p_rx[-1] > 0.85
+    assert 0.5 < p_rx[0] < 0.9
+
+    # Recurring minima are trustworthy: P(Ex|Rx) << Eb at every load.
+    for gamma, eb, _p_rx, p_ex_rx, *_rest in rows:
+        assert p_ex_rx < eb, f"gamma={gamma}: recurring-min errors too high"
+
+    # The headline row: at gamma = 0.7 the paper's formula-based gain is
+    # 18.5x; assert a conservative >= 5x, and that the directly measured
+    # error ratio also beats Eb.
+    gamma07 = by_gamma[0.7]
+    assert gamma07[7] >= 5.0, f"gain at gamma=0.7 only {gamma07[7]:.2f}"
+    assert gamma07[8] < gamma07[1], "measured E_RM should be below Eb"
+
+    # The secondary is lightly loaded everywhere (gamma_s < gamma).
+    for row in rows:
+        assert row[4] < row[0] * 2
+
+    table = format_table(
+        ["gamma", "Eb", "P(Rx)", "P(Ex|Rx)", "gamma_s", "Eb_s",
+         "E_RM (formula)", "Eb/E_RM", "E_RM (measured)"],
+        rows,
+        title=(f"Table 1: RM error anatomy (k={K}, n={N}, Zipf {SKEW}, "
+               f"ms=m/2, {TRIALS} trials, M={TOTAL})"))
+    write_results("table1_recurring_minimum", table)

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` module reproduces one table or figure of the paper's
+evaluation section (see DESIGN.md §2 for the index).  Conventions:
+
+- the experiment body is a plain function returning its rows, timed once
+  through ``benchmark.pedantic(..., rounds=1)`` so ``--benchmark-only``
+  runs select it;
+- the rendered table is written to ``benchmarks/results/<name>.txt``;
+- assertions check the paper's qualitative *shape* (who wins, rough
+  factors, crossovers) — never exact figures, since the substrate differs;
+- sizes scale with ``REPRO_BENCH_SCALE`` (default 1.0 keeps the suite
+  a few minutes; 5-10 approaches paper scale).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,91 @@
+"""Standalone experiment driver: regenerate every table and figure.
+
+Usage:
+    python benchmarks/run_all.py [pattern ...]
+
+Runs the experiment body of each ``bench_*.py`` module directly (without
+pytest's benchmark machinery), writes the rendered tables to
+``benchmarks/results/`` and prints them.  Optional patterns filter by
+substring, e.g. ``python benchmarks/run_all.py fig06 table1``.
+
+The pytest entry point (``pytest benchmarks/ --benchmark-only``) runs the
+same experiments *plus* the shape assertions and timing statistics; this
+driver is the quick look-at-the-numbers path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import time
+
+
+def _load_module(path: str):
+    name = os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# Map of module -> the run_* entry points that produce printable rows.
+EXPERIMENTS: dict[str, list[str]] = {
+    "bench_fig01_zipf_relative_error.py": ["run_figure1"],
+    "bench_table1_recurring_minimum.py": ["run_table1"],
+    "bench_table2_memory_tradeoff.py": ["run_table2"],
+    "bench_fig04_iceberg_errors.py": ["run_curves", "empirical_validation"],
+    "bench_fig06_gamma_sweep.py": ["run_gamma_sweep", "run_k_sweep"],
+    "bench_fig07_forest_cover.py": ["run_forest"],
+    "bench_fig08_deletions.py": ["run_figure8"],
+    "bench_fig09_sliding_window.py": ["run_figure9"],
+    "bench_fig10_encodings.py": ["run_figure10"],
+    "bench_fig11_sai_performance.py": ["run_figure11"],
+    "bench_fig12_sbf_vs_hashtable.py": ["run_figure12"],
+    "bench_fig13_sai_storage.py": ["run_figure13"],
+    "bench_fig14_sai_breakdown.py": ["run_figure14"],
+    "bench_fig15_storage_vs_hashtable.py": ["run_figure15"],
+    "bench_bloomjoin_traffic.py": ["run_traffic"],
+    "bench_ablations.py": ["run_rm_variants", "run_hash_families",
+                           "run_blocked_hashing", "run_storage_reduction",
+                           "run_mi_vs_conservative_cm"],
+}
+
+
+def main(argv: list[str]) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    patterns = [arg for arg in argv if not arg.startswith("-")]
+    total = 0
+    for filename, entry_points in EXPERIMENTS.items():
+        if patterns and not any(p in filename for p in patterns):
+            continue
+        path = os.path.join(here, filename)
+        module = _load_module(path)
+        for entry in entry_points:
+            fn = getattr(module, entry)
+            started = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - started
+            total += 1
+            print(f"== {filename}::{entry}  ({elapsed:.1f}s)")
+            _print_result(result)
+            print()
+    print(f"{total} experiments run; tables in benchmarks/results/")
+    return 0
+
+
+def _print_result(result) -> None:
+    if isinstance(result, dict):
+        for key, value in result.items():
+            print(f"  {key}: {value}")
+    elif isinstance(result, list):
+        for row in result[:12]:
+            print(f"  {row}")
+        if len(result) > 12:
+            print(f"  ... ({len(result) - 12} more rows)")
+    else:
+        print(f"  {result}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

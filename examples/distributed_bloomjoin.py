@@ -1,0 +1,90 @@
+"""Classic Bloomjoin vs Spectral Bloomjoin between two sites (paper §5.3).
+
+Run:  python examples/distributed_bloomjoin.py
+
+Two database servers hold the two sides of a one-to-many join:
+
+    orders(customer_id, order_id)    at the warehouse site
+    customers(customer_id, region)   at the head-office site
+
+The query is the grouped join
+    SELECT c.customer_id, count(*) FROM customers c, orders o
+    WHERE c.customer_id = o.customer_id GROUP BY c.customer_id
+
+A classic Bloomjoin needs two rounds (filter out, tuples back); the
+Spectral Bloomjoin multiplies SBFs and answers after a *single* synopsis
+transmission.  The example prints the traffic ledger for naive shipping,
+Bloomjoin, and Spectral Bloomjoin.
+"""
+
+import random
+
+from repro.apps.bloomjoin import (
+    bloomjoin,
+    exact_grouped_join_count,
+    spectral_bloomjoin_count,
+)
+from repro.db.relation import Relation
+from repro.db.site import tuple_bits, two_sites
+
+
+def build_data(seed: int = 3):
+    rng = random.Random(seed)
+    n_customers = 800
+    customers = Relation(
+        "customers", ("customer_id", "region"),
+        [(cid, rng.choice(["EMEA", "APAC", "AMER"]))
+         for cid in range(n_customers)])
+    # Zipf-ish order volume: a few whales, many one-off buyers.
+    orders = Relation("orders", ("customer_id", "order_id"), [])
+    order_id = 0
+    for cid in range(n_customers):
+        volume = max(1, int(60 / (1 + cid % 97)))
+        for _ in range(volume):
+            orders.append((cid, order_id))
+            order_id += 1
+    return customers, orders
+
+
+def main() -> None:
+    customers, orders = build_data()
+    head_office, warehouse, net = two_sites(names=("head-office",
+                                                   "warehouse"))
+    head_office.store(customers)
+    warehouse.store(orders)
+    truth = exact_grouped_join_count(customers, orders, "customer_id")
+
+    print(f"customers: {len(customers)} rows at {head_office.name}")
+    print(f"orders:    {len(orders)} rows at {warehouse.name}\n")
+
+    # Strategy 0: ship every order tuple to head office.
+    naive_bits = tuple_bits(orders.rows)
+    print(f"naive shipping:      {naive_bits / 8 / 1024:8.1f} KiB, 1 round")
+
+    # Strategy 1: classic Bloomjoin [ML86].
+    net.reset()
+    joined = bloomjoin(head_office, "customers", warehouse, "orders",
+                       "customer_id", m=8192, seed=3)
+    print(f"classic Bloomjoin:   {net.total_bits / 8 / 1024:8.1f} KiB, "
+          f"{net.rounds} rounds  ({len(joined)} joined tuples, "
+          f"breakdown {net.breakdown()})")
+
+    # Strategy 2: Spectral Bloomjoin - one synopsis, zero tuples.
+    net.reset()
+    counts = spectral_bloomjoin_count(head_office, "customers", warehouse,
+                                      "orders", "customer_id",
+                                      m=8192, seed=3)
+    errors = sum(1 for cid, c in truth.items() if counts.get(cid) != c)
+    print(f"Spectral Bloomjoin:  {net.total_bits / 8 / 1024:8.1f} KiB, "
+          f"{net.rounds} round   ({len(counts)} groups, "
+          f"{errors} erroneous counts of {len(truth)})")
+
+    whale = max(truth, key=truth.get)
+    print(f"\nheaviest customer {whale}: true join count {truth[whale]}, "
+          f"spectral estimate {counts.get(whale)}")
+    print("errors are one-sided: a verification pass over the few reported"
+          "\ngroups removes them without re-running the join.")
+
+
+if __name__ == "__main__":
+    main()

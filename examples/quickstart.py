@@ -1,0 +1,81 @@
+"""Quickstart: the Spectral Bloom Filter in five minutes.
+
+Run:  python examples/quickstart.py
+
+Walks through the core API: building a filter, frequency queries,
+threshold (spectral) membership, deletions, the three maintenance methods,
+multiset algebra, and the compact §4 storage backend.
+"""
+
+from repro import SpectralBloomFilter
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a filter and stream a multiset into it.
+    # ------------------------------------------------------------------
+    words = (["the"] * 50 + ["quick"] * 7 + ["brown"] * 7 + ["fox"] * 3
+             + ["jumps"] * 2 + ["over"] * 2 + ["lazy"] + ["dog"])
+    sbf = SpectralBloomFilter.for_items(n=1000, error_rate=0.01, seed=42)
+    for word in words:
+        sbf.insert(word)
+
+    print("== frequency queries (one-sided: estimate >= truth) ==")
+    for word in ("the", "fox", "dog", "unicorn"):
+        print(f"  f({word!r:10}) ~= {sbf.query(word)}")
+
+    # ------------------------------------------------------------------
+    # 2. Spectral membership: thresholds chosen at query time.
+    # ------------------------------------------------------------------
+    print("\n== ad-hoc threshold filtering ==")
+    for threshold in (1, 5, 10):
+        passing = [w for w in set(words) if sbf.contains(w, threshold)]
+        print(f"  f >= {threshold:2}: {sorted(passing)}")
+
+    # ------------------------------------------------------------------
+    # 3. Deletions (sliding windows, data warehouses).
+    # ------------------------------------------------------------------
+    print("\n== deletions ==")
+    sbf.delete("the", 40)
+    print(f"  after deleting 40 occurrences: f('the') ~= {sbf.query('the')}")
+
+    # ------------------------------------------------------------------
+    # 4. The three maintenance methods.
+    # ------------------------------------------------------------------
+    print("\n== maintenance methods ==")
+    for method, note in [("ms", "Minimum Selection - the baseline"),
+                         ("mi", "Minimal Increase  - best for insert-only"),
+                         ("rm", "Recurring Minimum - best with deletions")]:
+        filt = SpectralBloomFilter(m=8000, k=5, method=method, seed=7)
+        for word in words:
+            filt.insert(word)
+        print(f"  {method}: f('quick') ~= {filt.query('quick'):2}   ({note})")
+
+    # ------------------------------------------------------------------
+    # 5. Multiset algebra: union (distributed sites) and join products.
+    # ------------------------------------------------------------------
+    print("\n== union and join multiplication ==")
+    east = SpectralBloomFilter(m=4000, k=5, seed=99)
+    west = SpectralBloomFilter(m=4000, k=5, seed=99)  # same seed = same hashes
+    east.update({"apple": 3, "pear": 1})
+    west.update({"apple": 2, "plum": 4})
+    merged = east + west
+    print(f"  union:    f('apple') ~= {merged.query('apple')} (3 + 2)")
+    product = east * west
+    print(f"  join:     f('apple') ~= {product.query('apple')} (3 x 2)"
+          f", f('plum') ~= {product.query('plum')} (no partner)")
+
+    # ------------------------------------------------------------------
+    # 6. The compact storage backend (paper section 4).
+    # ------------------------------------------------------------------
+    print("\n== compact (String-Array Index) backend ==")
+    compact = SpectralBloomFilter(m=2048, k=5, backend="compact", seed=1)
+    for word in words:
+        compact.insert(word)
+    print(f"  f('the') ~= {compact.query('the')}, "
+          f"storage ~= {compact.storage_bits()} bits "
+          f"({compact.storage_bits() / 2048:.1f} bits/counter)")
+
+
+if __name__ == "__main__":
+    main()

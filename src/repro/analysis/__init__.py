@@ -1,0 +1,55 @@
+"""Closed-form error analyses from the paper.
+
+- :mod:`repro.analysis.bloom_math` re-exports the §2.1 parameter math;
+- :mod:`repro.analysis.zipf_errors` — the §2.3 relative-error analysis for
+  Zipfian data (Equations (1)-(2), Figure 1, the tail bound and the
+  double-stepover probability);
+- :mod:`repro.analysis.iceberg_math` — the §5.2 iceberg error-rate model
+  behind Figure 4.
+"""
+
+from repro.analysis.bloom_math import (
+    bloom_error,
+    bloom_error_from_gamma,
+    gamma,
+    optimal_k,
+)
+from repro.analysis.zipf_errors import (
+    double_stepover_probability,
+    expected_relative_error,
+    expected_relative_error_all_items,
+    optimal_skew,
+    relative_error_tail_probability,
+)
+from repro.analysis.iceberg_math import iceberg_error_rate
+from repro.analysis.variance import (
+    boosting_is_practical,
+    counter_error_variance,
+    max_supported_total,
+    required_group_size,
+    required_groups,
+)
+from repro.analysis.compressed import (
+    best_configuration,
+    compressed_size,
+)
+
+__all__ = [
+    "bloom_error",
+    "bloom_error_from_gamma",
+    "gamma",
+    "optimal_k",
+    "expected_relative_error",
+    "expected_relative_error_all_items",
+    "relative_error_tail_probability",
+    "double_stepover_probability",
+    "optimal_skew",
+    "iceberg_error_rate",
+    "counter_error_variance",
+    "required_group_size",
+    "required_groups",
+    "max_supported_total",
+    "boosting_is_practical",
+    "best_configuration",
+    "compressed_size",
+]

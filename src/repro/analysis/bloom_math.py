@@ -1,0 +1,24 @@
+"""§2.1 Bloom parameter math, re-exported for the analysis namespace.
+
+The actual implementations live in :mod:`repro.core.params`; the analysis
+package exposes them alongside the §2.3/§5.2 models so experiment code has
+one import site for every closed form in the paper.
+"""
+
+from repro.core.params import (  # noqa: F401 - re-exports
+    bloom_error,
+    bloom_error_from_gamma,
+    gamma,
+    m_for_gamma,
+    optimal_k,
+    optimal_m,
+)
+
+__all__ = [
+    "bloom_error",
+    "bloom_error_from_gamma",
+    "gamma",
+    "m_for_gamma",
+    "optimal_k",
+    "optimal_m",
+]

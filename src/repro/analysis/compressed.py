@@ -1,0 +1,91 @@
+"""Compressed Bloom filter sizing [Mit01] (paper §1.1.3).
+
+"It is easily shown that a Bloom Filter that is space-optimized is
+characterized by its bit vector being completely random, which makes
+compression inefficient ... by maintaining a locally larger Bloom Filter,
+it is possible to achieve a compressed version which is more efficient."
+
+Given a *transmission* budget of ``z`` bits for ``n`` keys, the sender may
+keep a local filter of ``m >= z`` bits with fewer hash functions, as long
+as its entropy ``m H(p)`` fits the budget after compression.  This module
+provides the [Mit01] trade-off machinery:
+
+- :func:`fill_probability` / :func:`entropy_bits` — filter statistics;
+- :func:`false_positive_rate` — error of an (m, k, n) filter;
+- :func:`best_configuration` — numerically minimise the false-positive
+  rate subject to the compressed-size budget, recovering Mitzenmacher's
+  headline: the compressed optimum uses *fewer* hash functions and a
+  *larger* local filter than the classic ``k = ln2 * m/n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def fill_probability(n: int, k: int, m: int) -> float:
+    """Probability a given bit is set: ``1 - e^(-kn/m)``."""
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return 1.0 - math.exp(-k * n / m)
+
+
+def entropy_bits(m: int, p: float) -> float:
+    """Shannon bound on the compressed size of an m-bit vector at fill p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return m * -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+
+
+def false_positive_rate(n: int, k: int, m: int) -> float:
+    """``(1 - e^(-kn/m))^k``."""
+    return fill_probability(n, k, m) ** k
+
+
+def compressed_size(n: int, k: int, m: int) -> float:
+    """Entropy bound on the wire size of the (m, k) filter holding n keys."""
+    return entropy_bits(m, fill_probability(n, k, m))
+
+
+def best_configuration(n: int, budget_bits: int, *,
+                       max_expansion: float = 8.0,
+                       ) -> tuple[int, int, float]:
+    """Minimise the false-positive rate within a compressed-size budget.
+
+    Searches local sizes ``m`` in [budget, max_expansion * budget] and all
+    feasible ``k``; returns ``(m, k, false_positive_rate)`` of the best
+    configuration whose entropy fits the budget.
+
+    Raises:
+        ValueError: if even the classic in-place filter cannot fit (i.e.
+            the budget is non-positive).
+    """
+    if budget_bits <= 0:
+        raise ValueError(f"budget_bits must be positive, got {budget_bits}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    best: tuple[int, int, float] | None = None
+    steps = 48
+    for step in range(steps + 1):
+        m = round(budget_bits * (1.0 + (max_expansion - 1.0) * step / steps))
+        max_k = max(1, round(math.log(2) * m / n) + 2)
+        for k in range(1, max_k + 1):
+            if compressed_size(n, k, m) > budget_bits:
+                continue
+            rate = false_positive_rate(n, k, m)
+            if best is None or rate < best[2]:
+                best = (m, k, rate)
+    if best is None:  # pragma: no cover - budget>0 always admits k=1, big m
+        raise ValueError("no feasible configuration within the budget")
+    return best
+
+
+def classic_configuration(n: int, m: int) -> tuple[int, float]:
+    """The uncompressed baseline: optimal k and its error at local size m."""
+    from repro.core.params import optimal_k
+    k = optimal_k(m, n)
+    return k, false_positive_rate(n, k, m)

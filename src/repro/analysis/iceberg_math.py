@@ -1,0 +1,84 @@
+"""The §5.2 iceberg-query error model (Figure 4).
+
+For an iceberg query with threshold ``T``, a false positive needs an item of
+frequency ``f' < T`` to be stepped over by items large enough to push it
+past the threshold.  With ``d(f)`` the fraction of items having frequency
+``f`` and ``D_{f'} = n * sum_{i >= T - f'} d(i)`` the number of sufficiently
+heavy contaminators, the per-frequency error rate is the Bloom error of a
+filter containing only those heavy items::
+
+    E_{f'} ~= (1 - e^(-k D_{f'} / m))^k
+
+and the total error rate is ``E = sum_{f=0}^{T-1} d(f) E_f``.  Figure 4
+plots this for Zipfian skews 0-1.2 at k = 5, gamma = 1: the curve rises for
+small T, peaks, then falls — fewer contaminators are heavy enough as T
+grows, even though more items sit below the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping
+
+
+def frequency_histogram(counts: Mapping[object, int]) -> dict[int, float]:
+    """``d(f)``: fraction of distinct items having frequency ``f``."""
+    if not counts:
+        raise ValueError("counts must be non-empty")
+    histogram = Counter(counts.values())
+    n = len(counts)
+    return {f: c / n for f, c in histogram.items()}
+
+
+def iceberg_error_rate(counts: Mapping[object, int], threshold: int,
+                       m: int, k: int) -> float:
+    """Expected false-positive rate of an SBF iceberg query (§5.2).
+
+    Args:
+        counts: the data multiset ``{item: frequency}``.
+        threshold: the iceberg threshold ``T`` (items with ``f >= T`` are
+            reported; only items below it can be false positives).
+        m, k: the SBF parameters.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    n = len(counts)
+    d = frequency_histogram(counts)
+    # Cumulative count of items with frequency >= x, for x = T - f.
+    freqs = sorted(d)
+    total_error = 0.0
+    for f, fraction in d.items():
+        if f >= threshold:
+            continue
+        need = threshold - f
+        heavy_fraction = sum(d[g] for g in freqs if g >= need)
+        heavy_items = n * heavy_fraction
+        e_f = (1.0 - math.exp(-k * heavy_items / m)) ** k
+        total_error += fraction * e_f
+    return total_error
+
+
+def figure4_curve(n: int, total: int, z: float, *, k: int = 5,
+                  target_gamma: float = 1.0, thresholds: int = 20,
+                  seed: int = 0) -> list[tuple[float, float]]:
+    """One Figure 4 series: ``(threshold % of max frequency, error rate)``.
+
+    Uses a *sampled* Zipfian multiset (like the paper's experimental data)
+    so ``d(f)`` has the realistic spread around the expected frequencies;
+    k = 5 and gamma = 1 ("a smaller Bloom Filter than the optimal") by
+    default.
+    """
+    from repro.data.zipf import zipf_multiset
+    counts = zipf_multiset(n, total, z, seed=seed)
+    m = max(1, round(len(counts) * k / target_gamma))
+    top = max(counts.values())
+    out = []
+    for j in range(1, thresholds + 1):
+        pct = j / thresholds
+        threshold = max(1, round(pct * top))
+        out.append((pct * 100.0,
+                    iceberg_error_rate(counts, threshold, m, k)))
+    return out

@@ -1,0 +1,85 @@
+"""Variance analysis of the unbiased estimator (paper §3.1.1).
+
+The error on one counter is binomial, so its variance roughly equals the
+expected error size: ``Var(e_x^j) ~= (N - f_x) k / m``.  §3.1.1 analyses
+the classic [AMS99] remedy — average k1 counters per group, take the
+median of k2 groups — and concludes it is impractical per-query:
+
+- Chebyshev wants ``N k / (m t^2 k1) = 1/4``, giving the group size
+  ``k1 = 4 N k / (m t^2)``;
+- Chernoff on the median then wants ``k2 = 24 ln(1/eps)`` groups for
+  failure probability eps ("for error of 0.1, this gives a k2 of 55 which
+  is not very practical");
+- with ``k1 >= 1`` forced, ``N`` cannot exceed ``m t^2 / (4k) * k``…
+  i.e. "if we allow t = 4, N cannot exceed 4m".
+
+These closed forms are implemented verbatim so the impracticality claims
+become executable assertions.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def counter_error_variance(total: int, fx: int, k: int, m: int) -> float:
+    """``Var(e_x^j) ~= (N - f_x) * k / m`` — §3.1.1's starting point."""
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    if total < fx:
+        raise ValueError("total multiplicity cannot be below f_x")
+    return (total - fx) * k / m
+
+
+def required_group_size(total: int, k: int, m: int, t: float) -> float:
+    """Group size ``k1`` making the Chebyshev bound 1/4 at distance *t*.
+
+    From ``N k / (m t^2 k1) = 1/4``: ``k1 = 4 N k / (m t^2)``.
+    """
+    if t <= 0:
+        raise ValueError(f"t must be positive, got {t}")
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    return 4.0 * total * k / (m * t * t)
+
+
+def required_groups(epsilon: float) -> int:
+    """Number of groups ``k2 = 24 ln(1/eps)`` for failure prob. *epsilon*.
+
+    The paper's example: eps = 0.1 -> k2 = 55.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    return math.ceil(24.0 * math.log(1.0 / epsilon))
+
+
+def max_supported_total(m: int, t: float) -> float:
+    """Largest ``N`` for which boosting is feasible at distance *t*.
+
+    §3.1.1: feasibility needs ``4N/(m t^2) < 1``, so ``N < m t^2 / 4`` —
+    "if, for example, we allow t = 4, N cannot exceed 4m".
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if t <= 0:
+        raise ValueError(f"t must be positive, got {t}")
+    return m * t * t / 4.0
+
+
+def median_failure_probability(k2: int) -> float:
+    """Chernoff bound on the median missing: ``exp(-k2 / 24)`` (§3.1.1)."""
+    if k2 < 1:
+        raise ValueError(f"k2 must be >= 1, got {k2}")
+    return math.exp(-k2 / 24.0)
+
+
+def boosting_is_practical(total: int, k: int, m: int, *, t: float = 4.0,
+                          epsilon: float = 0.1) -> bool:
+    """Can the §3.1.1 boost run with the filter's actual k?
+
+    Needs ``k1 * k2 <= k`` — which, as the section demonstrates, fails for
+    any realistic configuration (k is 4-8, k2 alone is ~55).
+    """
+    k1 = required_group_size(total, k, m, t)
+    k2 = required_groups(epsilon)
+    return max(1.0, k1) * k2 <= k

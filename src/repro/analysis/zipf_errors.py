@@ -1,0 +1,126 @@
+"""The §2.3 relative-error analysis for Zipfian data.
+
+All results condition on a Bloom error having occurred and quantify how big
+the resulting over-estimate is, for data with ``n`` distinct items whose
+frequencies follow ``f_i ∝ 1/i^z`` (rank ``i`` starting at 1):
+
+- Equation (1): the expected relative error of the rank-``i`` item is
+  bounded by ``E'(RE_i^z) = i^z * k / (n-k)^k * S_z`` with
+  ``S_z = sum_j j^(k-z-1)`` — the curves of Figure 1;
+- Equation (2): averaging over all ranks gives
+  ``E(RE^z) < k (n+1)^(k+1) / (n (k-z)(z+1)(n-k)^k)``, minimised at
+  ``z_min = (k+1)/2``;
+- the tail bound ``P(RE_i > T) <= k (i / ((n-k) T^(1/z)))^k``;
+- the double-stepover probability ``E' ~= 1 - e^(-gamma)(1 + gamma*m/(m-1))``
+  justifying the single-contaminator assumption.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _s_z(n: int, k: int, z: float) -> float:
+    """``S_z = sum_{j=1..n} j^(k-z-1)`` (computed exactly)."""
+    exponent = k - z - 1
+    return sum(j ** exponent for j in range(1, n + 1))
+
+
+def expected_relative_error(i: int, n: int, k: int, z: float) -> float:
+    """Equation (1)'s bound ``E'(RE_i^z)`` for the rank-*i* item (1-based).
+
+    This is the quantity plotted in Figure 1 (n = 10 000, k = 5, skews
+    0.2-2): monotonically rising in *i*, with the high-skew curves starting
+    lower but crossing above the low-skew ones for rare items.
+    """
+    if not 1 <= i <= n:
+        raise ValueError(f"rank i must be in [1, n], got {i}")
+    if k >= n:
+        raise ValueError(f"need k < n, got k={k}, n={n}")
+    if z < 0:
+        raise ValueError(f"skew must be >= 0, got {z}")
+    return (i ** z) * k / ((n - k) ** k) * _s_z(n, k, z)
+
+
+def expected_relative_error_all_items(n: int, k: int, z: float) -> float:
+    """Equation (2): the bound on the rank-averaged expected relative error.
+
+    Valid for ``z < k`` (the derivation integrates ``j^(k-z-1)`` upward).
+    """
+    if z >= k:
+        raise ValueError(f"the closed form needs z < k, got z={z}, k={k}")
+    if k >= n:
+        raise ValueError(f"need k < n, got k={k}, n={n}")
+    return (k * (n + 1) ** (k + 1)
+            / (n * (k - z) * (z + 1) * (n - k) ** k))
+
+
+def optimal_skew(k: int) -> float:
+    """The skew actually minimising Equation (2): ``z_min = (k-1)/2``.
+
+    Erratum note: §2.3 states the minimum is at ``(k+1)/2``, but the bound
+    is ``∝ 1/((k-z)(z+1))`` and ``(k-z)(z+1)`` peaks at ``z = (k-1)/2``
+    (set the derivative ``k - 2z - 1`` to zero).  The paper's *minimal
+    value* expression ``4k(n+1)^(k+1) / (n (n-k)^k (k-1)(k+3))`` is the
+    bound evaluated at its claimed ``(k+1)/2`` — see
+    :func:`paper_optimal_skew` — and is therefore slightly above the true
+    minimum.  Both are exposed; the benchmark records the discrepancy.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (k - 1) / 2
+
+
+def paper_optimal_skew(k: int) -> float:
+    """The minimiser as *stated* in §2.3: ``z_min = (k+1)/2`` (see the
+    erratum note on :func:`optimal_skew`)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (k + 1) / 2
+
+
+def relative_error_tail_probability(i: int, n: int, k: int, z: float,
+                                    threshold: float) -> float:
+    """``P(RE_i > T) <= k * (i / ((n-k) T^(1/z)))^k`` (§2.3, final result).
+
+    The paper's worked example: n = 1000, k = 5, z = 1, T = 0.5 gives
+    ``5 * (i / 497.5)^5`` — exceeding 1 (i.e. vacuous) for i > 360.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if z <= 0:
+        raise ValueError(f"the tail bound needs z > 0, got {z}")
+    if not 1 <= i <= n:
+        raise ValueError(f"rank i must be in [1, n], got {i}")
+    return k * (i / ((n - k) * threshold ** (1.0 / z))) ** k
+
+
+def double_stepover_probability(g: float, m: int, k: int) -> float:
+    """Probability an erroneous item has a doubly-stepped-on counter (§2.3).
+
+    ``E' ~= 1 - e^(-gamma) (1 + gamma*m/(m-1))`` is the probability a single
+    counter receives two or more foreign items; the event of interest —
+    a Bloom error whose minimal counter is doubly contaminated — has
+    probability ``E' * (1 - e^(-gamma))^(k-1)``, "less than 1%" for
+    gamma = 0.7, k = 5, justifying the single-contaminator assumption.
+    """
+    if m <= 1:
+        raise ValueError(f"m must be > 1, got {m}")
+    if g < 0:
+        raise ValueError(f"gamma must be >= 0, got {g}")
+    single = max(0.0, 1.0 - math.exp(-g) * (1.0 + g * m / (m - 1)))
+    return single * (1.0 - math.exp(-g)) ** (k - 1)
+
+
+def figure1_curves(n: int = 10_000, k: int = 5,
+                   skews: tuple[float, ...] = (0.2, 0.6, 1.0, 1.4, 1.8, 2.0),
+                   points: int = 40) -> dict[float, list[tuple[int, float]]]:
+    """The Figure 1 data: ``{skew: [(rank, E'(RE)), ...]}``.
+
+    Ranks are sampled on an even grid of *points* positions across 1..n.
+    """
+    ranks = [max(1, round(j * n / points)) for j in range(1, points + 1)]
+    return {
+        z: [(i, expected_relative_error(i, n, k, z)) for i in ranks]
+        for z in skews
+    }

@@ -1,0 +1,60 @@
+"""Applications of the Spectral Bloom Filter (paper §5).
+
+- :mod:`repro.apps.aggregates` — the SBF as an approximate aggregate index
+  (§5.1: per-item COUNT, and SUM/AVG/MAX over specified item sets);
+- :mod:`repro.apps.iceberg` — ad-hoc iceberg queries with query-time
+  thresholds, plus the MULTISCAN-SHARED-style progressive filter (§5.2);
+- :mod:`repro.apps.bloomjoin` — classic Bloomjoins and Spectral Bloomjoins
+  over simulated distributed sites (§5.3);
+- :mod:`repro.apps.bifocal` — bifocal-sampling join-size estimation with an
+  SBF standing in for the t-index (§5.4);
+- :mod:`repro.apps.range_query` — Range-Tree Hashing for range counts
+  (§5.5, Theorem 11);
+- :mod:`repro.apps.sliding_window` — windowed multiset tracking (§2.2).
+
+Plus the classic Bloom-filter systems §1.1 surveys, rebuilt on this
+substrate so their spectral upgrades can be demonstrated:
+
+- :mod:`repro.apps.summary_cache` — Summary Cache proxy meshes [FCAB98];
+- :mod:`repro.apps.attenuated` — Attenuated Bloom Filter routing [RK02];
+- :mod:`repro.apps.differential` — differential-file filtering [Gre82];
+- :mod:`repro.apps.hotlist` — hot lists of popular queries [Bro02, GM98].
+"""
+
+from repro.apps.aggregates import AggregateIndex
+from repro.apps.iceberg import IcebergIndex, MultiscanIceberg
+from repro.apps.bloomjoin import (
+    bloomjoin,
+    spectral_bloomjoin_count,
+    spectral_bloomjoin_threshold,
+)
+from repro.apps.bifocal import BifocalEstimator
+from repro.apps.range_query import RangeTreeSBF
+from repro.apps.sliding_window import SlidingWindowSBF
+from repro.apps.summary_cache import Proxy, build_mesh
+from repro.apps.attenuated import (
+    AttenuatedFilter,
+    build_attenuated_tables,
+    route,
+)
+from repro.apps.differential import DifferentialStore
+from repro.apps.hotlist import HotList
+
+__all__ = [
+    "AggregateIndex",
+    "IcebergIndex",
+    "MultiscanIceberg",
+    "bloomjoin",
+    "spectral_bloomjoin_count",
+    "spectral_bloomjoin_threshold",
+    "BifocalEstimator",
+    "RangeTreeSBF",
+    "SlidingWindowSBF",
+    "Proxy",
+    "build_mesh",
+    "AttenuatedFilter",
+    "build_attenuated_tables",
+    "route",
+    "DifferentialStore",
+    "HotList",
+]

@@ -1,0 +1,128 @@
+"""Attenuated Bloom Filters for probabilistic routing [RK02] (§1.1.1).
+
+"This structure is basically an array of simple Bloom Filters in which
+component filters are labeled with their level in the array.  Each filter
+summarizes the items that can be reached by performing a number of hops
+from the originating node that is equal to the level of that filter."
+
+We implement the structure over a ``networkx`` graph of peer nodes, each
+holding a set of documents:
+
+- :class:`AttenuatedFilter` — the per-edge array of ``depth`` Bloom
+  filters (level d = documents reachable in exactly/at most d more hops
+  through that neighbour);
+- :func:`build_attenuated_tables` — flood the replica information through
+  the graph (BFS per node, faithful to the aggregation semantics);
+- :func:`route` — the [RK02] lookup: at each node, follow the edge whose
+  filter array claims the document at the *shallowest* level; false
+  positives cause bounded detours, attenuation prefers nearby replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.filters.bloom import BloomFilter
+
+
+class AttenuatedFilter:
+    """An array of ``depth`` Bloom filters, one per hop distance.
+
+    ``levels[d]`` summarises the documents whose nearest replica through
+    this edge is exactly ``d + 1`` hops away.
+    """
+
+    def __init__(self, depth: int, m: int, k: int, seed: int = 0):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.levels = [BloomFilter(m, k, seed=seed + level)
+                       for level in range(depth)]
+
+    def add(self, doc: Hashable, distance: int) -> None:
+        """Record a replica of *doc* at *distance* hops (1-based)."""
+        if 1 <= distance <= self.depth:
+            self.levels[distance - 1].add(doc)
+
+    def claimed_distance(self, doc: Hashable) -> int | None:
+        """Shallowest level claiming *doc* (1-based), or None."""
+        for level, bf in enumerate(self.levels):
+            if doc in bf:
+                return level + 1
+        return None
+
+    def storage_bits(self) -> int:
+        """Total bits across the level filters."""
+        return sum(bf.storage_bits() for bf in self.levels)
+
+
+def build_attenuated_tables(graph: nx.Graph, documents: dict,
+                            *, depth: int = 3, m: int = 2048, k: int = 4,
+                            seed: int = 0) -> dict:
+    """Per-node routing tables: ``tables[node][neighbour]`` is the
+    :class:`AttenuatedFilter` describing what lies through that edge.
+
+    Args:
+        graph: the overlay network.
+        documents: ``{node: iterable of documents stored there}``.
+        depth: attenuation depth (hops summarised).
+    """
+    tables: dict = {
+        node: {
+            neighbour: AttenuatedFilter(depth, m, k, seed=seed)
+            for neighbour in graph.neighbors(node)
+        }
+        for node in graph.nodes
+    }
+    # For every replica, walk the BFS tree outwards and register it in the
+    # filters of every (node, first-hop) pair within `depth` hops.
+    for holder, docs in documents.items():
+        docs = list(docs)
+        if not docs:
+            continue
+        distances = nx.single_source_shortest_path_length(graph, holder,
+                                                          cutoff=depth)
+        for node, dist in distances.items():
+            if node == holder:
+                continue
+            # The first hop from `node` towards `holder` is any neighbour
+            # one step closer to the holder.
+            for neighbour in graph.neighbors(node):
+                neighbour_dist = distances.get(neighbour)
+                if neighbour_dist is not None and neighbour_dist == dist - 1:
+                    for doc in docs:
+                        tables[node][neighbour].add(doc, dist)
+    return tables
+
+
+def route(graph: nx.Graph, tables: dict, documents: dict, start,
+          doc: Hashable, *, max_hops: int = 12) -> tuple[bool, list]:
+    """Route a request for *doc* from *start* using the attenuated tables.
+
+    Greedy per-hop choice: follow the neighbour whose filter array claims
+    the document at the shallowest attenuation level (ties broken by node
+    order); gives up after *max_hops* or when no edge claims the document.
+
+    Returns ``(found, path)`` where path includes the start node.
+    """
+    path = [start]
+    node = start
+    visited = {start}
+    for _hop in range(max_hops):
+        if doc in set(documents.get(node, ())):
+            return True, path
+        best = None
+        for neighbour, filt in tables[node].items():
+            if neighbour in visited:
+                continue
+            claim = filt.claimed_distance(doc)
+            if claim is not None and (best is None or claim < best[0]):
+                best = (claim, neighbour)
+        if best is None:
+            return False, path
+        node = best[1]
+        visited.add(node)
+        path.append(node)
+    return doc in set(documents.get(node, ())), path

@@ -1,0 +1,113 @@
+"""Bloomjoins and Spectral Bloomjoins over distributed sites (paper §5.3).
+
+Classic Bloomjoin [ML86] between R1 (site 1) and R2 (site 2) on attribute a:
+
+1. site 1 sends a Bloom filter over ``R1.a`` to site 2;
+2. site 2 filters its tuples through the BF and ships the survivors back;
+3. site 1 completes the join locally.
+
+The Spectral Bloomjoin replaces the Bloom filter with an SBF; because the
+SBF carries *multiplicities*, SBF multiplication answers grouped/aggregated
+joins after a single synopsis transmission, eliminating the tuple
+round-trip entirely:
+
+    SELECT R.a, count(*) FROM R, S WHERE R.a = S.a GROUP BY R.a
+    [HAVING count(*) >= T]
+
+Every function returns both the answer and the traffic ledger so the
+benchmarks can compare bytes and rounds.
+"""
+
+from __future__ import annotations
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.relation import Relation
+from repro.db.site import Site
+from repro.filters.bloom import BloomFilter
+
+
+def bloomjoin(site1: Site, r1_name: str, site2: Site, r2_name: str,
+              attribute: str, *, m: int = 4096, k: int = 5,
+              seed: int = 0) -> Relation:
+    """Classic two-round Bloomjoin [ML86]; returns the joined relation.
+
+    Traffic: one ``m``-bit filter site1 -> site2, then the filtered tuples
+    site2 -> site1 (charged per attribute value).
+    """
+    r1 = site1.relation(r1_name)
+    r2 = site2.relation(r2_name)
+    bf = BloomFilter(m, k, seed=seed)
+    for value in r1.scan(attribute):
+        bf.add(value)
+    # Round 1: the synopsis travels to site 2.
+    site1.send(site2, "bloom-filter", bf, bf.storage_bits())
+    # Site 2 filters its tuples; survivors travel back.
+    pos = r2.column_position(attribute)
+    survivors = [row for row in r2 if row[pos] in bf]
+    site2.send_tuples(site1, "filtered-tuples", survivors)
+    # Site 1 completes the join against the shipped survivors.
+    shipped = Relation(r2.name, r2.columns, survivors)
+    return r1.join(shipped, attribute)
+
+
+def _build_sbf(relation: Relation, attribute: str, m: int, k: int,
+               seed: int, method: str) -> SpectralBloomFilter:
+    sbf = SpectralBloomFilter(m, k, method=method, seed=seed)
+    for value in relation.scan(attribute):
+        sbf.insert(value)
+    return sbf
+
+
+def spectral_bloomjoin_count(site1: Site, r1_name: str, site2: Site,
+                             r2_name: str, attribute: str, *,
+                             m: int = 4096, k: int = 5, seed: int = 0,
+                             method: str = "ms") -> dict:
+    """One-round grouped join count via SBF multiplication (§5.3).
+
+    Answers ``SELECT R.a, count(*) ... GROUP BY R.a`` with R at *site1*
+    as the primary site: S's SBF travels to R's site, is multiplied with
+    R's local SBF, and R is scanned against the product.  Only one synopsis
+    crosses the network; no tuples move.
+
+    Returns ``{value: estimated join count}`` — estimates are one-sided
+    (>= true) for the MS method.
+    """
+    r1 = site1.relation(r1_name)
+    r2 = site2.relation(r2_name)
+    sbf1 = _build_sbf(r1, attribute, m, k, seed, method)
+    sbf2 = _build_sbf(r2, attribute, m, k, seed, method)
+    # One round: S's synopsis to the primary site.
+    site2.send(site1, "sbf", sbf2, sbf2.storage_bits())
+    product = sbf1 * sbf2
+    result: dict = {}
+    for value in r1.distinct(attribute):
+        estimate = product.query(value)
+        if estimate > 0:
+            result[value] = estimate
+    return result
+
+
+def spectral_bloomjoin_threshold(site1: Site, r1_name: str, site2: Site,
+                                 r2_name: str, attribute: str,
+                                 threshold: int, *, m: int = 4096,
+                                 k: int = 5, seed: int = 0) -> dict:
+    """Grouped join with HAVING count(*) >= T in one round (§5.3).
+
+    "Since the errors are one-sided, they can be eliminated by retrieving
+    the accurate frequencies for the items in the result set" — callers
+    holding the base data can verify the (few) reported items.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    counts = spectral_bloomjoin_count(site1, r1_name, site2, r2_name,
+                                      attribute, m=m, k=k, seed=seed)
+    return {value: est for value, est in counts.items() if est >= threshold}
+
+
+def exact_grouped_join_count(r1: Relation, r2: Relation,
+                             attribute: str) -> dict:
+    """Ground truth for the grouped join count (for error measurement)."""
+    left = r1.group_by_count(attribute)
+    right = r2.group_by_count(attribute)
+    return {value: left[value] * right[value]
+            for value in left.keys() & right.keys()}

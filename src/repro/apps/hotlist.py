@@ -1,0 +1,86 @@
+"""Hot-list tracking of popular queries [Bro02, GM98] (paper §1.1.2).
+
+"Broder et al used Bloom Filters in conjunction with hot list techniques
+... to efficiently identify popular search queries in the Alta-Vista
+search engine."  The pattern: a compact frequency sketch over the whole
+stream feeds a small exact top-``capacity`` list, so memory stays O(hot
+items) while the sketch absorbs the long tail.
+
+:class:`HotList` implements that combination over the SBF: every arrival
+is counted in the sketch; when an item's estimated count reaches the
+current admission bar it enters (or re-ranks within) the exact list.
+Because SBF errors are one-sided, the hot list may briefly admit an
+over-estimated item, but it can never *miss* one — the same no-false-
+negative contract as the iceberg queries of §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.sbf import SpectralBloomFilter
+
+
+class HotList:
+    """Streaming top-k tracker: SBF sketch + exact hot list.
+
+    Args:
+        capacity: number of hot items kept exactly.
+        m, k: sketch parameters.
+        method: SBF method ("mi" default — the stream is insert-only).
+    """
+
+    def __init__(self, capacity: int, m: int, k: int = 5, *,
+                 method: str = "mi", seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.sketch = SpectralBloomFilter(m, k, method=method, seed=seed)
+        # The exact list: item -> sketch estimate at last touch.
+        self._hot: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    def _admission_bar(self) -> int:
+        """Estimated count an item must reach to enter a full list."""
+        if len(self._hot) < self.capacity:
+            return 1
+        return min(self._hot.values())
+
+    def offer(self, item: Hashable, count: int = 1) -> None:
+        """Feed one stream arrival."""
+        self.sketch.insert(item, count)
+        estimate = self.sketch.query(item)
+        if item in self._hot:
+            self._hot[item] = estimate
+            return
+        bar = self._admission_bar()
+        if estimate >= bar:
+            self._hot[item] = estimate
+            if len(self._hot) > self.capacity:
+                coldest = min(self._hot, key=self._hot.get)
+                del self._hot[coldest]
+
+    def consume(self, stream: Iterable) -> None:
+        """Feed a whole stream."""
+        for item in stream:
+            self.offer(item)
+
+    # ------------------------------------------------------------------
+    def top(self, n: int | None = None) -> list[tuple[Hashable, int]]:
+        """The hottest items as ``(item, estimated count)``, descending."""
+        ranked = sorted(self._hot.items(), key=lambda kv: -kv[1])
+        return ranked if n is None else ranked[:n]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._hot
+
+    def __len__(self) -> int:
+        return len(self._hot)
+
+    def estimate(self, item: Hashable) -> int:
+        """Sketch estimate for any item (hot or not)."""
+        return self.sketch.query(item)
+
+    def storage_bits(self) -> int:
+        """Model size: sketch bits plus 2 words per hot entry."""
+        return self.sketch.storage_bits() + 128 * len(self._hot)

@@ -1,0 +1,158 @@
+"""Ad-hoc iceberg queries over the SBF (paper §5.2).
+
+An iceberg query reports the items whose frequency passes a threshold::
+
+    SELECT t, count(rest) FROM R GROUP BY t HAVING count(rest) >= T
+
+Prior techniques [FSGM+98, MM02, EV02] need ``T`` *before* scanning the
+data; the SBF keeps per-item information for the whole multiset, so ``T``
+can be chosen — and changed — at query time.  False positives only (items
+below T that sneak in because their counters were stepped over by heavy
+items); no false negatives, and the optional verification pass removes the
+false positives with one extra scan.
+
+:class:`MultiscanIceberg` reproduces the MULTISCAN-SHARED-style cascade:
+several small SBFs applied in passes, each pass only rescanning the
+survivors of the previous one — the memory-starved regime where the
+threshold must be known up front.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.sbf import SpectralBloomFilter
+
+
+class IcebergIndex:
+    """A streaming iceberg index with query-time thresholds.
+
+    Args:
+        m, k: SBF parameters.
+        method: SBF method ("mi" default — iceberg streams are insert-only).
+        track_keys: also remember the distinct keys seen (needed to
+            enumerate results without re-scanning; costs O(n) keys).  With
+            ``track_keys=False`` the index answers membership-style
+            ``passes(item, T)`` probes and scan-based queries only.
+    """
+
+    def __init__(self, m: int, k: int = 5, *, method: str = "mi",
+                 seed: int = 0, track_keys: bool = True):
+        self.sbf = SpectralBloomFilter(m, k, method=method, seed=seed)
+        self._keys: set | None = set() if track_keys else None
+
+    # ------------------------------------------------------------------
+    def insert(self, item: Hashable, count: int = 1) -> None:
+        """Feed one stream item."""
+        self.sbf.insert(item, count)
+        if self._keys is not None:
+            self._keys.add(item)
+
+    def consume(self, stream: Iterable) -> None:
+        """Feed a whole stream."""
+        for item in stream:
+            self.insert(item)
+
+    # ------------------------------------------------------------------
+    def passes(self, item: Hashable, threshold: int) -> bool:
+        """Does *item* (appear to) reach *threshold*?  One-sided."""
+        return self.sbf.contains(item, threshold)
+
+    def query(self, threshold: int) -> dict:
+        """All items whose estimate reaches *threshold* (ad hoc!).
+
+        Requires ``track_keys=True``.  Returns ``{item: estimate}``; the
+        result is a superset of the true iceberg (false positives possible,
+        no false negatives).
+        """
+        if self._keys is None:
+            raise RuntimeError(
+                "query() needs track_keys=True; use scan_query() to drive "
+                "the index from a data rescan instead")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        return {item: est for item in self._keys
+                if (est := self.sbf.query(item)) >= threshold}
+
+    def scan_query(self, data: Iterable, threshold: int) -> Iterator:
+        """§5.2's non-streaming form: scan *data*, emit passing items once.
+
+        "For non-streaming data hashed into an SBF, a single scan of the
+        data is performed.  Each item ... is checked within the SBF for its
+        frequency, if it exceeds the threshold, the item is reported."
+        """
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        reported = set()
+        for item in data:
+            if item not in reported and self.sbf.contains(item, threshold):
+                reported.add(item)
+                yield item
+
+    def verified_query(self, threshold: int,
+                       true_counts: dict) -> dict:
+        """Iceberg with the §5.2 verification rescan: exact result.
+
+        *true_counts* plays the role of the available base data; the rescan
+        removes every false positive, so the output is the exact iceberg.
+        """
+        candidates = self.query(threshold)
+        return {item: true_counts[item] for item in candidates
+                if true_counts.get(item, 0) >= threshold}
+
+    def storage_bits(self) -> int:
+        """Model size of the sketch (excludes the optional key set)."""
+        return self.sbf.storage_bits()
+
+
+class MultiscanIceberg:
+    """Progressive multi-pass filtering (the MULTISCAN-SHARED analogue).
+
+    Pass ``j`` builds a small "lossy" SBF over only the items that survived
+    pass ``j-1``; an item is reported iff it hashes to heavy cells in every
+    pass.  The threshold must be fixed up front — exactly the restriction
+    the ad-hoc :class:`IcebergIndex` removes — but memory can be a tiny
+    fraction of the distinct count (§5.2 suggests ~1% of n per stage).
+
+    Args:
+        stage_sizes: counter-array size of each pass's SBF.
+        threshold: the fixed iceberg threshold T.
+    """
+
+    def __init__(self, stage_sizes: list[int], threshold: int, *,
+                 k: int = 3, seed: int = 0):
+        if not stage_sizes:
+            raise ValueError("at least one stage is required")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.stage_sizes = list(stage_sizes)
+        self.threshold = int(threshold)
+        self.k = int(k)
+        self.seed = int(seed)
+
+    def run(self, data: list) -> set:
+        """Execute all passes over *data*; return the candidate set.
+
+        The result is a superset of the true iceberg (no false negatives);
+        each stage shrinks the candidate pool the next stage must track.
+        """
+        candidates: set | None = None
+        for stage, m in enumerate(self.stage_sizes):
+            sbf = SpectralBloomFilter(m, self.k, method="mi",
+                                      seed=self.seed + stage)
+            for item in data:
+                if candidates is None or item in candidates:
+                    sbf.insert(item)
+            survivors = set()
+            for item in data:
+                if candidates is not None and item not in candidates:
+                    continue
+                if item not in survivors and sbf.contains(item,
+                                                          self.threshold):
+                    survivors.add(item)
+            candidates = survivors
+        return candidates if candidates is not None else set()
+
+    def scans_performed(self) -> int:
+        """Number of data scans the cascade needs (one per stage)."""
+        return len(self.stage_sizes)

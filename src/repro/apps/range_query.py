@@ -1,0 +1,142 @@
+"""Range-Tree Hashing: range count queries over an SBF (paper §5.5).
+
+The SBF answers point queries only; Theorem 11 extends it to range counts
+by hashing, alongside every item, one synthetic key per ancestor node of a
+p-ary tree over the attribute domain.  A range query is decomposed into
+O(log |Q|) canonical tree nodes, each answered with a single SBF probe::
+
+    SELECT count(a) FROM R WHERE a > L AND a < U
+
+Costs (Theorem 11): insert/delete do ``log_p(r)`` SBF updates for a domain
+of size r; a range of size |Q| needs at most ``p * log_p|Q|`` probes (2
+per level for the binary tree).  Space grows to cover the <= ``n log r``
+synthetic tree keys (Claim 12).  Errors stay one-sided: every probe
+over-estimates, so the range count never under-counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.sbf import SpectralBloomFilter
+
+
+class RangeTreeSBF:
+    """SBF with dyadic range support over an integer domain.
+
+    Args:
+        low, high: inclusive integer domain bounds ``[low, high]``.
+        m, k: parameters of the underlying SBF.
+        branching: tree arity p (2 = the binary tree of the proof).
+        method: SBF method; must support deletion for deletes ("ms"/"rm").
+
+    Tree keys are tuples ``("range", level, index)`` which cannot collide
+    with integer item keys thanks to typed canonicalisation.
+    """
+
+    def __init__(self, low: int, high: int, m: int, k: int = 5, *,
+                 branching: int = 2, method: str = "ms", seed: int = 0):
+        if high < low:
+            raise ValueError(f"empty domain [{low}, {high}]")
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        self.low = int(low)
+        self.high = int(high)
+        self.branching = int(branching)
+        self.sbf = SpectralBloomFilter(m, k, method=method, seed=seed)
+        # Number of levels: leaves are single values; level L spans p^L.
+        span = self.high - self.low + 1
+        self.levels = 1
+        width = 1
+        while width < span:
+            width *= self.branching
+            self.levels += 1
+        #: probes issued by the last range_count call (cost diagnostics)
+        self.last_query_probes = 0
+
+    # ------------------------------------------------------------------
+    def _check_value(self, value: int) -> None:
+        if not self.low <= value <= self.high:
+            raise ValueError(
+                f"value {value} outside domain [{self.low}, {self.high}]")
+
+    def _node_key(self, level: int, index: int) -> tuple:
+        return ("range", level, index)
+
+    def _ancestors(self, value: int) -> list[tuple]:
+        """Tree keys of every ancestor node of the leaf for *value*."""
+        offset = value - self.low
+        keys = []
+        for level in range(1, self.levels):
+            offset //= self.branching
+            keys.append(self._node_key(level, offset))
+        return keys
+
+    # ------------------------------------------------------------------
+    def insert(self, value: int, count: int = 1) -> None:
+        """Insert *count* occurrences of *value* (log_p(r) SBF updates)."""
+        self._check_value(value)
+        self.sbf.insert(value, count)
+        for key in self._ancestors(value):
+            self.sbf.insert(key, count)
+
+    def delete(self, value: int, count: int = 1) -> None:
+        """Delete *count* occurrences of *value*."""
+        self._check_value(value)
+        self.sbf.delete(value, count)
+        for key in self._ancestors(value):
+            self.sbf.delete(key, count)
+
+    def count(self, value: int) -> int:
+        """Point query — one SBF probe, same accuracy as a plain SBF."""
+        self._check_value(value)
+        return self.sbf.query(value)
+
+    # ------------------------------------------------------------------
+    def range_count(self, low: int, high: int) -> int:
+        """``count(a) WHERE low <= a <= high`` via canonical decomposition.
+
+        One-sided: the estimate is >= the true range count w.h.p.
+        """
+        low = max(low, self.low)
+        high = min(high, self.high)
+        if high < low:
+            return 0
+        self.last_query_probes = 0
+        return self._count_node(0, self.levels - 1,
+                                low - self.low, high - self.low)
+
+    def _node_span(self, level: int) -> int:
+        return self.branching ** level
+
+    def _count_node(self, index: int, level: int, lo: int, hi: int) -> int:
+        """Sum over the subtree rooted at (level, index), clipped to
+        offsets [lo, hi] (domain offsets, inclusive)."""
+        span = self._node_span(level)
+        node_lo = index * span
+        node_hi = node_lo + span - 1
+        if node_hi < lo or node_lo > hi:
+            return 0
+        if lo <= node_lo and node_hi <= hi:
+            # Fully covered: one probe answers the whole subtree.
+            self.last_query_probes += 1
+            if level == 0:
+                value = self.low + node_lo
+                if value > self.high:
+                    return 0
+                return self.sbf.query(value)
+            return self.sbf.query(self._node_key(level, index))
+        # Partial overlap: recurse into the children.
+        total = 0
+        for child in range(self.branching):
+            total += self._count_node(index * self.branching + child,
+                                      level - 1, lo, hi)
+        return total
+
+    # ------------------------------------------------------------------
+    def tree_keys_per_item(self) -> int:
+        """Updates per insert (= tree depth - 1 + the leaf itself)."""
+        return self.levels
+
+    def storage_bits(self) -> int:
+        """Model size of the underlying SBF (Claim 12: domain grows to
+        <= n log r extra keys, so size expands accordingly)."""
+        return self.sbf.storage_bits()

@@ -1,0 +1,150 @@
+"""Summary Cache [FCAB98] over Bloom/Spectral filters (paper §1.1.1).
+
+"Bloom Filters are proposed to be used within a hierarchy of proxy servers
+to maintain a summary of the data stored in the [cache] of each proxy.
+... the Bloom Filters are exchanged between nodes, creating an efficient
+method of representing the full picture of the items stored in every proxy
+among all proxies."
+
+This module builds that protocol on our substrate:
+
+- each :class:`Proxy` holds a local cache and periodically publishes a
+  filter summary of its contents to its peers (traffic accounted through
+  :class:`repro.db.site.Network`);
+- a miss at one proxy consults the peers' summaries and forwards the
+  request only to proxies whose summary claims the object — false
+  positives cost a wasted forward, false negatives (from stale summaries)
+  cost a missed inter-cache hit, exactly the trade-offs of the paper;
+- with ``spectral=True`` the summaries are SBFs, upgrading the protocol:
+  peers can pick the replica with the *highest reference count* (a
+  popularity-aware routing decision a plain Bloom filter cannot support).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import dump_bloom, dump_sbf
+from repro.db.site import Network
+from repro.filters.bloom import BloomFilter
+
+
+class Proxy:
+    """One cache node participating in the summary-exchange protocol.
+
+    Args:
+        name: node identifier.
+        network: shared traffic-accounting channel.
+        m, k: summary filter parameters.
+        spectral: publish SBF summaries (with reference counts) instead of
+            plain Bloom filters.
+    """
+
+    def __init__(self, name: str, network: Network, *, m: int = 4096,
+                 k: int = 4, seed: int = 0, spectral: bool = False):
+        self.name = name
+        self.network = network
+        self.m = int(m)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.spectral = bool(spectral)
+        self.cache: dict[Hashable, int] = {}   # object -> reference count
+        self.peers: list["Proxy"] = []
+        # Last summary *received* from each peer (name -> filter).
+        self.peer_summaries: dict[str, object] = {}
+        # Diagnostics.
+        self.forwards = 0
+        self.wasted_forwards = 0
+        self.remote_hits = 0
+
+    # ------------------------------------------------------------------
+    # local cache behaviour
+    # ------------------------------------------------------------------
+    def store(self, obj: Hashable) -> None:
+        """Cache *obj* locally (or bump its reference count)."""
+        self.cache[obj] = self.cache.get(obj, 0) + 1
+
+    def evict(self, obj: Hashable) -> None:
+        """Drop *obj* from the local cache (summaries go stale until the
+        next publish — the staleness [FCAB98] tolerates by design)."""
+        self.cache.pop(obj, None)
+
+    def has_local(self, obj: Hashable) -> bool:
+        return obj in self.cache
+
+    # ------------------------------------------------------------------
+    # the summary protocol
+    # ------------------------------------------------------------------
+    def build_summary(self):
+        """Fresh filter over the current cache contents."""
+        if self.spectral:
+            summary = SpectralBloomFilter(self.m, self.k, method="ms",
+                                          seed=self.seed)
+            for obj, refs in self.cache.items():
+                summary.insert(obj, refs)
+        else:
+            summary = BloomFilter(self.m, self.k, seed=self.seed)
+            for obj in self.cache:
+                summary.add(obj)
+        return summary
+
+    def publish(self) -> None:
+        """Broadcast the current summary to every peer (accounted)."""
+        summary = self.build_summary()
+        if self.spectral:
+            wire = dump_sbf(summary)
+        else:
+            wire = dump_bloom(summary)
+        for peer in self.peers:
+            self.network.send(self.name, peer.name, "summary", summary,
+                              len(wire) * 8)
+            peer.peer_summaries[self.name] = summary
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def lookup(self, obj: Hashable) -> tuple[str, object] | None:
+        """Resolve *obj*: local hit, else consult peer summaries.
+
+        Returns ``(source_name, obj)`` if found anywhere, None on a global
+        miss (the origin server would be contacted).  Forwards a probe to
+        each peer whose summary claims the object, most-promising first
+        (by claimed reference count, in spectral mode).
+        """
+        if obj in self.cache:
+            return (self.name, obj)
+        candidates = []
+        for peer in self.peers:
+            summary = self.peer_summaries.get(peer.name)
+            if summary is None:
+                continue
+            if self.spectral:
+                claim = summary.query(obj)
+                if claim > 0:
+                    candidates.append((claim, peer))
+            elif obj in summary:
+                candidates.append((1, peer))
+        candidates.sort(key=lambda pair: -pair[0])
+        for _claim, peer in candidates:
+            self.forwards += 1
+            self.network.send(self.name, peer.name, "probe", obj, 64)
+            if peer.has_local(obj):
+                self.remote_hits += 1
+                self.network.send(peer.name, self.name, "object", obj,
+                                  8 * 1024)  # model object payload
+                return (peer.name, obj)
+            self.wasted_forwards += 1
+        return None
+
+
+def build_mesh(names: list[str], *, m: int = 4096, k: int = 4,
+               seed: int = 0, spectral: bool = False,
+               network: Network | None = None) -> list[Proxy]:
+    """A fully-connected proxy mesh (every node peers with every other)."""
+    network = network if network is not None else Network()
+    proxies = [Proxy(name, network, m=m, k=k, seed=seed, spectral=spectral)
+               for name in names]
+    for proxy in proxies:
+        proxy.peers = [p for p in proxies if p is not proxy]
+    return proxies

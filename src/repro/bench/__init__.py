@@ -1,0 +1,30 @@
+"""Experiment-harness utilities: the §6 metrics, table rendering, trials.
+
+Every benchmark in ``benchmarks/`` builds on these so that the measured
+quantities are *exactly* the paper's:
+
+- mean squared additive error ``E_add = sqrt(mean((f̂ - f)^2))`` (§6.1);
+- error ratio ``E_ratio`` — the fraction of queries returning a wrong
+  value (its expectation is ``E_SBF``, and ``E_b`` for MS);
+- false-negative ratio (Figure 8's third panel).
+"""
+
+from repro.bench.metrics import (
+    additive_error,
+    error_ratio,
+    evaluate_filter,
+    false_negative_ratio,
+)
+from repro.bench.runner import average_trials, build_and_measure
+from repro.bench.tables import format_table, write_results
+
+__all__ = [
+    "additive_error",
+    "error_ratio",
+    "false_negative_ratio",
+    "evaluate_filter",
+    "average_trials",
+    "build_and_measure",
+    "format_table",
+    "write_results",
+]

@@ -1,0 +1,63 @@
+"""The §6.1 error metrics.
+
+"We measured two parameters; the first is the mean squared additive error
+... The second is the error ratio, computed as the fraction of the queries
+that return erroneous results."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def additive_error(estimates: Mapping[object, int],
+                   truth: Mapping[object, int]) -> float:
+    """``E_add = sqrt( sum_i (f̂_i - f_i)^2 / n )`` over the truth's keys."""
+    if not truth:
+        raise ValueError("truth must be non-empty")
+    total = 0.0
+    for key, f in truth.items():
+        diff = estimates[key] - f
+        total += diff * diff
+    return math.sqrt(total / len(truth))
+
+
+def error_ratio(estimates: Mapping[object, int],
+                truth: Mapping[object, int]) -> float:
+    """Fraction of keys whose estimate differs from the truth."""
+    if not truth:
+        raise ValueError("truth must be non-empty")
+    wrong = sum(1 for key, f in truth.items() if estimates[key] != f)
+    return wrong / len(truth)
+
+
+def false_negative_ratio(estimates: Mapping[object, int],
+                         truth: Mapping[object, int]) -> float:
+    """Of the erroneous estimates, the fraction that *under*-estimate.
+
+    Figure 8's bottom panel plots exactly this for MI under deletions
+    ("there are no false negatives in MS and RM").  Returns 0.0 when there
+    are no errors at all.
+    """
+    if not truth:
+        raise ValueError("truth must be non-empty")
+    wrong = 0
+    negative = 0
+    for key, f in truth.items():
+        estimate = estimates[key]
+        if estimate != f:
+            wrong += 1
+            if estimate < f:
+                negative += 1
+    return negative / wrong if wrong else 0.0
+
+
+def evaluate_filter(sbf, truth: Mapping[object, int]) -> dict[str, float]:
+    """Query *sbf* for every key of *truth* and compute all §6.1 metrics."""
+    estimates = {key: sbf.query(key) for key in truth}
+    return {
+        "additive_error": additive_error(estimates, truth),
+        "error_ratio": error_ratio(estimates, truth),
+        "false_negative_ratio": false_negative_ratio(estimates, truth),
+    }

@@ -1,0 +1,64 @@
+"""Multi-trial experiment driving (the paper averages 5 independent runs).
+
+"Each reported result is the average over 5 independent experiments with
+the same parameters" (§6.1) — :func:`average_trials` reproduces that
+protocol with seeds ``base_seed + trial``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Mapping
+
+from repro.bench.metrics import evaluate_filter
+from repro.core.sbf import SpectralBloomFilter
+from repro.data.streams import insertion_stream
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Global size multiplier for the timing benchmarks.
+
+    Pure Python is orders of magnitude slower than the paper's C++, so the
+    timing benchmarks default to scaled-down sizes; set the environment
+    variable ``REPRO_BENCH_SCALE`` (e.g. ``10``) to approach paper scale.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if raw is None:
+        return default
+    scale = float(raw)
+    if scale <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {raw}")
+    return scale
+
+
+def average_trials(run: Callable[[int], Mapping[str, float]],
+                   trials: int = 5, base_seed: int = 0) -> dict[str, float]:
+    """Average the metric dict returned by ``run(seed)`` over *trials*."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    totals: dict[str, float] = {}
+    for trial in range(trials):
+        result = run(base_seed + trial)
+        for key, value in result.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {key: value / trials for key, value in totals.items()}
+
+
+def build_and_measure(method: str, *, n: int, total: int, z: float,
+                      m: int, k: int = 5, seed: int = 0,
+                      method_options: Mapping | None = None,
+                      ) -> dict[str, float]:
+    """One §6.1 trial: Zipfian stream into a fresh filter, then metrics.
+
+    Args:
+        method: SBF method name.
+        n: distinct items; total: stream length M; z: skew.
+        m, k: filter parameters.
+    """
+    sbf = SpectralBloomFilter(m, k, method=method, seed=seed,
+                              method_options=method_options)
+    truth: dict[int, int] = {}
+    for x in insertion_stream(n, total, z, seed=seed):
+        truth[x] = truth.get(x, 0) + 1
+        sbf.insert(x)
+    return evaluate_filter(sbf, truth)

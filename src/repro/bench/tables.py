@@ -1,0 +1,70 @@
+"""Fixed-width table rendering and result persistence for the benchmarks.
+
+Every ``benchmarks/bench_*.py`` renders its reproduction of a paper table
+or figure-series through :func:`format_table` and persists it with
+:func:`write_results` under ``benchmarks/results/`` so EXPERIMENTS.md can
+quote paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or 0 < abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row of arity {len(row)} does not match headers "
+                f"({len(headers)})")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def results_dir() -> str:
+    """The ``benchmarks/results`` directory (created on demand).
+
+    Overridable through the ``REPRO_RESULTS_DIR`` environment variable.
+    """
+    path = os.environ.get("REPRO_RESULTS_DIR")
+    if path is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+        path = os.path.join(repo, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_results(name: str, content: str) -> str:
+    """Persist a rendered table under ``benchmarks/results/<name>.txt``."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return path

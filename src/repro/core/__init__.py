@@ -1,0 +1,51 @@
+"""The Spectral Bloom Filter — the paper's primary contribution.
+
+Public entry points:
+
+- :class:`SpectralBloomFilter` — the filter itself, with pluggable
+  maintenance/lookup method (``"ms"``, ``"mi"``, ``"rm"``, ``"trm"``),
+  hash family and counter storage backend;
+- :mod:`repro.core.params` — Bloom-error math and parameter sizing;
+- :class:`UnbiasedEstimator` and friends — the §3.1 probabilistic
+  estimators.
+"""
+
+from repro.core.params import (
+    bloom_error,
+    gamma,
+    optimal_k,
+    optimal_m,
+    recommended_parameters,
+)
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.methods import (
+    Method,
+    MinimumSelection,
+    MinimalIncrease,
+    RecurringMinimum,
+    make_method,
+)
+from repro.core.trapping import TrappingRecurringMinimum
+from repro.core.unbiased import (
+    UnbiasedEstimator,
+    MedianOfMeansEstimator,
+    HybridEstimator,
+)
+
+__all__ = [
+    "SpectralBloomFilter",
+    "Method",
+    "MinimumSelection",
+    "MinimalIncrease",
+    "RecurringMinimum",
+    "TrappingRecurringMinimum",
+    "make_method",
+    "UnbiasedEstimator",
+    "MedianOfMeansEstimator",
+    "HybridEstimator",
+    "bloom_error",
+    "gamma",
+    "optimal_k",
+    "optimal_m",
+    "recommended_parameters",
+]

@@ -1,0 +1,84 @@
+"""Bloom-filter parameter math (paper §2.1).
+
+After inserting ``n`` distinct keys into an array of ``m`` bits with ``k``
+hash functions, the false-positive ("bloom error") probability is::
+
+    E_b = (1 - (1 - 1/m)^(k*n))^k  ~=  (1 - e^(-k*n/m))^k
+
+which is minimised at ``k = ln(2) * m/n``, giving ``E_b = 0.6185^(m/n)``.
+The paper's load parameter is ``gamma = n*k/m`` (optimal ~= ln 2 ~= 0.7).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def gamma(n: int, k: int, m: int) -> float:
+    """The paper's load factor ``gamma = n*k/m`` (§2.1)."""
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    return n * k / m
+
+
+def bloom_error(n: int, k: int, m: int, *, exact: bool = False) -> float:
+    """False-positive probability ``E_b`` for given parameters (§2.1).
+
+    Args:
+        exact: use the exact ``(1 - (1-1/m)^(kn))^k`` form instead of the
+            ``(1 - e^(-kn/m))^k`` approximation the paper quotes.
+    """
+    if m <= 0 or k <= 0:
+        raise ValueError("m and k must be positive")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if exact:
+        return (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k
+    return (1.0 - math.exp(-k * n / m)) ** k
+
+
+def bloom_error_from_gamma(g: float, k: int) -> float:
+    """``E_b`` expressed through the load factor: ``(1 - e^-gamma)^k``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return (1.0 - math.exp(-g)) ** k
+
+
+def optimal_k(m: int, n: int) -> int:
+    """The error-minimising number of hash functions ``k = ln2 * m/n``.
+
+    Returns the better of floor/ceil (at least 1).
+    """
+    if n <= 0 or m <= 0:
+        raise ValueError("m and n must be positive")
+    ideal = math.log(2.0) * m / n
+    lo = max(1, math.floor(ideal))
+    hi = max(1, math.ceil(ideal))
+    if bloom_error(n, lo, m) <= bloom_error(n, hi, m):
+        return lo
+    return hi
+
+
+def optimal_m(n: int, error_rate: float) -> int:
+    """Smallest ``m`` achieving *error_rate* with the optimal ``k``.
+
+    Uses the classical ``m = -n ln(eps) / (ln 2)^2`` sizing.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < error_rate < 1.0:
+        raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+    return math.ceil(-n * math.log(error_rate) / (math.log(2.0) ** 2))
+
+
+def recommended_parameters(n: int, error_rate: float) -> tuple[int, int]:
+    """``(m, k)`` for *n* expected distinct keys at *error_rate*."""
+    m = optimal_m(n, error_rate)
+    return m, optimal_k(m, n)
+
+
+def m_for_gamma(n: int, k: int, target_gamma: float) -> int:
+    """Counter-array size giving load ``gamma = n*k/m`` (experiment sizing)."""
+    if target_gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {target_gamma}")
+    return max(1, round(n * k / target_gamma))

@@ -1,0 +1,300 @@
+"""The Spectral Bloom Filter (paper §2).
+
+An SBF replaces the Bloom filter's bit vector with a vector ``C`` of ``m``
+counters addressed by ``k`` hash functions.  Inserting an item increases its
+``k`` counters; the frequency estimate for a query item is derived from
+those counters by the configured *method*:
+
+- ``"ms"`` — Minimum Selection (§2.2): plain increments, estimate = minimum
+  counter.  Errors are one-sided (``estimate >= true``) and occur with the
+  classic Bloom-error probability ``E_b``.
+- ``"mi"`` — Minimal Increase (§3.2): on insert only the minimal counters
+  advance; roughly ``k`` times fewer errors on insert-only streams, but
+  deletions produce false negatives (Figure 8).
+- ``"rm"`` — Recurring Minimum (§3.3): single-minimum items are shadowed in
+  a secondary SBF; supports deletions with accuracy well beyond MS.
+- ``"trm"`` — Trapping Recurring Minimum (§3.3.1): RM plus per-counter traps
+  that repair late-detected contamination.
+
+Example:
+    >>> from repro.core import SpectralBloomFilter
+    >>> sbf = SpectralBloomFilter(m=1000, k=5, seed=42)
+    >>> for item in ["a", "b", "a", "c", "a"]:
+    ...     sbf.insert(item)
+    >>> sbf.query("a")
+    3
+    >>> sbf.query("zzz")          # non-member -> 0 (w.h.p.)
+    0
+    >>> sbf.contains("a", threshold=2)
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.params import bloom_error, optimal_k, optimal_m
+from repro.hashing.families import HashFamily, make_family
+from repro.storage.backends import CounterBackend, make_backend
+
+
+class SpectralBloomFilter:
+    """A multiset synopsis supporting frequency queries with one-sided error.
+
+    Args:
+        m: number of counters.
+        k: number of hash functions.
+        method: maintenance/lookup scheme — ``"ms"``, ``"mi"``, ``"rm"``,
+            ``"trm"`` or a :class:`~repro.core.methods.Method` subclass.
+        seed: master seed; hash functions and any auxiliary structures are
+            derived from it deterministically.
+        hash_family: ``"modmul"`` (the paper's scheme, default),
+            ``"multiply-shift"``, ``"tabulation"``, ``"double"`` or a
+            :class:`~repro.hashing.families.HashFamily` instance.
+        backend: counter storage — ``"array"`` (default), ``"compact"``
+            (String-Array Index, §4) or ``"stream"`` (§4.5).
+        backend_options: extra keyword arguments for the backend.
+        method_options: extra keyword arguments for the method (e.g.
+            ``secondary_m`` / ``use_marker`` for Recurring Minimum).
+    """
+
+    def __init__(self, m: int, k: int, *, method: object = "ms",
+                 seed: int = 0, hash_family: object = "modmul",
+                 backend: object = "array",
+                 backend_options: Mapping | None = None,
+                 method_options: Mapping | None = None):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.m = int(m)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.family: HashFamily = make_family(hash_family, self.m, self.k,
+                                              seed=self.seed)
+        self.counters: CounterBackend = make_backend(
+            backend, self.m, **dict(backend_options or {}))
+        # Total multiplicity currently represented (the paper's N = sum f_x);
+        # needed by the §3.1 unbiased estimator and for sizing diagnostics.
+        self.total_count = 0
+        from repro.core.methods import make_method
+        self.method = make_method(method, self, **dict(method_options or {}))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_items(cls, n: int, error_rate: float = 0.01,
+                  **kwargs) -> "SpectralBloomFilter":
+        """Size a filter for *n* expected distinct items at *error_rate*."""
+        m = optimal_m(n, error_rate)
+        k = optimal_k(m, n)
+        return cls(m, k, **kwargs)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[object, int],
+                    error_rate: float = 0.01,
+                    **kwargs) -> "SpectralBloomFilter":
+        """Build a filter holding a whole multiset given as ``{key: f}``."""
+        sbf = cls.for_items(max(1, len(counts)), error_rate, **kwargs)
+        sbf.update(counts)
+        return sbf
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def indices(self, key: object) -> tuple[int, ...]:
+        """The ``k`` counter positions of *key*."""
+        return tuple(self.family.indices(key))
+
+    def counter_values(self, key: object) -> tuple[int, ...]:
+        """The sequence ``v_x`` of *key*'s counter values (§2.2)."""
+        get = self.counters.get
+        return tuple(get(i) for i in self.indices(key))
+
+    def min_counter(self, key: object) -> int:
+        """``m_x`` — the minimal counter value of *key* (§2.2)."""
+        return min(self.counter_values(key))
+
+    def insert(self, key: object, count: int = 1) -> None:
+        """Record *count* occurrences of *key*."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.method.insert(key, count)
+        self.total_count += count
+
+    def delete(self, key: object, count: int = 1) -> None:
+        """Remove *count* occurrences of *key* (assumed present, §2.2)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.method.delete(key, count)
+        self.total_count -= count
+
+    def update(self, items: Mapping[object, int] | Iterable) -> None:
+        """Bulk insert: a ``{key: count}`` mapping or an iterable of keys."""
+        if isinstance(items, Mapping):
+            for key, count in items.items():
+                self.insert(key, count)
+        else:
+            for key in items:
+                self.insert(key)
+
+    def query(self, key: object) -> int:
+        """Frequency estimate ``f̂_x`` for *key* (method-dependent).
+
+        For MS/RM the estimate is one-sided: ``f̂_x >= f_x`` always, with
+        ``P(f̂_x != f_x)`` at most the Bloom error (Claim 1 / §3.3).
+        """
+        return self.method.estimate(key)
+
+    def estimate(self, key: object) -> int:
+        """Alias for :meth:`query`."""
+        return self.query(key)
+
+    def contains(self, key: object, threshold: int = 1) -> bool:
+        """Spectral membership: is ``f_x >= threshold``? (§2.2).
+
+        For ``threshold=1`` this is exactly Bloom-filter membership; larger
+        thresholds give the ad-hoc filtering the paper is named after.
+        False positives only (for MS/RM).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        return self.query(key) >= threshold
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key, 1)
+
+    # ------------------------------------------------------------------
+    # multiset algebra (§2.2 "Distributed processing" / "Queries over joins")
+    # ------------------------------------------------------------------
+    def is_compatible(self, other: "SpectralBloomFilter") -> bool:
+        """True if union/multiplication with *other* is meaningful."""
+        return (isinstance(other, SpectralBloomFilter)
+                and self.family.is_compatible(other.family))
+
+    def _require_compatible(self, other: "SpectralBloomFilter",
+                            operation: str) -> None:
+        if not self.is_compatible(other):
+            raise ValueError(
+                f"{operation} requires identical parameters and hash "
+                f"functions (m, k, seed, family); got "
+                f"{self.family!r} vs {getattr(other, 'family', other)!r}"
+            )
+
+    def union(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
+        """Multiset union: counter vectors are added (§2.2).
+
+        Both filters must share parameters and hash functions.  The result
+        uses this filter's method; Recurring Minimum merges its secondary
+        structures as well.
+        """
+        self._require_compatible(other, "union")
+        result = self._spawn_like()
+        for i in range(self.m):
+            result.counters.set(i, self.counters.get(i)
+                                + other.counters.get(i))
+        result.total_count = self.total_count + other.total_count
+        result.method.merge_from(self.method, other.method)
+        return result
+
+    def multiply(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
+        """Join multiplication: counters multiplied pointwise (§2.2).
+
+        The result represents the multiset of the equi-join of the two
+        multisets: for a key x, ``min_i(a_i * b_i) >= f^a_x * f^b_x`` with
+        one-sided error, enabling Spectral Bloomjoins (§5.3).  The result
+        always uses Minimum Selection.
+        """
+        self._require_compatible(other, "multiplication")
+        result = SpectralBloomFilter(
+            self.m, self.k, method="ms", seed=self.seed,
+            hash_family=type(self.family), backend="array")
+        total = 0
+        for i in range(self.m):
+            value = self.counters.get(i) * other.counters.get(i)
+            result.counters.set(i, value)
+            total += value
+        result.total_count = total // max(1, self.k)
+        return result
+
+    def difference(self, other: "SpectralBloomFilter",
+                   ) -> "SpectralBloomFilter":
+        """Multiset difference: counter vectors are subtracted.
+
+        The inverse of :meth:`union` for the batched sliding-window
+        pattern: build an SBF over the expiring batch and subtract it,
+        instead of deleting item by item.  *other* must represent a
+        sub-multiset of this filter (same insertion history for the
+        removed items), otherwise counters would go negative.
+
+        Raises:
+            ValueError: on incompatible filters or if any counter would
+                become negative (i.e. *other* is not a sub-multiset).
+        """
+        self._require_compatible(other, "difference")
+        result = SpectralBloomFilter(
+            self.m, self.k, method="ms", seed=self.seed,
+            hash_family=type(self.family), backend="array")
+        for i in range(self.m):
+            value = self.counters.get(i) - other.counters.get(i)
+            if value < 0:
+                raise ValueError(
+                    "difference requires the subtrahend to be a "
+                    f"sub-multiset (counter {i} would become {value})")
+            result.counters.set(i, value)
+        result.total_count = self.total_count - other.total_count
+        return result
+
+    def __add__(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
+        return self.union(other)
+
+    def __sub__(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
+        return self.difference(other)
+
+    def __mul__(self, other: "SpectralBloomFilter") -> "SpectralBloomFilter":
+        return self.multiply(other)
+
+    def _spawn_like(self) -> "SpectralBloomFilter":
+        """A fresh empty filter with identical configuration."""
+        return SpectralBloomFilter(
+            self.m, self.k, method=type(self.method), seed=self.seed,
+            hash_family=type(self.family), backend=type(self.counters),
+            method_options=self.method.options())
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> float:
+        """Observed load hint ``N*k/m`` based on total multiplicity.
+
+        Note the paper's gamma uses *distinct* items; callers tracking
+        distinct counts should use :func:`repro.core.params.gamma`.
+        """
+        return self.total_count * self.k / self.m
+
+    def expected_bloom_error(self, n_distinct: int) -> float:
+        """``E_b`` for this filter's (m, k) at *n_distinct* items (§2.1)."""
+        return bloom_error(n_distinct, self.k, self.m)
+
+    def storage_bits(self) -> int:
+        """Total model size in bits: counters plus method side structures."""
+        return self.counters.storage_bits() + self.method.storage_bits()
+
+    def fill_ratio(self) -> float:
+        """Fraction of counters that are non-zero."""
+        nonzero = sum(1 for c in self.counters if c)
+        return nonzero / self.m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpectralBloomFilter(m={self.m}, k={self.k}, "
+                f"method={self.method.name!r}, N={self.total_count})")
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over raw counter values (mainly for tests/serialisation)."""
+        return iter(self.counters)

@@ -1,0 +1,167 @@
+"""Wire formats for shipping filters between sites (§4.7.1, §5.3).
+
+Bloomjoins and Summary-Cache-style protocols send filters as *messages*;
+§4.7.1 designs the String-Array Index so it can be transmitted as one
+contiguous memory block.  This module provides that capability one level
+up: byte serialisation for :class:`BloomFilter` and
+:class:`SpectralBloomFilter` (MS/MI methods; RM ships its secondary and
+marker along), with the hash-family configuration embedded so the receiver
+reconstructs a *compatible* filter.
+
+Only the seed-constructible families round-trip (all built-ins); a custom
+family instance must be re-supplied at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.core.methods import RecurringMinimum
+from repro.core.sbf import SpectralBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.hashing import (
+    BlockedHashFamily,
+    DoubleHashingFamily,
+    ModuloMultiplyFamily,
+    MultiplyShiftFamily,
+    TabulationFamily,
+)
+from repro.succinct.bitvector import BitVector, BitReader, BitWriter
+from repro.succinct.elias import EliasCodec
+
+_MAGIC_BLOOM = b"RBF1"
+_MAGIC_SBF = b"RSB1"
+
+_FAMILY_NAMES = {
+    ModuloMultiplyFamily: "modmul",
+    MultiplyShiftFamily: "multiply-shift",
+    TabulationFamily: "tabulation",
+    DoubleHashingFamily: "double",
+    BlockedHashFamily: "blocked",
+}
+
+
+def _header(magic: bytes, meta: dict) -> bytes:
+    blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    return magic + struct.pack("<I", len(blob)) + blob
+
+
+def _read_header(data: bytes, magic: bytes) -> tuple[dict, bytes]:
+    if len(data) < 8 or data[:4] != magic:
+        raise ValueError(f"not a {magic.decode()} blob")
+    (length,) = struct.unpack("<I", data[4:8])
+    meta = json.loads(data[8:8 + length].decode("utf-8"))
+    return meta, data[8 + length:]
+
+
+def _family_name(family) -> str:
+    try:
+        return _FAMILY_NAMES[type(family)]
+    except KeyError:
+        raise ValueError(
+            f"cannot serialise custom hash family {type(family).__name__}; "
+            f"reconstruct the filter with an explicit family instead"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Bloom filter
+# ----------------------------------------------------------------------
+def dump_bloom(bf: BloomFilter) -> bytes:
+    """Serialise a Bloom filter to bytes (bit vector + parameters)."""
+    meta = {"m": bf.m, "k": bf.k, "seed": bf.seed,
+            "family": _family_name(bf.family), "n_added": bf.n_added}
+    payload = bytearray((bf.m + 7) // 8)
+    for i in range(len(payload)):
+        payload[i] = bf.bits.read(8 * i, 8)
+    return _header(_MAGIC_BLOOM, meta) + bytes(payload)
+
+
+def load_bloom(data: bytes) -> BloomFilter:
+    """Reconstruct a Bloom filter serialised by :func:`dump_bloom`."""
+    meta, payload = _read_header(data, _MAGIC_BLOOM)
+    bf = BloomFilter(meta["m"], meta["k"], seed=meta["seed"],
+                     hash_family=meta["family"])
+    expected = (meta["m"] + 7) // 8
+    if len(payload) < expected:
+        raise ValueError("truncated Bloom filter blob")
+    for i in range(expected):
+        bf.bits.write(8 * i, 8, payload[i])
+    bf.n_added = meta["n_added"]
+    return bf
+
+
+# ----------------------------------------------------------------------
+# Spectral Bloom filter
+# ----------------------------------------------------------------------
+def _dump_counters(sbf: SpectralBloomFilter) -> bytes:
+    codec = EliasCodec()
+    bits = BitVector()
+    writer = BitWriter(bits)
+    for value in sbf.counters:
+        pattern, nbits = codec.encode(value)
+        writer.write_bits(pattern, nbits)
+    payload = bytearray((writer.pos + 7) // 8)
+    for i in range(len(payload)):
+        payload[i] = bits.read(8 * i, 8)
+    return bytes(payload)
+
+
+def _load_counters(sbf: SpectralBloomFilter, payload: bytes) -> None:
+    codec = EliasCodec()
+    bits = BitVector(len(payload) * 8)
+    for i, byte in enumerate(payload):
+        bits.write(8 * i, 8, byte)
+    reader = BitReader(bits)
+    for i in range(sbf.m):
+        sbf.counters.set(i, codec.decode(reader))
+
+
+def dump_sbf(sbf: SpectralBloomFilter) -> bytes:
+    """Serialise an SBF: Elias-coded counters + parameters + method state.
+
+    Recurring Minimum filters embed their secondary SBF and marker filter
+    recursively, so the receiver gets a fully-functional filter.
+    """
+    meta = {
+        "m": sbf.m, "k": sbf.k, "seed": sbf.seed,
+        "family": _family_name(sbf.family),
+        "method": sbf.method.name if sbf.method.name != "trm" else "rm",
+        "method_options": sbf.method.options(),
+        "total_count": sbf.total_count,
+    }
+    body = _dump_counters(sbf)
+    sections = [body]
+    if isinstance(sbf.method, RecurringMinimum):
+        secondary = dump_sbf(sbf.method.secondary)
+        sections.append(secondary)
+        if sbf.method.marker is not None:
+            sections.append(dump_bloom(sbf.method.marker))
+    meta["sections"] = [len(s) for s in sections]
+    return _header(_MAGIC_SBF, meta) + b"".join(sections)
+
+
+def load_sbf(data: bytes) -> SpectralBloomFilter:
+    """Reconstruct an SBF serialised by :func:`dump_sbf`.
+
+    Note: Trapping RM filters are shipped as plain RM (live traps are a
+    transient optimisation, not part of the represented multiset).
+    """
+    meta, payload = _read_header(data, _MAGIC_SBF)
+    sbf = SpectralBloomFilter(meta["m"], meta["k"], seed=meta["seed"],
+                              hash_family=meta["family"],
+                              method=meta["method"],
+                              method_options=meta["method_options"])
+    offsets = meta["sections"]
+    body = payload[:offsets[0]]
+    _load_counters(sbf, body)
+    sbf.total_count = meta["total_count"]
+    cursor = offsets[0]
+    if isinstance(sbf.method, RecurringMinimum) and len(offsets) > 1:
+        sbf.method.secondary = load_sbf(payload[cursor:cursor + offsets[1]])
+        cursor += offsets[1]
+        if sbf.method.marker is not None and len(offsets) > 2:
+            sbf.method.marker = load_bloom(
+                payload[cursor:cursor + offsets[2]])
+    return sbf

@@ -1,0 +1,114 @@
+"""The Trapping Recurring Minimum refinement (paper §3.3.1).
+
+Plain Recurring Minimum suffers from *late detection*: an item x may only be
+recognised as having a single minimum after all of its counters were already
+contaminated, so the value transferred to the secondary SBF is inflated.
+The Trapping refinement attaches a "trap" to the minimal counter of every
+item moved to the secondary, together with a lookup table ``L`` mapping the
+trapped counter to its owner.  When a *different* item later steps on a
+trapped counter, it reveals itself as (part of) the contamination that was
+baked into the owner's transferred value — so the owner's secondary count is
+reduced accordingly.
+
+Interpretation notes (Figure 2's pseudo-code is terse): we track per trap a
+*correction budget* equal to ``transferred_value - 1`` (the contamination
+can be at most that much, since a transferred item has true frequency >= 1).
+Every time a foreign item increments the trapped counter, the owner's
+secondary counters are decreased by that increment, bounded by the remaining
+budget.  This repairs the classic late-detection scenario (contaminator
+keeps arriving after the transfer) while bounding over-correction; the
+paper's palindrome counter-example — a contaminator that never returns —
+remains uncorrected, exactly as §3.3.1 concedes.
+
+Caveat: because the true contamination share of a transferred value is
+unknowable, the correction budget (``transferred_value - 1``) can exceed it
+when the owner's own frequency at transfer time was above 1; a fully-spent
+budget then yields a (rare) *false negative*.  Plain RM never has this
+failure mode — choose it when strict one-sidedness matters more than the
+smaller average error.
+"""
+
+from __future__ import annotations
+
+from repro.core.methods import RecurringMinimum
+
+
+class _Trap:
+    """A trap on one counter: its owner and the remaining correction."""
+
+    __slots__ = ("owner", "budget")
+
+    def __init__(self, owner: object, budget: int):
+        self.owner = owner
+        self.budget = budget
+
+
+class TrappingRecurringMinimum(RecurringMinimum):
+    """Recurring Minimum with per-counter traps (§3.3.1).
+
+    Accepts the same options as :class:`RecurringMinimum`.
+    """
+
+    name = "trm"
+
+    def __init__(self, sbf, **options):
+        super().__init__(sbf, **options)
+        # counter index -> live trap (the paper's trap bits plus L table).
+        self._traps: dict[int, _Trap] = {}
+        #: number of times a trap fired (diagnostic, used by the ablation)
+        self.trap_fires = 0
+
+    def insert(self, key: object, count: int) -> None:
+        # Fire any traps this key steps on *before* the regular insert, so
+        # the correction uses the contaminator's increment.
+        idx = self.sbf.indices(key)
+        for i in idx:
+            trap = self._traps.get(i)
+            if trap is not None and trap.owner != key:
+                self._fire_trap(trap, count)
+        super().insert(key, count)
+
+    def _fire_trap(self, trap: _Trap, increment: int) -> None:
+        """A foreign item stepped on a trapped counter: repair the owner."""
+        correction = min(increment, trap.budget)
+        if correction <= 0:
+            return
+        owner_values = self.secondary.counter_values(trap.owner)
+        if min(owner_values) <= correction:
+            # Never drive the shadow value to zero — a zero shadow would
+            # read as "not in secondary" and fall back to the primary.
+            correction = min(owner_values) - 1
+            if correction <= 0:
+                return
+        self.secondary.delete(trap.owner, correction)
+        trap.budget -= correction
+        self.trap_fires += 1
+
+    def _on_moved_to_secondary(self, key: object,
+                               values: list[int]) -> None:
+        """Set a trap on the item's single minimal counter (Figure 2)."""
+        idx = self.sbf.indices(key)
+        lowest = min(values)
+        budget = lowest - 1
+        if budget <= 0:
+            return
+        position = idx[values.index(lowest)]
+        self._traps[position] = _Trap(key, budget)
+
+    def delete(self, key: object, count: int) -> None:
+        super().delete(key, count)
+        # A deleted owner's trap would mis-correct a reinserted item; drop
+        # any traps owned by this key.
+        dead = [i for i, t in self._traps.items() if t.owner == key]
+        for i in dead:
+            del self._traps[i]
+
+    def storage_bits(self) -> int:
+        bits = super().storage_bits()
+        # One trap flag per counter, plus the realised L-table entries
+        # (owner pointer modelled as log2 m bits + budget as log2 N bits).
+        per_entry = 2 * max(1, (self.sbf.m - 1).bit_length())
+        return bits + self.sbf.m + len(self._traps) * per_entry
+
+    def options(self) -> dict:
+        return super().options()

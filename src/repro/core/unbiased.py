@@ -1,0 +1,123 @@
+"""Probabilistic (unbiased) frequency estimators (paper §3.1).
+
+Lemma 3: with ``N`` the total multiplicity in the filter and ``v̄_x`` the
+mean of x's k counters,
+
+    f̄_x = (v̄_x − kN/m) / (1 − k/m)
+
+is an unbiased estimator of ``f_x``.  The paper is frank that this is "a
+good example of a case in which unbiased does not imply successful": the
+variance is large, and the correction converts one-sided errors into false
+negatives.  It remains useful for *aggregate* queries and as the fallback
+arm of the RM-gated :class:`HybridEstimator` (the combination §3.1 sketches).
+
+§3.1.1 additionally analyses a median-of-means variance boost
+(:class:`MedianOfMeansEstimator`): split the k counters into k2 groups of
+k1, average inside groups, take the median of the group means [AMS99].
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.sbf import SpectralBloomFilter
+
+
+class UnbiasedEstimator:
+    """Lemma 3's unbiased estimator over a bound filter.
+
+    Estimates are floats and may be negative (a false-negative signal in a
+    thresholded query); callers that need a non-negative integer should use
+    :meth:`estimate_clamped`.
+    """
+
+    def __init__(self, sbf: SpectralBloomFilter):
+        if sbf.k >= sbf.m:
+            raise ValueError("the estimator needs k < m")
+        self.sbf = sbf
+
+    def estimate(self, key: object) -> float:
+        """``f̄_x = (v̄_x - kN/m) / (1 - k/m)``."""
+        sbf = self.sbf
+        values = sbf.counter_values(key)
+        mean = sum(values) / len(values)
+        correction = sbf.k * sbf.total_count / sbf.m
+        return (mean - correction) / (1.0 - sbf.k / sbf.m)
+
+    def estimate_clamped(self, key: object) -> int:
+        """Rounded, non-negative version of :meth:`estimate`."""
+        return max(0, round(self.estimate(key)))
+
+    def aggregate_count(self, keys) -> float:
+        """Sum of estimates over *keys* — the aggregate use-case of §3.1.
+
+        Because the estimator is unbiased, individual errors average out as
+        the group grows; this is where §3.1 expects it to shine.
+        """
+        return sum(self.estimate(key) for key in keys)
+
+
+class MedianOfMeansEstimator:
+    """§3.1.1's variance-boosted estimator: median of k2 group means.
+
+    Args:
+        sbf: the filter (its k counters are split into the groups).
+        groups: the number of groups k2 (must divide into at least one
+            counter per group).  The paper's analysis wants
+            ``k2 = 24 ln(1/eps)`` for failure probability eps — usually
+            impractically large, which is exactly the point §3.1.1 makes.
+    """
+
+    def __init__(self, sbf: SpectralBloomFilter, groups: int = 3):
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1, got {groups}")
+        if groups > sbf.k:
+            raise ValueError(
+                f"cannot form {groups} groups from k={sbf.k} counters")
+        self.sbf = sbf
+        self.groups = groups
+        self._base = UnbiasedEstimator(sbf)
+
+    def estimate(self, key: object) -> float:
+        sbf = self.sbf
+        values = sbf.counter_values(key)
+        correction = sbf.k * sbf.total_count / sbf.m
+        scale = 1.0 - sbf.k / sbf.m
+        # Split the k counters round-robin into `groups` buckets.
+        buckets: list[list[int]] = [[] for _ in range(self.groups)]
+        for j, v in enumerate(values):
+            buckets[j % self.groups].append(v)
+        means = [(sum(b) / len(b) - correction) / scale for b in buckets]
+        return statistics.median(means)
+
+    def estimate_clamped(self, key: object) -> int:
+        """Rounded, non-negative version of :meth:`estimate`."""
+        return max(0, round(self.estimate(key)))
+
+
+class HybridEstimator:
+    """The §3.1 combination: trust a recurring minimum, else go unbiased.
+
+    "The Recurring Minimum method allows us to recognize potential
+    problematic cases ... in which cases we might activate the unbiased
+    estimator to produce an estimate.  In all other cases we do not use the
+    estimator, and thus refrain from generating false-negative errors."
+    """
+
+    def __init__(self, sbf: SpectralBloomFilter):
+        self.sbf = sbf
+        self._unbiased = UnbiasedEstimator(sbf)
+
+    def estimate(self, key: object) -> float:
+        values = self.sbf.counter_values(key)
+        lowest = min(values)
+        if sum(1 for v in values if v == lowest) >= 2:
+            return float(lowest)
+        # Single minimum -> suspected Bloom error; the unbiased correction
+        # cannot exceed the minimum (one-sided guarantee is kept).
+        return min(float(lowest),
+                   max(0.0, self._unbiased.estimate(key)))
+
+    def estimate_clamped(self, key: object) -> int:
+        """Rounded, non-negative version of :meth:`estimate`."""
+        return max(0, round(self.estimate(key)))

@@ -1,0 +1,29 @@
+"""Workload and data-set generators for the experiment reproduction.
+
+- :class:`ZipfDistribution` / :func:`zipf_multiset` — the synthetic Zipfian
+  data of §2.3 and §6.1 (``p_i = c / i^z``);
+- :mod:`repro.data.streams` — insertion streams, the deletion-phase
+  workloads of Figure 8 and the sliding-window streams of Figure 9;
+- :func:`forest_cover_elevations` — the Figure 7 "real data" substitute
+  (see DESIGN.md §3 for the substitution rationale).
+"""
+
+from repro.data.zipf import ZipfDistribution, zipf_frequencies, zipf_multiset
+from repro.data.streams import (
+    deletion_phase_workload,
+    insertion_stream,
+    sliding_window_stream,
+    stream_from_counts,
+)
+from repro.data.forest import forest_cover_elevations
+
+__all__ = [
+    "ZipfDistribution",
+    "zipf_frequencies",
+    "zipf_multiset",
+    "insertion_stream",
+    "stream_from_counts",
+    "deletion_phase_workload",
+    "sliding_window_stream",
+    "forest_cover_elevations",
+]

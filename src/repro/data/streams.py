@@ -1,0 +1,120 @@
+"""Stream workloads for the §6 experiments.
+
+Three stream shapes the paper evaluates:
+
+- plain random-order insertion streams (§6.1);
+- phase workloads alternating insert bursts with "delete 5% of the items
+  entirely" phases (§6.2, Figure 8);
+- sliding windows that track only the most recent ``window`` items, deleting
+  expiring ones explicitly (§6.2, Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.data.zipf import ZipfDistribution
+
+
+def stream_from_counts(counts: Mapping[object, int],
+                       seed: int = 0) -> list:
+    """Expand a ``{key: frequency}`` multiset into a shuffled stream."""
+    out: list = []
+    for key, f in counts.items():
+        if f < 0:
+            raise ValueError(f"negative frequency for {key!r}")
+        out.extend([key] * f)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(out)
+    return out
+
+
+def insertion_stream(n: int, total: int, z: float,
+                     seed: int = 0) -> list[int]:
+    """A random-order Zipfian stream of *total* items over *n* ranks."""
+    dist = ZipfDistribution(n, z)
+    return [int(x) for x in dist.sample(total, seed=seed)]
+
+
+def deletion_phase_workload(n: int, total: int, z: float, *,
+                            phases: int = 4, delete_fraction: float = 0.05,
+                            seed: int = 0) -> list[tuple[str, int]]:
+    """The Figure 8 workload: insert bursts with full-deletion phases.
+
+    "The setup consisted of a series of insertions, followed by a series of
+    deletions and so on.  In every deletion phase, 5% of the items were
+    randomly chosen and were entirely deleted from the SBF."
+
+    Returns a list of ``(op, key)`` pairs, op in {"insert", "delete"}.
+    Deletions remove *every remaining occurrence* of the chosen item, one
+    occurrence per op so that methods see the same op granularity.
+    """
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(
+            f"delete_fraction must be in [0, 1], got {delete_fraction}")
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1, got {phases}")
+    stream = insertion_stream(n, total, z, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    per_phase = max(1, len(stream) // phases)
+    ops: list[tuple[str, int]] = []
+    live: dict[int, int] = {}
+    for p in range(phases):
+        chunk = stream[p * per_phase:
+                       (p + 1) * per_phase if p < phases - 1 else len(stream)]
+        for x in chunk:
+            ops.append(("insert", x))
+            live[x] = live.get(x, 0) + 1
+        victims = [x for x in live if live[x] > 0]
+        rng.shuffle(victims)
+        n_victims = int(len(victims) * delete_fraction)
+        for x in victims[:n_victims]:
+            for _ in range(live[x]):
+                ops.append(("delete", x))
+            live[x] = 0
+    return ops
+
+
+def sliding_window_stream(n: int, total: int, z: float, *,
+                          window: int | None = None,
+                          seed: int = 0) -> Iterator[tuple[str, int]]:
+    """The Figure 9 workload: keep only the most recent *window* items.
+
+    "A total of M items were inserted, but the SBFs only kept track of the
+    M/5 most recent items, with data leaving the window explicitly deleted."
+
+    Yields ``(op, key)`` pairs; every insert beyond the window is preceded
+    by the deletion of the expiring item (out-of-scope data is assumed
+    available, §2.2).
+    """
+    if window is None:
+        window = max(1, total // 5)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    stream = insertion_stream(n, total, z, seed=seed)
+    buffer: list[int] = []
+    for x in stream:
+        if len(buffer) == window:
+            yield ("delete", buffer.pop(0))
+        buffer.append(x)
+        yield ("insert", x)
+
+
+def apply_workload(sbf, ops) -> dict[object, int]:
+    """Drive a filter with ``(op, key)`` pairs; return the true live counts.
+
+    A plain helper shared by the tests and the Figure 8/9 benchmarks.
+    """
+    truth: dict[object, int] = {}
+    for op, key in ops:
+        if op == "insert":
+            sbf.insert(key)
+            truth[key] = truth.get(key, 0) + 1
+        elif op == "delete":
+            sbf.delete(key)
+            truth[key] = truth.get(key, 0) - 1
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    return truth

@@ -1,0 +1,83 @@
+"""Finite-universe Zipfian distributions (paper §2.3).
+
+"In a Zipfian distribution, the probability of the i-th most frequent item
+in the data-set to appear is equal to ``p_i = c / i^z``, with c being some
+normalization constant, and z is the Zipf parameter, or skew of the data."
+
+``z = 0`` degenerates to the uniform distribution, matching the paper's
+"skew 0" experiment lines.  Sampling is numpy-backed and fully seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfDistribution:
+    """Zipf law over the ranks ``1 .. n`` with skew ``z >= 0``.
+
+    Items are the integers ``0 .. n-1`` ordered by decreasing probability
+    (item 0 is the most frequent), matching the paper's "ordered by
+    descending frequency" convention.
+    """
+
+    def __init__(self, n: int, z: float):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if z < 0:
+            raise ValueError(f"skew must be >= 0, got {z}")
+        self.n = int(n)
+        self.z = float(z)
+        ranks = np.arange(1, self.n + 1, dtype=np.float64)
+        weights = ranks ** (-self.z)
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+
+    def pmf(self, i: int) -> float:
+        """Probability of the item with rank *i* (0-based)."""
+        return float(self._pmf[i])
+
+    def probabilities(self) -> np.ndarray:
+        """The full probability vector (a copy)."""
+        return self._pmf.copy()
+
+    def expected_frequency(self, i: int, total: int) -> float:
+        """Expected count of rank-*i* item in a sample of size *total*
+        (the paper's ``f_i = N c / i^z``)."""
+        return total * self.pmf(i)
+
+    def sample(self, size: int, seed: int = 0) -> np.ndarray:
+        """Draw *size* items i.i.d. (array of 0-based ranks)."""
+        rng = np.random.default_rng(seed)
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfDistribution(n={self.n}, z={self.z})"
+
+
+def zipf_frequencies(n: int, total: int, z: float) -> list[int]:
+    """Deterministic (expected) frequency vector: rank i gets ``~N c/i^z``.
+
+    Rounds expected counts and fixes the remainder onto the head item so
+    the result sums exactly to *total*.  Used where the paper assumes exact
+    Zipfian frequencies (the §2.3 analysis) rather than a random sample.
+    """
+    dist = ZipfDistribution(n, z)
+    counts = [int(round(total * p)) for p in dist.probabilities()]
+    drift = total - sum(counts)
+    counts[0] = max(0, counts[0] + drift)
+    return counts
+
+
+def zipf_multiset(n: int, total: int, z: float,
+                  seed: int = 0) -> dict[int, int]:
+    """Sample a multiset: ``{item: frequency}`` over *n* possible items.
+
+    Items that never appear in the sample are absent from the mapping, so
+    ``len(result)`` is the realised number of distinct items (<= n).
+    """
+    dist = ZipfDistribution(n, z)
+    sample = dist.sample(total, seed=seed)
+    items, counts = np.unique(sample, return_counts=True)
+    return {int(x): int(f) for x, f in zip(items, counts)}

@@ -1,0 +1,17 @@
+"""Minimal relational / distributed substrate for the §5 applications.
+
+The paper's applications run over database relations, some of them split
+across remote sites connected by a network whose traffic Bloomjoins try to
+minimise.  This package provides just enough machinery to express those
+scenarios honestly:
+
+- :class:`Relation` — an in-memory table with scans, filters, group-by
+  counts and exact joins (the ground truth every app is checked against);
+- :class:`Site` / :class:`Network` — named sites holding relations,
+  exchanging messages over a channel that accounts bytes and round-trips.
+"""
+
+from repro.db.relation import Relation
+from repro.db.site import Network, Site
+
+__all__ = ["Relation", "Site", "Network"]

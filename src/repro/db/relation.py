@@ -1,0 +1,115 @@
+"""An in-memory relation: named columns over row tuples.
+
+Deliberately tiny — just the operations the §5 applications and their
+ground-truth checks need: scans, selection, projection, group-by counting
+and hash equi-joins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+class Relation:
+    """A named table with a fixed schema.
+
+    Args:
+        name: relation name (used in diagnostics).
+        columns: ordered column names.
+        rows: iterable of tuples matching the schema.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence] = ()):
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        self.name = name
+        self.columns = tuple(columns)
+        self._index = {c: i for i, c in enumerate(self.columns)}
+        self.rows: list[tuple] = []
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    def append(self, row: Sequence) -> None:
+        """Add one row (validated against the schema arity)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: row of arity {len(row)} does not match "
+                f"schema {self.columns}")
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        """Add many rows."""
+        for row in rows:
+            self.append(row)
+
+    def column_position(self, column: str) -> int:
+        """Index of *column* in the schema."""
+        try:
+            return self._index[column]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no column {column!r}; schema is "
+                f"{self.columns}") from None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def scan(self, column: str) -> Iterator:
+        """Iterate the values of one column."""
+        pos = self.column_position(column)
+        for row in self.rows:
+            yield row[pos]
+
+    def where(self, predicate: Callable[[tuple], bool]) -> "Relation":
+        """Selection: rows satisfying *predicate*."""
+        return Relation(f"{self.name}_sel", self.columns,
+                        (row for row in self.rows if predicate(row)))
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Projection onto *columns* (duplicates preserved, bag semantics)."""
+        positions = [self.column_position(c) for c in columns]
+        return Relation(f"{self.name}_proj", columns,
+                        (tuple(row[p] for p in positions)
+                         for row in self.rows))
+
+    def group_by_count(self, column: str) -> dict:
+        """``SELECT column, count(*) ... GROUP BY column`` as a dict."""
+        return dict(Counter(self.scan(column)))
+
+    def distinct(self, column: str) -> set:
+        """Distinct values of one column."""
+        return set(self.scan(column))
+
+    def join(self, other: "Relation", column: str) -> "Relation":
+        """Exact hash equi-join on a shared *column* (ground truth).
+
+        The output schema is this relation's columns followed by the other
+        relation's columns minus the join column.
+        """
+        left_pos = self.column_position(column)
+        right_pos = other.column_position(column)
+        build: dict = {}
+        for row in other.rows:
+            build.setdefault(row[right_pos], []).append(row)
+        out_columns = list(self.columns) + [
+            c for c in other.columns if c != column]
+        keep = [i for i, c in enumerate(other.columns) if c != column]
+        result = Relation(f"{self.name}_join_{other.name}", out_columns)
+        for row in self.rows:
+            for match in build.get(row[left_pos], ()):
+                result.append(row + tuple(match[i] for i in keep))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Relation({self.name!r}, columns={self.columns}, "
+                f"rows={len(self.rows)})")

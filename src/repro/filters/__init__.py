@@ -1,0 +1,24 @@
+"""Baseline filters and sketches the paper builds on or compares against.
+
+- :class:`BloomFilter` — the classic bit-vector filter [Blo70] (§2.1), also
+  used as the Recurring Minimum marker filter ``Bf`` (§3.3);
+- :class:`CountingBloomFilter` — the 4-bit counting filter of Summary Cache
+  [FCAB98] (§1.1.3), which supports set deletions but saturates on
+  multisets — the gap the SBF fills;
+- :class:`CountMinSketch` — the multiple-hashing sketch with optional
+  conservative update [EV02], the independent rediscovery of Minimal
+  Increase (§3.2);
+- :class:`ChainedHashTable` — the exact-counting baseline of Figures 12/15.
+"""
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.counting import CountingBloomFilter
+from repro.filters.count_min import CountMinSketch
+from repro.filters.hashtable import ChainedHashTable
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "CountMinSketch",
+    "ChainedHashTable",
+]

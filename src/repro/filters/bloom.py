@@ -1,0 +1,117 @@
+"""The classic Bloom filter [Blo70] (paper §2.1).
+
+A set synopsis over a bit vector of ``m`` bits and ``k`` hash functions:
+membership tests have no false negatives and false positives with
+probability ``E_b ~= (1 - e^(-kn/m))^k``.  Used here both as the baseline
+the SBF extends and as the marker filter ``Bf`` of Recurring Minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.hashing.families import HashFamily, make_family
+from repro.succinct.bitvector import BitVector
+
+
+class BloomFilter:
+    """Bit-vector Bloom filter with union and compressed-size accounting.
+
+    Args:
+        m: number of bits.
+        k: number of hash functions.
+        seed: determinism seed for the hash family.
+        hash_family: family name/class/instance (see
+            :func:`repro.hashing.families.make_family`).
+    """
+
+    def __init__(self, m: int, k: int, *, seed: int = 0,
+                 hash_family: object = "modmul"):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.m = int(m)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.family: HashFamily = make_family(hash_family, self.m, self.k,
+                                              seed=self.seed)
+        self.bits = BitVector(self.m)
+        self.n_added = 0
+
+    @classmethod
+    def for_items(cls, n: int, error_rate: float = 0.01,
+                  **kwargs) -> "BloomFilter":
+        """Size a filter for *n* expected items at *error_rate*."""
+        from repro.core.params import optimal_k, optimal_m
+        m = optimal_m(n, error_rate)
+        return cls(m, optimal_k(m, n), **kwargs)
+
+    # ------------------------------------------------------------------
+    def add(self, key: object) -> None:
+        """Insert *key* into the set."""
+        for i in self.family.indices(key):
+            self.bits.set_bit(i)
+        self.n_added += 1
+
+    def update(self, keys: Iterable) -> None:
+        """Insert every key of the iterable."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: object) -> bool:
+        get = self.bits.get_bit
+        return all(get(i) for i in self.family.indices(key))
+
+    def contains(self, key: object) -> bool:
+        """Membership test (false positives possible, no false negatives)."""
+        return key in self
+
+    # ------------------------------------------------------------------
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Set union: bitwise OR of compatible filters."""
+        if not self.family.is_compatible(other.family):
+            raise ValueError("union requires identical parameters and "
+                             "hash functions")
+        result = BloomFilter(self.m, self.k, seed=self.seed,
+                             hash_family=type(self.family))
+        for i in range(self.m):
+            if self.bits.get_bit(i) or other.bits.get_bit(i):
+                result.bits.set_bit(i)
+        result.n_added = self.n_added + other.n_added
+        return result
+
+    def __or__(self, other: "BloomFilter") -> "BloomFilter":
+        return self.union(other)
+
+    # ------------------------------------------------------------------
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (0.5 at the optimal operating point)."""
+        return self.bits.count_ones() / self.m
+
+    def storage_bits(self) -> int:
+        """Size of the bit vector in bits."""
+        return self.m
+
+    def compressed_bits(self) -> float:
+        """Entropy lower bound on the compressed size, ``m * H(p)`` [Mit01].
+
+        §1.1.3 discusses Mitzenmacher's observation that a space-optimal
+        filter (p = 0.5) is incompressible, while an under-loaded one can be
+        shipped compressed.  This returns the Shannon bound for the current
+        fill ratio.
+        """
+        p = self.fill_ratio()
+        if p in (0.0, 1.0):
+            return 0.0
+        entropy = -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+        return self.m * entropy
+
+    def false_positive_rate(self, n: int | None = None) -> float:
+        """Expected ``E_b`` for *n* items (default: items added so far)."""
+        from repro.core.params import bloom_error
+        return bloom_error(self.n_added if n is None else n, self.k, self.m)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BloomFilter(m={self.m}, k={self.k}, n={self.n_added})"

@@ -1,0 +1,89 @@
+"""Count-Min sketch with optional conservative update [EV02] (paper §3.2).
+
+The sketch keeps ``depth`` independent rows of ``width`` counters; each row
+has its own hash function.  Plain updates increment one counter per row;
+*conservative update* — proposed by Estan & Varghese and, as the paper
+notes, "independently proposed in [EV02]" as the same idea as Minimal
+Increase — only advances counters equal to the current minimum.
+
+Included as a cross-check baseline: an SBF with the MI method and a CM
+sketch with conservative update implement the same estimator over different
+layouts (k functions into one array vs one function per row), so their
+accuracy should land in the same ballpark — an ablation the benchmarks run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.hashing.families import HashFamily, make_family
+
+
+class CountMinSketch:
+    """Count-Min sketch over ``depth x width`` counters.
+
+    Args:
+        width: counters per row.
+        depth: number of rows (independent hash functions).
+        conservative: use conservative update (Minimal Increase's twin).
+    """
+
+    def __init__(self, width: int, depth: int, *, conservative: bool = False,
+                 seed: int = 0, hash_family: object = "modmul"):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.conservative = bool(conservative)
+        # One k=depth family over `width`: function j addresses row j.
+        self.family: HashFamily = make_family(hash_family, self.width,
+                                              self.depth, seed=seed)
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self.total_count = 0
+
+    # ------------------------------------------------------------------
+    def _cells(self, key: object) -> list[tuple[int, int]]:
+        return list(enumerate(self.family.indices(key)))
+
+    def insert(self, key: object, count: int = 1) -> None:
+        """Record *count* occurrences of *key*."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        cells = self._cells(key)
+        if self.conservative:
+            current = min(self._rows[r][c] for r, c in cells)
+            target = current + count
+            for r, c in cells:
+                if self._rows[r][c] < target:
+                    self._rows[r][c] = target
+        else:
+            for r, c in cells:
+                self._rows[r][c] += count
+        self.total_count += count
+
+    def update(self, items: Mapping[object, int] | Iterable) -> None:
+        """Bulk insert: a ``{key: count}`` mapping or an iterable of keys."""
+        if isinstance(items, Mapping):
+            for key, count in items.items():
+                self.insert(key, count)
+        else:
+            for key in items:
+                self.insert(key)
+
+    def query(self, key: object) -> int:
+        """Frequency estimate: minimum over the rows (one-sided error)."""
+        return min(self._rows[r][c] for r, c in self._cells(key))
+
+    def estimate(self, key: object) -> int:
+        """Alias for :meth:`query`."""
+        return self.query(key)
+
+    def storage_bits(self) -> int:
+        """Model size: sum of counter bit lengths (1 bit per zero)."""
+        return sum(max(1, v.bit_length()) for row in self._rows for v in row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "conservative" if self.conservative else "plain"
+        return f"CountMinSketch({self.width}x{self.depth}, {mode})"

@@ -1,0 +1,102 @@
+"""The 4-bit counting Bloom filter of Summary Cache [FCAB98] (paper §1.1.3).
+
+Each position holds a small saturating counter (4 bits by default), which is
+"shown statistically to be enough to encode the number of items mapped to
+the same location ... However this approach is not adequate when trying to
+encode the frequencies of items within multi-sets" — the motivating gap for
+the SBF.  We reproduce the structure faithfully, including saturation: once
+a counter hits ``2^bits - 1`` it sticks there and deletions no longer
+decrement it (the standard safe behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hashing.families import HashFamily, make_family
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter with fixed-width saturating counters.
+
+    Supports *set* semantics with deletions.  Frequency estimates are capped
+    at the saturation value, which makes it a deliberately weak multiset
+    estimator — exactly the baseline the SBF improves on.
+
+    Args:
+        m: number of counters.
+        k: number of hash functions.
+        bits_per_counter: counter width (4 in [FCAB98]).
+    """
+
+    def __init__(self, m: int, k: int, *, bits_per_counter: int = 4,
+                 seed: int = 0, hash_family: object = "modmul"):
+        if m <= 0 or k <= 0:
+            raise ValueError("m and k must be positive")
+        if bits_per_counter < 1:
+            raise ValueError(
+                f"bits_per_counter must be >= 1, got {bits_per_counter}")
+        self.m = int(m)
+        self.k = int(k)
+        self.bits_per_counter = int(bits_per_counter)
+        self.saturation = (1 << bits_per_counter) - 1
+        self.family: HashFamily = make_family(hash_family, self.m, self.k,
+                                              seed=seed)
+        self._counts = [0] * self.m
+        self.n_added = 0
+        #: number of counter saturation events (overflow diagnostics)
+        self.overflows = 0
+
+    # ------------------------------------------------------------------
+    def add(self, key: object) -> None:
+        """Insert one occurrence of *key* (counters saturate)."""
+        for i in self.family.indices(key):
+            if self._counts[i] >= self.saturation:
+                self.overflows += 1
+            else:
+                self._counts[i] += 1
+        self.n_added += 1
+
+    def update(self, keys: Iterable) -> None:
+        """Insert every key of the iterable."""
+        for key in keys:
+            self.add(key)
+
+    def remove(self, key: object) -> None:
+        """Delete one occurrence of *key*.
+
+        Saturated counters are left untouched (decrementing them could
+        create false negatives for other keys); zero counters are left at
+        zero.
+        """
+        for i in self.family.indices(key):
+            if 0 < self._counts[i] < self.saturation:
+                self._counts[i] -= 1
+        self.n_added = max(0, self.n_added - 1)
+
+    def __contains__(self, key: object) -> bool:
+        return all(self._counts[i] > 0 for i in self.family.indices(key))
+
+    def contains(self, key: object) -> bool:
+        """Membership test (false positives possible)."""
+        return key in self
+
+    def estimate(self, key: object) -> int:
+        """Saturating frequency estimate: ``min`` of the counters.
+
+        Any estimate equal to the saturation value means "at least this
+        much" — the multiset failure mode §1.1.3 calls out.
+        """
+        return min(self._counts[i] for i in self.family.indices(key))
+
+    def is_saturated(self, key: object) -> bool:
+        """True if the estimate for *key* hit the counter ceiling."""
+        return self.estimate(key) >= self.saturation
+
+    def storage_bits(self) -> int:
+        """Model size: ``m`` fixed-width counters."""
+        return self.m * self.bits_per_counter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CountingBloomFilter(m={self.m}, k={self.k}, "
+                f"bits={self.bits_per_counter})")

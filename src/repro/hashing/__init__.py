@@ -1,0 +1,33 @@
+"""Hash-function families used by every filter in this package.
+
+The paper (Section 6.1) builds its Spectral Bloom Filters from
+"modulo/multiply" hash functions ``H(v) = ceil(m * (alpha * v mod 1))`` with
+``alpha`` drawn uniformly at random.  :class:`ModuloMultiplyFamily` is an
+exact 64-bit fixed-point implementation of that scheme; the other families
+are standard alternatives used by the ablation benchmarks.
+
+All families are deterministic given their seed, which makes every experiment
+in this repository reproducible bit-for-bit.
+"""
+
+from repro.hashing.keys import canonical_key
+from repro.hashing.families import (
+    HashFamily,
+    ModuloMultiplyFamily,
+    MultiplyShiftFamily,
+    TabulationFamily,
+    DoubleHashingFamily,
+    make_family,
+)
+from repro.hashing.blocked import BlockedHashFamily
+
+__all__ = [
+    "canonical_key",
+    "HashFamily",
+    "ModuloMultiplyFamily",
+    "MultiplyShiftFamily",
+    "TabulationFamily",
+    "DoubleHashingFamily",
+    "BlockedHashFamily",
+    "make_family",
+]

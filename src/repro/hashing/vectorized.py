@@ -1,0 +1,127 @@
+"""Vectorised hashing for bulk stream ingestion.
+
+The experiments and any production use of the SBF ingest long streams of
+keys; hashing them one Python call at a time dominates the cost.  This
+module vectorises the two multiplication-based families over numpy arrays
+of integer keys, producing an ``(n, k)`` index matrix in a handful of
+array operations.
+
+Numerical note: numpy has no 128-bit integers, so the 64x64→high-64
+multiply ``(m * (a*v mod 2^64)) >> 64`` is decomposed into 32-bit halves —
+exactly bit-equivalent to the scalar path, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import (
+    HashFamily,
+    ModuloMultiplyFamily,
+    MultiplyShiftFamily,
+)
+from repro.hashing.keys import _MIX1, _MIX2, _SPLITMIX_GAMMA
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def _mul_mod_2_64(a: np.ndarray | int, b: np.ndarray) -> np.ndarray:
+    """``(a * b) mod 2^64`` for uint64 arrays (numpy wraps, but silence
+    overflow semantics explicitly)."""
+    with np.errstate(over="ignore"):
+        return (np.uint64(a) * b).astype(np.uint64)
+
+
+def _mul_high_64(a: int, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of the 128-bit product ``a * b`` (a scalar, b uint64).
+
+    Standard 32-bit limb decomposition:
+        a = a1*2^32 + a0,  b = b1*2^32 + b0
+        a*b = a1*b1*2^64 + (a1*b0 + a0*b1)*2^32 + a0*b0
+    """
+    a = int(a)
+    a0 = np.uint64(a & 0xFFFFFFFF)
+    a1 = np.uint64(a >> 32)
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+    with np.errstate(over="ignore"):
+        lo = a0 * b0                      # < 2^64, exact
+        mid1 = a1 * b0                    # < 2^64, exact
+        mid2 = a0 * b1
+        carry = ((lo >> _SHIFT32) + (mid1 & _MASK32)
+                 + (mid2 & _MASK32)) >> _SHIFT32
+        return (a1 * b1 + (mid1 >> _SHIFT32) + (mid2 >> _SHIFT32)
+                + carry).astype(np.uint64)
+
+
+def canonical_keys_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`repro.hashing.keys.canonical_key` for int arrays.
+
+    Applies the same SplitMix64 finaliser, so mixed scalar/vector usage
+    sees identical hash positions.
+    """
+    x = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = x + np.uint64(_SPLITMIX_GAMMA)
+        x = x ^ (x >> np.uint64(30))
+        x = _mul_mod_2_64(_MIX1, x)
+        x = x ^ (x >> np.uint64(27))
+        x = _mul_mod_2_64(_MIX2, x)
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def indices_matrix(family: HashFamily, keys: np.ndarray) -> np.ndarray:
+    """``(n, k)`` counter positions for an integer key array.
+
+    Supports :class:`ModuloMultiplyFamily` and
+    :class:`MultiplyShiftFamily`; other families raise ``TypeError`` (use
+    the scalar path for them).
+    """
+    hashed = canonical_keys_array(keys)
+    m = family.m
+    out = np.empty((len(hashed), family.k), dtype=np.int64)
+    if isinstance(family, ModuloMultiplyFamily):
+        for j, a in enumerate(family._multipliers):
+            frac = _mul_mod_2_64(a, hashed)
+            out[:, j] = _mul_high_64(m, frac).astype(np.int64)
+        return out
+    if isinstance(family, MultiplyShiftFamily):
+        for j, (a, b) in enumerate(family._params):
+            with np.errstate(over="ignore"):
+                mixed = (_mul_mod_2_64(a, hashed)
+                         + np.uint64(b)).astype(np.uint64)
+            out[:, j] = _mul_high_64(m, mixed).astype(np.int64)
+        return out
+    raise TypeError(
+        f"vectorised hashing not implemented for "
+        f"{type(family).__name__}; use the scalar indices() path")
+
+
+def bulk_insert_ms(sbf, keys) -> None:
+    """Vectorised Minimum-Selection ingestion of an integer key stream.
+
+    Equivalent to ``for x in keys: sbf.insert(x)`` for an MS-method SBF on
+    the array backend, but ~20x faster: one ``np.add.at`` scatter over the
+    counter array.  Raises for other methods/backends, whose semantics are
+    inherently per-item.
+    """
+    from repro.core.methods import MinimumSelection
+    from repro.storage.backends import ArrayBackend
+
+    if not isinstance(sbf.method, MinimumSelection):
+        raise TypeError("bulk_insert_ms requires the MS method (MI/RM "
+                        "updates are order-dependent)")
+    if not isinstance(sbf.counters, ArrayBackend):
+        raise TypeError("bulk_insert_ms requires the array backend")
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return
+    matrix = indices_matrix(sbf.family, keys)
+    counts = np.zeros(sbf.m, dtype=np.int64)
+    np.add.at(counts, matrix.ravel(), 1)
+    store = sbf.counters._counts
+    for i in np.nonzero(counts)[0]:
+        store[i] += int(counts[i])
+    sbf.total_count += int(keys.size)

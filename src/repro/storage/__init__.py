@@ -1,0 +1,25 @@
+"""Counter-storage backends for the Spectral Bloom Filter.
+
+The SBF's algorithms (Section 2-3 of the paper) are independent of how the
+counter vector ``C`` is physically stored; §4 is entirely about making that
+storage compact.  This package separates the two concerns: filters talk to a
+small :class:`CounterBackend` interface, and the backend decides between a
+plain word array (fast), the String-Array Index (the paper's N + o(N) + O(m)
+bits structure) or the §4.5 coded stream.
+"""
+
+from repro.storage.backends import (
+    ArrayBackend,
+    CompactBackend,
+    CounterBackend,
+    StreamBackend,
+    make_backend,
+)
+
+__all__ = [
+    "CounterBackend",
+    "ArrayBackend",
+    "CompactBackend",
+    "StreamBackend",
+    "make_backend",
+]

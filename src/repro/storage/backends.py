@@ -1,0 +1,198 @@
+"""Counter-vector backends: plain array, String-Array Index, coded stream.
+
+All backends store ``m`` non-negative integer counters and expose the same
+interface; they differ in speed and in the bit budget they would occupy in a
+packed implementation:
+
+- :class:`ArrayBackend` — a plain Python list.  O(1) everything, and the
+  default for experiments whose subject is the SBF's *accuracy*.  Its
+  ``storage_bits`` reports the paper's ``N = sum(ceil(log C_i))`` model cost
+  so accuracy experiments can still reason about size.
+- :class:`CompactBackend` — counters live in a
+  :class:`~repro.succinct.string_array.StringArrayIndex` (paper §4.3-4.4):
+  the faithful N + o(N) + O(m) bits representation with O(1) access.
+- :class:`StreamBackend` — counters live in a
+  :class:`~repro.succinct.compact_stream.CompactCounterStream` (paper §4.5):
+  smaller index, O(log log N)-step lookups.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.succinct.compact_stream import CompactCounterStream
+from repro.succinct.string_array import StringArrayIndex
+
+
+class CounterBackend(ABC):
+    """Abstract vector of ``m`` non-negative counters."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def get(self, i: int) -> int:
+        """Value of counter *i*."""
+
+    @abstractmethod
+    def add(self, i: int, delta: int) -> int:
+        """Add *delta* (possibly negative) to counter *i*; return new value.
+
+        Raises:
+            ValueError: if the counter would become negative.
+        """
+
+    @abstractmethod
+    def set(self, i: int, value: int) -> None:
+        """Set counter *i* to *value* (>= 0)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of counters ``m``."""
+
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Model size in bits of this representation."""
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(len(self)):
+            yield self.get(i)
+
+    def to_list(self) -> list[int]:
+        """All counter values as a plain list."""
+        return list(self)
+
+    def add_clamped(self, i: int, delta: int) -> int:
+        """Like :meth:`add` but floors the result at zero.
+
+        Used by Minimal Increase deletions, which the paper shows produce
+        false negatives — clamping keeps the structure well-defined anyway.
+        """
+        value = self.get(i) + delta
+        if value < 0:
+            value = 0
+        self.set(i, value)
+        return value
+
+
+class ArrayBackend(CounterBackend):
+    """Plain word-per-counter array (the fast default)."""
+
+    name = "array"
+
+    def __init__(self, m: int):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        self._counts = [0] * m
+
+    def get(self, i: int) -> int:
+        return self._counts[i]
+
+    def add(self, i: int, delta: int) -> int:
+        value = self._counts[i] + delta
+        if value < 0:
+            raise ValueError(f"counter {i} would become negative ({value})")
+        self._counts[i] = value
+        return value
+
+    def set(self, i: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        self._counts[i] = value
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts)
+
+    def storage_bits(self) -> int:
+        """The paper's N = sum(ceil(log C_i)) with 1 bit per zero counter."""
+        return sum(max(1, c.bit_length()) for c in self._counts)
+
+
+class CompactBackend(CounterBackend):
+    """Counters stored in the String-Array Index (paper §4.3-4.4)."""
+
+    name = "compact"
+
+    def __init__(self, m: int, **sai_options):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        self.index = StringArrayIndex([0] * m, **sai_options)
+
+    def get(self, i: int) -> int:
+        return self.index.get(i)
+
+    def add(self, i: int, delta: int) -> int:
+        return self.index.increment(i, delta)
+
+    def set(self, i: int, value: int) -> None:
+        self.index.set(i, value)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def storage_bits(self) -> int:
+        return self.index.total_bits()
+
+    def storage_breakdown(self) -> dict[str, int]:
+        """Per-component bits (see Figure 14)."""
+        return self.index.storage_breakdown()
+
+
+class StreamBackend(CounterBackend):
+    """Counters stored in the §4.5 prefix-free coded stream."""
+
+    name = "stream"
+
+    def __init__(self, m: int, codec: object = "elias", **stream_options):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        self.stream = CompactCounterStream([0] * m, codec=codec,
+                                           **stream_options)
+
+    def get(self, i: int) -> int:
+        return self.stream.get(i)
+
+    def add(self, i: int, delta: int) -> int:
+        return self.stream.increment(i, delta)
+
+    def set(self, i: int, value: int) -> None:
+        self.stream.set(i, value)
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def storage_bits(self) -> int:
+        return self.stream.total_bits()
+
+
+_BACKENDS = {
+    "array": ArrayBackend,
+    "compact": CompactBackend,
+    "stream": StreamBackend,
+}
+
+
+def make_backend(backend: str | CounterBackend | type, m: int,
+                 **options) -> CounterBackend:
+    """Build a counter backend by short name, class, or pass through.
+
+    Accepted names: ``"array"`` (default), ``"compact"``, ``"stream"``.
+    """
+    if isinstance(backend, CounterBackend):
+        if len(backend) != m:
+            raise ValueError(
+                f"backend has {len(backend)} counters but the filter needs {m}"
+            )
+        return backend
+    if isinstance(backend, type) and issubclass(backend, CounterBackend):
+        return backend(m, **options)
+    try:
+        cls = _BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
+        ) from None
+    return cls(m, **options)

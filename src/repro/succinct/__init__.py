@@ -1,0 +1,49 @@
+"""Succinct storage substrates for the Spectral Bloom Filter (paper §4).
+
+The SBF replaces the Bloom filter's bit vector with a sequence of counters of
+*variable* bit width, packed back to back in a base bit array.  This package
+implements everything §4 of the paper needs:
+
+- :class:`BitVector` — the raw base array with arbitrary-width field access;
+- :class:`RankDirectory` — o(N)-bit rank/select over a bit vector (§1.1.5,
+  used for the level-3 flag translation of §4.7.1);
+- Elias coding and the "steps" method (§4.5) for self-delimiting counters;
+- :class:`StringArrayIndex` — the paper's novel index giving O(1) access to
+  the i'th variable-length string (§4.3) with slack-based dynamic updates
+  (§4.4) and per-component storage accounting (Figures 13-15);
+- :class:`CompactCounterStream` — the cheaper alternative of §4.5 that trades
+  O(1) lookups for a sequential scan inside log log N-item subgroups.
+"""
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rank_select import RankDirectory
+from repro.succinct.elias import (
+    elias_gamma_encode,
+    elias_gamma_decode,
+    elias_delta_encode,
+    elias_delta_decode,
+    EliasCodec,
+    elias_delta_length,
+)
+from repro.succinct.steps import StepsCodec
+from repro.succinct.string_array import StringArrayIndex
+from repro.succinct.compact_stream import CompactCounterStream
+from repro.succinct.select_access import SelectAccessIndex
+from repro.succinct.serialize import dump_string_array, load_string_array
+
+__all__ = [
+    "BitVector",
+    "RankDirectory",
+    "elias_gamma_encode",
+    "elias_gamma_decode",
+    "elias_delta_encode",
+    "elias_delta_decode",
+    "elias_delta_length",
+    "EliasCodec",
+    "StepsCodec",
+    "StringArrayIndex",
+    "CompactCounterStream",
+    "SelectAccessIndex",
+    "dump_string_array",
+    "load_string_array",
+]

@@ -1,0 +1,251 @@
+"""A growable packed bit vector with arbitrary-width field access.
+
+This is the "base array" of §4 of the paper: counters are embedded in their
+``ceil(log C_i)``-bit binary representation, consecutively, and the index
+structures above it hand out bit offsets.  The vector therefore has to
+support reading and writing bit fields at arbitrary (unaligned) positions,
+and shifting whole bit ranges when a counter expands into a slack
+(§4.4's "push" operation).
+
+Bits are stored LSB-first inside 64-bit words held in a plain Python list;
+field values are plain non-negative ints, so fields wider than a word work
+transparently (useful for the lookup-table keys of §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_WORD = 64
+_WORD_MASK = (1 << _WORD) - 1
+
+
+class BitVector:
+    """A mutable bit array addressed by bit position.
+
+    Positions are absolute bit indices starting at 0.  The vector grows on
+    demand when written past its current length; reads past the end return
+    zero bits (matching a zero-initialised base array).
+    """
+
+    __slots__ = ("_words", "_nbits")
+
+    def __init__(self, nbits: int = 0):
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        self._nbits = nbits
+        self._words: list[int] = [0] * ((nbits + _WORD - 1) // _WORD)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build from an iterable of 0/1 values (index 0 first)."""
+        bits = list(bits)
+        vec = cls(len(bits))
+        for i, bit in enumerate(bits):
+            if bit:
+                vec.set_bit(i)
+        return vec
+
+    def copy(self) -> "BitVector":
+        dup = BitVector.__new__(BitVector)
+        dup._nbits = self._nbits
+        dup._words = list(self._words)
+        return dup
+
+    # ------------------------------------------------------------------
+    # size
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._nbits
+
+    @property
+    def nbits(self) -> int:
+        """Logical length in bits."""
+        return self._nbits
+
+    def _ensure(self, nbits: int) -> None:
+        """Grow the storage (zero-filled) to cover at least *nbits* bits."""
+        if nbits > self._nbits:
+            self._nbits = nbits
+        needed = (self._nbits + _WORD - 1) // _WORD
+        if needed > len(self._words):
+            self._words.extend([0] * (needed - len(self._words)))
+
+    # ------------------------------------------------------------------
+    # single-bit access
+    # ------------------------------------------------------------------
+    def get_bit(self, pos: int) -> int:
+        """Return the bit at *pos* (0 if past the end)."""
+        if pos < 0:
+            raise IndexError(f"negative bit position {pos}")
+        word, off = divmod(pos, _WORD)
+        if word >= len(self._words):
+            return 0
+        return (self._words[word] >> off) & 1
+
+    def set_bit(self, pos: int, value: int = 1) -> None:
+        """Set the bit at *pos* to *value* (growing the vector if needed)."""
+        if pos < 0:
+            raise IndexError(f"negative bit position {pos}")
+        self._ensure(pos + 1)
+        word, off = divmod(pos, _WORD)
+        if value:
+            self._words[word] |= 1 << off
+        else:
+            self._words[word] &= ~(1 << off) & _WORD_MASK
+
+    # ------------------------------------------------------------------
+    # field access
+    # ------------------------------------------------------------------
+    def read(self, pos: int, width: int) -> int:
+        """Read *width* bits starting at *pos* as an unsigned integer.
+
+        The bit at *pos* is the least significant bit of the result.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if pos < 0:
+            raise IndexError(f"negative bit position {pos}")
+        if width == 0:
+            return 0
+        word, off = divmod(pos, _WORD)
+        nwords = len(self._words)
+        out = 0
+        shift = 0
+        remaining = width
+        while remaining > 0 and word < nwords:
+            take = min(_WORD - off, remaining)
+            chunk = (self._words[word] >> off) & ((1 << take) - 1)
+            out |= chunk << shift
+            shift += take
+            remaining -= take
+            word += 1
+            off = 0
+        return out
+
+    def write(self, pos: int, width: int, value: int) -> None:
+        """Write the low *width* bits of *value* starting at *pos*.
+
+        Raises:
+            ValueError: if *value* does not fit in *width* bits.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        if width == 0:
+            return
+        self._ensure(pos + width)
+        word, off = divmod(pos, _WORD)
+        remaining = width
+        while remaining > 0:
+            take = min(_WORD - off, remaining)
+            mask = ((1 << take) - 1) << off
+            chunk = (value & ((1 << take) - 1)) << off
+            self._words[word] = (self._words[word] & ~mask) | chunk
+            value >>= take
+            remaining -= take
+            word += 1
+            off = 0
+
+    # ------------------------------------------------------------------
+    # range operations (used by the string-array index "push" of §4.4)
+    # ------------------------------------------------------------------
+    def move_range(self, src: int, length: int, dst: int) -> None:
+        """Move *length* bits from *src* to *dst*, handling overlap.
+
+        The source range keeps its old contents except where overwritten by
+        the destination; callers that need the vacated bits cleared should
+        write over them explicitly.  Ranges of up to a few thousand bits are
+        read into a single Python int, which is exact and fast enough for the
+        slack pushes the string-array index performs.
+        """
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        if length == 0 or src == dst:
+            return
+        chunk = self.read(src, length)
+        self.write(dst, length, chunk)
+
+    def popcount_word(self, word_index: int) -> int:
+        """Population count of the 64-bit word at *word_index*."""
+        if word_index >= len(self._words):
+            return 0
+        return self._words[word_index].bit_count()
+
+    def word(self, word_index: int) -> int:
+        """Raw 64-bit word at *word_index* (0 past the end)."""
+        if word_index >= len(self._words):
+            return 0
+        return self._words[word_index]
+
+    def count_ones(self) -> int:
+        """Total number of set bits."""
+        return sum(w.bit_count() for w in self._words)
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __getitem__(self, pos: int) -> int:
+        return self.get_bit(pos)
+
+    def __setitem__(self, pos: int, value: int) -> None:
+        self.set_bit(pos, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        if self._nbits != other._nbits:
+            return False
+        n = max(len(self._words), len(other._words))
+        return all(self.word(i) == other.word(i) for i in range(n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = "".join(str(self.get_bit(i)) for i in range(min(self._nbits, 64)))
+        suffix = "..." if self._nbits > 64 else ""
+        return f"BitVector({self._nbits} bits: {preview}{suffix})"
+
+
+class BitWriter:
+    """Sequential bit appender over a :class:`BitVector`.
+
+    Codewords are written in *stream order*: the first bit of a codeword
+    lands at the lowest position.  Integer patterns passed to
+    :meth:`write_bits` carry the first stream bit in their LSB, matching
+    what :class:`BitReader` reads back.
+    """
+
+    __slots__ = ("vector", "pos")
+
+    def __init__(self, vector: BitVector | None = None, pos: int = 0):
+        self.vector = vector if vector is not None else BitVector()
+        self.pos = pos
+
+    def write_bits(self, pattern: int, nbits: int) -> None:
+        """Append *nbits* bits (LSB of *pattern* first)."""
+        self.vector.write(self.pos, nbits, pattern)
+        self.pos += nbits
+
+
+class BitReader:
+    """Sequential bit reader over a :class:`BitVector`."""
+
+    __slots__ = ("vector", "pos")
+
+    def __init__(self, vector: BitVector, pos: int = 0):
+        self.vector = vector
+        self.pos = pos
+
+    def read_bit(self) -> int:
+        bit = self.vector.get_bit(self.pos)
+        self.pos += 1
+        return bit
+
+    def read_bits(self, nbits: int) -> int:
+        """Read *nbits* bits; the first bit read becomes the result's LSB."""
+        value = self.vector.read(self.pos, nbits)
+        self.pos += nbits
+        return value

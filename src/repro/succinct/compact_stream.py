@@ -1,0 +1,164 @@
+"""The alternative compact counter representation of paper §4.5.
+
+Instead of the full string-array index, §4.5 keeps only the two coarse
+offset levels (C1 and C2) and stores the counters with a self-delimiting
+prefix-free code (Elias delta or the "steps" method).  A lookup walks to the
+right ``log log N``-item subgroup through the offsets and then *sequentially
+decodes* until it reaches the requested item — O(log log N) decode steps on
+average, in exchange for dropping the level-3 offset vectors and the global
+lookup table (total index overhead o(m) bits).
+
+Implementation note: each subgroup (chunk) owns an independent bit buffer,
+so an update re-encodes one chunk only and never shifts its neighbours; the
+C1/C2 offsets of the conceptual concatenated stream are accounted for in
+:meth:`storage_breakdown` exactly as §4.5 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.succinct.bitvector import BitVector, BitReader, BitWriter
+from repro.succinct.elias import EliasCodec
+from repro.succinct.steps import StepsCodec
+
+
+def _make_codec(codec: object) -> object:
+    """Resolve a codec argument: instance, or the names 'elias'/'steps'."""
+    if codec == "elias":
+        return EliasCodec()
+    if codec == "steps":
+        return StepsCodec((0, 0))
+    if hasattr(codec, "encode") and hasattr(codec, "decode"):
+        return codec
+    raise ValueError(f"unknown codec {codec!r}; expected 'elias', 'steps' "
+                     f"or an object with encode/decode")
+
+
+class _Chunk:
+    """One subgroup: a small bit buffer of consecutively coded counters."""
+
+    __slots__ = ("bits", "nbits", "count")
+
+    def __init__(self) -> None:
+        self.bits = BitVector()
+        self.nbits = 0
+        self.count = 0
+
+
+class CompactCounterStream:
+    """Counter array coded with a prefix-free codec (paper §4.5).
+
+    Args:
+        counts: initial counter values.
+        codec: ``"elias"``, ``"steps"`` or a codec instance with
+            ``encode(value) -> (pattern, nbits)``, ``decode(reader)`` and
+            ``length(value)``.
+        chunk_items: items per subgroup (default: ~log log N as in §4.5).
+    """
+
+    def __init__(self, counts: Iterable[int], codec: object = "elias",
+                 *, chunk_items: int | None = None):
+        values = [int(v) for v in counts]
+        if any(v < 0 for v in values):
+            raise ValueError("counter values must be non-negative")
+        if not values:
+            raise ValueError("CompactCounterStream needs at least one counter")
+        self._codec = _make_codec(codec)
+        self._m = len(values)
+        if chunk_items is None:
+            approx_bits = max(16, 2 * self._m)
+            log_n = max(4, approx_bits.bit_length())
+            chunk_items = max(2, log_n.bit_length())
+        self._chunk_items = int(chunk_items)
+        self._group_chunks = 8    # chunks per level-1 group (accounting only)
+        self._chunks: list[_Chunk] = []
+        for start in range(0, self._m, self._chunk_items):
+            chunk = _Chunk()
+            self._encode_chunk(chunk, values[start:start + self._chunk_items])
+            self._chunks.append(chunk)
+
+    # ------------------------------------------------------------------
+    def _encode_chunk(self, chunk: _Chunk, values: list[int]) -> None:
+        bits = BitVector()
+        writer = BitWriter(bits)
+        for v in values:
+            pattern, nbits = self._codec.encode(v)
+            writer.write_bits(pattern, nbits)
+        chunk.bits = bits
+        chunk.nbits = writer.pos
+        chunk.count = len(values)
+
+    def _decode_chunk(self, chunk: _Chunk) -> list[int]:
+        reader = BitReader(chunk.bits)
+        return [self._codec.decode(reader) for _ in range(chunk.count)]
+
+    # ------------------------------------------------------------------
+    def get(self, i: int) -> int:
+        """Value of counter *i* (sequential decode inside its subgroup)."""
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        chunk = self._chunks[i // self._chunk_items]
+        reader = BitReader(chunk.bits)
+        j = i % self._chunk_items
+        for _ in range(j):
+            self._codec.decode(reader)
+        return self._codec.decode(reader)
+
+    def set(self, i: int, value: int) -> None:
+        """Set counter *i* to *value*, re-encoding its subgroup."""
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        chunk = self._chunks[i // self._chunk_items]
+        values = self._decode_chunk(chunk)
+        values[i % self._chunk_items] = value
+        self._encode_chunk(chunk, values)
+
+    def increment(self, i: int, delta: int = 1) -> int:
+        """Add *delta* to counter *i*; return the new value."""
+        value = self.get(i) + delta
+        if value < 0:
+            raise ValueError(f"counter {i} would become negative ({value})")
+        self.set(i, value)
+        return value
+
+    def decrement(self, i: int, delta: int = 1) -> int:
+        """Subtract *delta* from counter *i*; return the new value."""
+        return self.increment(i, -delta)
+
+    def __getitem__(self, i: int) -> int:
+        return self.get(i)
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self.set(i, value)
+
+    def __len__(self) -> int:
+        return self._m
+
+    def __iter__(self) -> Iterator[int]:
+        for chunk in self._chunks:
+            yield from self._decode_chunk(chunk)
+
+    def to_list(self) -> list[int]:
+        """All counter values as a plain list."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    def storage_breakdown(self) -> dict[str, int]:
+        """Model size in bits: coded stream + C1/C2 offsets (§4.5)."""
+        stream_bits = sum(c.nbits for c in self._chunks)
+        total = max(2, stream_bits)
+        offset_bits = (total - 1).bit_length()
+        n_chunks = len(self._chunks)
+        n_groups = (n_chunks + self._group_chunks - 1) // self._group_chunks
+        return {
+            "stream": stream_bits,
+            "l1_coarse": n_groups * offset_bits,
+            "l2_offsets": n_chunks * offset_bits,
+        }
+
+    def total_bits(self) -> int:
+        """Total model size in bits."""
+        return sum(self.storage_breakdown().values())

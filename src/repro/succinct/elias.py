@@ -1,0 +1,114 @@
+"""Elias universal codes (paper §4.5).
+
+The paper's "Elias encoding" is the Elias *delta* code: for an integer
+``n >= 1`` with binary representation ``B(n)`` of length ``L(n)``, one first
+emits the gamma code ``B1(L(n))`` of the length, then ``B(n)`` with its
+leading 1 removed.  Its total length is::
+
+    L2(n) = floor(log2 n) + 2*floor(log2(floor(log2 n) + 1)) + 1
+
+(the formula quoted verbatim in §4.5).  Since the code cannot represent 0 and
+SBF counters can be 0, the paper encodes ``n + 1`` — :class:`EliasCodec`
+applies that shift so counter values round-trip unchanged.
+
+Bit conventions: codewords are produced in *stream order* as
+``(pattern, nbits)`` pairs whose first stream bit is the LSB of ``pattern``;
+they interoperate with :class:`repro.succinct.bitvector.BitWriter` /
+:class:`~repro.succinct.bitvector.BitReader`.
+"""
+
+from __future__ import annotations
+
+from repro.succinct.bitvector import BitReader
+
+
+def _reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low *nbits* bits of *value* (MSB-first <-> stream order)."""
+    out = 0
+    for _ in range(nbits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def elias_gamma_encode(n: int) -> tuple[int, int]:
+    """Gamma code of ``n >= 1`` as a stream-order ``(pattern, nbits)`` pair.
+
+    The code is ``L(n) - 1`` zeros followed by ``B(n)`` MSB-first; total
+    length ``2*L(n) - 1`` bits.
+    """
+    if n < 1:
+        raise ValueError(f"gamma code requires n >= 1, got {n}")
+    length = n.bit_length()
+    # Stream order: (length-1) zeros, then B(n) from MSB to LSB.
+    payload = _reverse_bits(n, length)
+    pattern = payload << (length - 1)
+    return pattern, 2 * length - 1
+
+
+def elias_gamma_decode(reader: BitReader) -> int:
+    """Decode one gamma codeword from *reader* and return its value."""
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+        if zeros > 64:
+            raise ValueError("malformed gamma code (65+ leading zeros)")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value
+
+
+def elias_delta_encode(n: int) -> tuple[int, int]:
+    """Delta code of ``n >= 1`` as a stream-order ``(pattern, nbits)`` pair."""
+    if n < 1:
+        raise ValueError(f"delta code requires n >= 1, got {n}")
+    length = n.bit_length()
+    head, head_bits = elias_gamma_encode(length)
+    # B(n) with its leading 1 removed, MSB-first in stream order.
+    tail_bits = length - 1
+    tail = _reverse_bits(n & ((1 << tail_bits) - 1), tail_bits)
+    return head | (tail << head_bits), head_bits + tail_bits
+
+
+def elias_delta_decode(reader: BitReader) -> int:
+    """Decode one delta codeword from *reader* and return its value."""
+    length = elias_gamma_decode(reader)
+    value = 1
+    for _ in range(length - 1):
+        value = (value << 1) | reader.read_bit()
+    return value
+
+
+def elias_delta_length(n: int) -> int:
+    """Length in bits of the delta code of ``n >= 1`` (the paper's L2)."""
+    if n < 1:
+        raise ValueError(f"delta code requires n >= 1, got {n}")
+    log_n = n.bit_length() - 1
+    return log_n + 2 * (log_n + 1).bit_length() - 2 + 1
+
+
+class EliasCodec:
+    """Counter codec: value ``v >= 0`` is stored as the delta code of ``v+1``.
+
+    This is exactly the convention of §4.5's footnote: "when encoding n, we
+    actually encode n + 1".
+    """
+
+    name = "elias"
+
+    def encode(self, value: int) -> tuple[int, int]:
+        """Stream-order ``(pattern, nbits)`` codeword for counter *value*."""
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        return elias_delta_encode(value + 1)
+
+    def decode(self, reader: BitReader) -> int:
+        """Read one codeword and return the counter value."""
+        return elias_delta_decode(reader) - 1
+
+    def length(self, value: int) -> int:
+        """Codeword length in bits for counter *value* (without encoding)."""
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        return elias_delta_length(value + 1)

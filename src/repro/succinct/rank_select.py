@@ -1,0 +1,128 @@
+"""Rank/select directory over a bit vector (paper §1.1.5, §4.7.1).
+
+The paper reduces the variable-length access problem to *select* and, in the
+level-3 flag translation of §4.7.1, uses *rank*: ``r_j = rank(F, j)`` maps a
+subgroup index to its position among the subgroups that own an offset vector.
+This module provides the classic two-level static directory:
+
+- superblocks of 512 bits store absolute cumulative popcounts;
+- 64-bit blocks store popcounts relative to their superblock;
+- a query finishes with one word popcount.
+
+``rank1`` is O(1); ``select1`` is O(log N) by binary search over the
+directory (adequate for the places the paper needs it — the structures are
+static between rebuilds, exactly the regime [Jac89, Mun96] address).
+"""
+
+from __future__ import annotations
+
+from repro.succinct.bitvector import BitVector
+
+_BLOCK = 64           # one machine word
+_SUPER = 8            # blocks per superblock -> 512 bits
+
+
+class RankDirectory:
+    """Static rank/select support for a :class:`BitVector` snapshot.
+
+    The directory is built once over the current contents; mutating the
+    underlying vector afterwards invalidates it (call :meth:`rebuild`).
+    """
+
+    def __init__(self, vector: BitVector):
+        self._vector = vector
+        self._super: list[int] = []
+        self._block: list[int] = []
+        self._total = 0
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the directory from the current vector contents."""
+        vec = self._vector
+        nwords = (len(vec) + _BLOCK - 1) // _BLOCK
+        self._super = []
+        self._block = []
+        running = 0
+        for w in range(nwords):
+            if w % _SUPER == 0:
+                self._super.append(running)
+            self._block.append(running - self._super[-1])
+            running += vec.popcount_word(w)
+        self._total = running
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ones(self) -> int:
+        """Number of set bits in the indexed vector."""
+        return self._total
+
+    def size_bits(self) -> int:
+        """Model size of the directory in bits (o(N)).
+
+        Superblock entries need ``ceil(log2 N)`` bits; block entries only
+        need ``log2 512 = 9`` bits because they are superblock-relative.
+        """
+        n = max(len(self._vector), 2)
+        super_bits = len(self._super) * max(1, (n - 1).bit_length())
+        block_bits = len(self._block) * 9
+        return super_bits + block_bits
+
+    # ------------------------------------------------------------------
+    def rank1(self, pos: int) -> int:
+        """Number of set bits in positions ``[0, pos]`` (inclusive).
+
+        ``rank1(-1)`` is 0 by convention; positions past the end count all
+        ones.  This matches the paper's footnote 2: "rank(V, j) returns the
+        number of 1 bits occurring before and including the jth bit".
+        """
+        if pos < 0:
+            return 0
+        if pos >= len(self._vector):
+            return self._total
+        word, off = divmod(pos, _BLOCK)
+        base = self._super[word // _SUPER] + self._block[word]
+        partial = self._vector.word(word) & ((1 << (off + 1)) - 1)
+        return base + partial.bit_count()
+
+    def rank0(self, pos: int) -> int:
+        """Number of zero bits in positions ``[0, pos]`` (inclusive)."""
+        if pos < 0:
+            return 0
+        pos = min(pos, len(self._vector) - 1)
+        return (pos + 1) - self.rank1(pos)
+
+    def select1(self, j: int) -> int:
+        """Position of the *j*-th set bit (1-indexed).
+
+        Raises:
+            ValueError: if fewer than *j* bits are set.
+        """
+        if j < 1 or j > self._total:
+            raise ValueError(f"select1({j}) out of range (total={self._total})")
+        # Binary search over superblocks for the last entry < j.
+        lo, hi = 0, len(self._super) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._super[mid] < j:
+                lo = mid
+            else:
+                hi = mid - 1
+        sb = lo
+        # Linear scan over the (at most 8) blocks inside the superblock.
+        word = sb * _SUPER
+        last_word = min(len(self._block), (sb + 1) * _SUPER)
+        while (word + 1 < last_word
+               and self._super[sb] + self._block[word + 1] < j):
+            word += 1
+        # Scan the final word bit by bit.
+        remaining = j - self._super[sb] - self._block[word]
+        bits = self._vector.word(word)
+        off = 0
+        while bits:
+            if bits & 1:
+                remaining -= 1
+                if remaining == 0:
+                    return word * _BLOCK + off
+            bits >>= 1
+            off += 1
+        raise AssertionError("directory inconsistent with vector")  # pragma: no cover

@@ -1,0 +1,122 @@
+"""The variable-length access problem via *select* (paper §4.1-4.2).
+
+§4.2: "It can be reduced into a select problem as follows: Create a bit
+vector V of the same size N, in which all bits are zero except those that
+are positioned at the beginning of substrings in S ... When looking for
+the beginning of the i-th substring in S, we simply have to perform
+select(V, i)."
+
+:class:`SelectAccessIndex` implements exactly that classical alternative:
+the concatenated strings live in one bit vector, a marker vector ``V``
+flags string starts, and a :class:`RankDirectory` answers ``select``.  It
+solves the *static* problem in O(1)-ish time and o(N) extra bits — but, as
+§4.2 stresses, "it fails to meet the demands for updates": any length
+change moves all following markers and forces a directory rebuild, which
+is why the paper invents the String-Array Index.  The comparison benchmark
+and tests quantify both sides of that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rank_select import RankDirectory
+
+
+def _width_of(value: int) -> int:
+    return max(1, value.bit_length())
+
+
+class SelectAccessIndex:
+    """Static variable-length counter array backed by select (§4.2).
+
+    Counters are packed back to back with *no* slack; a marker vector with
+    a rank/select directory locates the *i*-th field.  ``set`` supports
+    same-or-narrower writes in place; any width growth rebuilds the whole
+    structure (the behaviour §4.2 criticises — O(N) per growing update).
+    """
+
+    def __init__(self, counts: Iterable[int]):
+        values = [int(v) for v in counts]
+        if any(v < 0 for v in values):
+            raise ValueError("counter values must be non-negative")
+        if not values:
+            raise ValueError("SelectAccessIndex needs at least one counter")
+        self._m = len(values)
+        self.rebuilds = 0
+        self._build(values)
+
+    def _build(self, values: list[int]) -> None:
+        widths = [_width_of(v) for v in values]
+        self._widths = widths
+        total = sum(widths)
+        self._data = BitVector(total)
+        self._markers = BitVector(total)
+        pos = 0
+        for value, width in zip(values, widths):
+            self._markers.set_bit(pos)
+            self._data.write(pos, width, value)
+            pos += width
+        self._directory = RankDirectory(self._markers)
+
+    # ------------------------------------------------------------------
+    def position(self, i: int) -> int:
+        """Bit offset of counter *i* — one ``select(V, i+1)`` query."""
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        return self._directory.select1(i + 1)
+
+    def get(self, i: int) -> int:
+        """Value of counter *i*."""
+        return self._data.read(self.position(i), self._widths[i])
+
+    def set(self, i: int, value: int) -> None:
+        """Set counter *i*; width growth triggers a full O(N) rebuild."""
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        if _width_of(value) <= self._widths[i]:
+            self._data.write(self.position(i), self._widths[i], value)
+            return
+        values = self.to_list()
+        values[i] = value
+        self.rebuilds += 1
+        self._build(values)
+
+    def increment(self, i: int, delta: int = 1) -> int:
+        """Add *delta* to counter *i*; return the new value."""
+        value = self.get(i) + delta
+        if value < 0:
+            raise ValueError(f"counter {i} would become negative ({value})")
+        self.set(i, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._m
+
+    def __getitem__(self, i: int) -> int:
+        return self.get(i)
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._m):
+            yield self.get(i)
+
+    def to_list(self) -> list[int]:
+        """All counter values as a plain list."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    def storage_breakdown(self) -> dict[str, int]:
+        """Bits: packed data + marker vector + rank/select directory."""
+        return {
+            "data": len(self._data),
+            "markers": len(self._markers),
+            "directory": self._directory.size_bits(),
+        }
+
+    def total_bits(self) -> int:
+        """Total model size in bits."""
+        return sum(self.storage_breakdown().values())

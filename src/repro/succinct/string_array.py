@@ -1,0 +1,484 @@
+"""The String-Array Index (paper §4.3, §4.4, §4.6, §4.7).
+
+The SBF packs ``m`` counters of *variable* bit width back to back in a base
+bit array; the string-array index is the auxiliary structure that returns
+the bit position of the *i*-th counter in O(1) time while occupying only
+``o(N) + O(m)`` bits.  It is built from the paper's three building blocks:
+
+1. **Coarse offset vectors** — the level-1 array ``C1`` stores the absolute
+   offset of every group of ``~log N`` items; level-2 arrays store the
+   offsets of ``~log log N``-item chunks inside each group.
+2. **Offset vectors** — groups whose bit size exceeds ``(log N)^3`` get a
+   complete per-item offset vector (level 2); chunks whose bit size exceeds
+   ``(log log N)^3`` get a per-item offset vector (level 3).
+3. **A global lookup table** — small chunks are resolved through a table
+   keyed by the encoded sequence of item lengths ``L(S'')``, which maps
+   ``(lengths, j)`` to the offset of the *j*-th item.  We realise the table
+   lazily (entries materialise on first use), so its accounted size reflects
+   the length-combinations that actually occur, exactly the quantity the
+   paper's Figure 14 plots.
+
+Dynamic updates (§4.4) are supported through slack bits: each chunk is
+allocated a little more capacity than it uses, and each group keeps a slack
+tail.  When a counter outgrows its field, the items after it *push* right
+into the chunk slack; when a chunk overflows, it grows into the group slack
+(shifting the following chunks); when a group overflows, the entire
+structure is refreshed — the paper's periodic rebuild, amortised O(1) per
+update.  Deletions never shrink fields in place (§4.4: "Delete operations
+only affect individual counters, and do not affect their positions"); the
+width reclaimed by deletions is recovered at the next refresh.
+
+Deviation from the paper, documented for reviewers: the paper intersperses
+one slack bit every ``1/eps`` items; we place the equivalent slack at chunk
+and group tails instead.  This keeps items inside a chunk contiguous (so the
+lookup table stays a pure function of the chunk's length sequence) while
+preserving the amortised O(1) push argument — a push still travels an O(1)
+expected number of items to reach free space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.elias import elias_delta_length
+
+
+def _width_of(value: int) -> int:
+    """Bit width used to store *value* (zero occupies one bit)."""
+    return max(1, value.bit_length())
+
+
+class _Group:
+    """Bookkeeping for one level-1 group of items."""
+
+    __slots__ = ("start", "capacity", "chunk_size", "complete",
+                 "chunk_offsets", "chunk_caps", "chunk_used", "item_offsets")
+
+    def __init__(self) -> None:
+        self.start = 0            # absolute bit offset of the group
+        self.capacity = 0         # bits allocated to the group (incl. slack)
+        self.chunk_size = 1       # items per chunk in this group
+        self.complete = False     # True -> complete level-2 offset vector
+        self.chunk_offsets: list[int] = []   # chunk starts, group-relative
+        self.chunk_caps: list[int] = []      # bits allocated per chunk
+        self.chunk_used: list[int] = []      # bits used per chunk
+        # Per-chunk item offset vectors (chunk-relative); None means the
+        # chunk is resolved through the global lookup table.
+        self.item_offsets: list[list[int] | None] = []
+
+
+class _NeedRebuild(Exception):
+    """Internal signal: the in-place push ran out of slack."""
+
+
+class StringArrayIndex:
+    """O(1)-access array of ``m`` variable-length counters (paper §4).
+
+    Args:
+        counts: initial counter values (any iterable of non-negative ints).
+        chunk_slack: slack bits appended to every chunk at (re)build time.
+        group_slack: minimum slack bits appended to every group; the actual
+            group slack also scales with the group's used size so heavy
+            groups get proportionally more headroom.
+        group_items / chunk_items: override the ``log N`` / ``log log N``
+            derived group and chunk sizes (mostly for tests).
+        reduction_c: the §4.6 storage-reduction exponent ``c >= 0``.
+            Groups grow to ``(log N)^(1+c)`` items and chunks to
+            ``(log log N)^(1+c)``, cutting the index overhead towards
+            ``o(N/(log log N)^c)`` bits at the cost of longer shifts per
+            push (Theorem 9's trade-off).
+
+    The structure exposes list-like access (:meth:`get`, :meth:`set`,
+    ``len``), counter arithmetic (:meth:`increment`, :meth:`decrement`) and
+    per-component storage accounting (:meth:`storage_breakdown`).
+    """
+
+    def __init__(self, counts: Iterable[int], *, chunk_slack: int = 4,
+                 group_slack: int = 16, group_items: int | None = None,
+                 chunk_items: int | None = None,
+                 reduction_c: float = 0.0):
+        values = [int(v) for v in counts]
+        if any(v < 0 for v in values):
+            raise ValueError("counter values must be non-negative")
+        if not values:
+            raise ValueError("StringArrayIndex needs at least one counter")
+        if reduction_c < 0:
+            raise ValueError(
+                f"reduction_c must be >= 0, got {reduction_c}")
+        self._m = len(values)
+        self._chunk_slack = int(chunk_slack)
+        self._group_slack = int(group_slack)
+        self._group_items_override = group_items
+        self._chunk_items_override = chunk_items
+        self._reduction_c = float(reduction_c)
+        # Lazily-materialised global lookup table:
+        #   lengths tuple -> tuple of prefix offsets (chunk-relative).
+        self._table: dict[tuple[int, ...], tuple[int, ...]] = {}
+        # Operation statistics (exposed for the benchmarks).
+        self.pushes = 0
+        self.chunk_grows = 0
+        self.rebuilds = 0
+        self._deleted_bits = 0
+        self._build(values)
+
+    # ------------------------------------------------------------------
+    # construction / rebuild
+    # ------------------------------------------------------------------
+    def _derive_parameters(self, total_width: int) -> tuple[int, int, int, int]:
+        """Derive (g1, g2, complete_threshold, table_threshold) from N."""
+        n_bits = max(16, total_width)
+        log_n = max(4, n_bits.bit_length())           # ~ log2 N
+        loglog_n = max(2, log_n.bit_length())          # ~ log2 log2 N
+        # §4.6: exponent 1+c on the group/chunk sizes, and the matching
+        # thresholds (complete vectors above ~(log N)^(2+2c) bits, lookup
+        # table below T0'' = (3+6c)(log log N)^(2+2c)) trade lookup-time
+        # constants for an index smaller by a (log log N)^c-ish factor.
+        c = self._reduction_c
+        scale = 1.0 + c
+        g1 = self._group_items_override or max(2, round(log_n ** scale))
+        g2 = self._chunk_items_override or max(2, round(loglog_n ** scale))
+        g2 = min(g2, g1)
+        complete_threshold = round(log_n ** (3 * scale))
+        table_threshold = round((3 + 6 * c) / 3
+                                * loglog_n ** (2 + 2 * c) * loglog_n)
+        return g1, g2, complete_threshold, table_threshold
+
+    def _build(self, values: list[int]) -> None:
+        # The lookup table is a cache over the *current* length sequences;
+        # a rebuild invalidates old entries, so drop them from the
+        # accounting rather than letting dead keys accumulate.
+        self._table.clear()
+        widths = [_width_of(v) for v in values]
+        total_width = sum(widths)
+        g1, g2, complete_thr, table_thr = self._derive_parameters(total_width)
+        self._g1 = g1
+        self._table_threshold = table_thr
+        self._widths = widths
+        self._groups: list[_Group] = []
+        base = BitVector()
+        pos = 0
+        for g_start in range(0, self._m, g1):
+            g_items = list(range(g_start, min(g_start + g1, self._m)))
+            group_bits = sum(widths[i] for i in g_items)
+            group = _Group()
+            group.start = pos
+            group.complete = group_bits > complete_thr
+            group.chunk_size = len(g_items) if group.complete else g2
+            rel = 0
+            for c_start in range(0, len(g_items), group.chunk_size):
+                c_items = g_items[c_start:c_start + group.chunk_size]
+                used = sum(widths[i] for i in c_items)
+                cap = used + self._chunk_slack
+                group.chunk_offsets.append(rel)
+                group.chunk_caps.append(cap)
+                group.chunk_used.append(used)
+                if group.complete or used > table_thr:
+                    offsets = []
+                    acc = 0
+                    for i in c_items:
+                        offsets.append(acc)
+                        acc += widths[i]
+                    group.item_offsets.append(offsets)
+                else:
+                    group.item_offsets.append(None)
+                # Write the counter fields into the base array.
+                cursor = pos + rel
+                for i in c_items:
+                    base.write(cursor, widths[i], values[i])
+                    cursor += widths[i]
+                rel += cap
+            slack = max(self._group_slack, group_bits // 16)
+            group.capacity = rel + slack
+            pos += group.capacity
+            self._groups.append(group)
+        # Materialise the full allocation so nbits reflects the slack too.
+        if pos > 0:
+            base.write(pos - 1, 1, base.get_bit(pos - 1))
+        self._base = base
+        self._total_capacity = pos
+        self._deleted_bits = 0
+
+    def rebuild(self) -> None:
+        """Refresh the layout: re-pack all counters with fresh slack.
+
+        This is the paper's periodic refresh (§4.4): after it, every chunk
+        has its full slack again and widths match the current values.
+        """
+        values = list(self)
+        self.rebuilds += 1
+        self._build(values)
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def _locate(self, i: int) -> tuple[_Group, int, int, int]:
+        """Return (group, chunk index, index in chunk, absolute bit pos)."""
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        g, within = divmod(i, self._g1)
+        group = self._groups[g]
+        c, j = divmod(within, group.chunk_size)
+        chunk_start = group.start + group.chunk_offsets[c]
+        offsets = group.item_offsets[c]
+        if offsets is not None:
+            rel = offsets[j]
+        else:
+            key = self._chunk_lengths(g, c)
+            rel = self._table_offsets(key)[j]
+        return group, c, j, chunk_start + rel
+
+    def _chunk_lengths(self, g: int, c: int) -> tuple[int, ...]:
+        """The length sequence L(S'') of chunk *c* in group *g*."""
+        group = self._groups[g]
+        first = g * self._g1 + c * group.chunk_size
+        last = min(first + group.chunk_size, self._m,
+                   (g + 1) * self._g1)
+        return tuple(self._widths[first:last])
+
+    #: chunks longer than this many items bypass the memoised table: their
+    #: length sequences are almost always unique, so caching them would
+    #: balloon the realised table.  They store L(S'') inline and pay a
+    #: short scan instead — the §4.5 regime, which is exactly what the
+    #: larger chunks of a §4.6-reduced index are meant to do.
+    _TABLE_KEY_MAX_ITEMS = 8
+
+    def _table_offsets(self, key: tuple[int, ...]) -> tuple[int, ...]:
+        """Lookup-table access: prefix offsets for a length sequence."""
+        cached = self._table.get(key)
+        if cached is None:
+            acc = 0
+            offsets = []
+            for width in key:
+                offsets.append(acc)
+                acc += width
+            cached = tuple(offsets)
+            if len(key) <= self._TABLE_KEY_MAX_ITEMS:
+                self._table[key] = cached
+        return cached
+
+    def position(self, i: int) -> int:
+        """Absolute bit offset of counter *i* in the base array."""
+        return self._locate(i)[3]
+
+    def width(self, i: int) -> int:
+        """Current field width (bits) of counter *i*."""
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        return self._widths[i]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, i: int) -> int:
+        """Return the value of counter *i*."""
+        _group, _c, _j, pos = self._locate(i)
+        return self._base.read(pos, self._widths[i])
+
+    def __getitem__(self, i: int) -> int:
+        return self.get(i)
+
+    def __len__(self) -> int:
+        return self._m
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._m):
+            yield self.get(i)
+
+    def to_list(self) -> list[int]:
+        """All counter values as a plain list."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def set(self, i: int, value: int) -> None:
+        """Set counter *i* to *value* (>= 0), expanding its field if needed."""
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        old_width = self._widths[i]
+        new_width = _width_of(value)
+        if new_width <= old_width:
+            # In-place write; deletions keep the field width (§4.4).
+            _g, _c, _j, pos = self._locate(i)
+            self._base.write(pos, old_width, value)
+            if new_width < old_width:
+                self._deleted_bits += old_width - new_width
+                if self._deleted_bits * 4 > max(64, self._total_capacity):
+                    self.rebuild()
+            return
+        try:
+            self._expand(i, new_width)
+        except _NeedRebuild:
+            # Read everything out with the *old* layout, then refresh.
+            values = list(self)
+            values[i] = value
+            self.rebuilds += 1
+            self._build(values)
+            return
+        _g, _c, _j, pos = self._locate(i)
+        self._base.write(pos, new_width, value)
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self.set(i, value)
+
+    def increment(self, i: int, delta: int = 1) -> int:
+        """Add *delta* (may be negative) to counter *i*; return new value.
+
+        Raises:
+            ValueError: if the result would be negative.
+        """
+        value = self.get(i) + delta
+        if value < 0:
+            raise ValueError(
+                f"counter {i} would become negative ({value})"
+            )
+        self.set(i, value)
+        return value
+
+    def decrement(self, i: int, delta: int = 1) -> int:
+        """Subtract *delta* from counter *i*; return the new value."""
+        return self.increment(i, -delta)
+
+    # ------------------------------------------------------------------
+    # expansion machinery (§4.4)
+    # ------------------------------------------------------------------
+    def _expand(self, i: int, new_width: int) -> None:
+        """Grow counter *i*'s field to *new_width* bits, pushing as needed."""
+        group, c, j, pos = self._locate(i)
+        old_width = self._widths[i]
+        delta = new_width - old_width
+        free = group.chunk_caps[c] - group.chunk_used[c]
+        if free < delta:
+            self._grow_chunk(group, c, delta - free)
+            # Chunk start may have moved only for *later* chunks; item pos
+            # inside chunk c is unchanged, but recompute to stay safe.
+            pos = self._locate(i)[3]
+        # Shift the items after i inside the chunk to the right by delta.
+        g_index = i // self._g1
+        first = g_index * self._g1 + c * group.chunk_size
+        last = min(first + group.chunk_size, self._m,
+                   (g_index + 1) * self._g1)
+        tail_bits = sum(self._widths[x] for x in range(i + 1, last))
+        if tail_bits:
+            self._base.move_range(pos + old_width, tail_bits,
+                                  pos + new_width)
+            self.pushes += 1
+        # Preserve the old value bits in the widened field (caller rewrites).
+        old_value = self._base.read(pos, old_width)
+        self._base.write(pos, new_width, old_value)
+        self._widths[i] = new_width
+        group.chunk_used[c] += delta
+        offsets = group.item_offsets[c]
+        if offsets is not None:
+            for x in range(j + 1, len(offsets)):
+                offsets[x] += delta
+        elif group.chunk_used[c] > self._table_threshold:
+            # The chunk outgrew the lookup table: give it a level-3 vector.
+            key = self._chunk_lengths(g_index, c)
+            group.item_offsets[c] = list(self._table_offsets(key))
+
+    def _grow_chunk(self, group: _Group, c: int, need: int) -> None:
+        """Grow chunk *c* of *group* by at least *need* bits of capacity."""
+        grow = max(need, self._chunk_slack)
+        last = len(group.chunk_caps) - 1
+        used_end = group.chunk_offsets[last] + group.chunk_caps[last]
+        group_free = group.capacity - used_end
+        if group_free < grow:
+            raise _NeedRebuild()
+        self.chunk_grows += 1
+        if c < last:
+            block_src = group.start + group.chunk_offsets[c + 1]
+            block_len = used_end - group.chunk_offsets[c + 1]
+            self._base.move_range(block_src, block_len, block_src + grow)
+            for x in range(c + 1, last + 1):
+                group.chunk_offsets[x] += grow
+        group.chunk_caps[c] += grow
+
+    # ------------------------------------------------------------------
+    # storage accounting (Figures 13-15)
+    # ------------------------------------------------------------------
+    def storage_breakdown(self) -> dict[str, int]:
+        """Model size in bits of every component of the structure.
+
+        Keys match the stacked components of the paper's Figure 14:
+
+        - ``base_array``: the packed counters including all slack bits;
+        - ``l1_coarse``: the level-1 coarse offset array ``C1``;
+        - ``l2_offsets``: level-2 structures (chunk coarse offsets, plus
+          complete offset vectors for oversized groups);
+        - ``l3_offsets``: per-item offset vectors of oversized chunks;
+        - ``lookup_table``: the realised global lookup table (each entry
+          pays its Elias-coded length key L(S'') plus its offset payload);
+        - ``length_encodings``: per-chunk handles into the realised table
+          (``ceil(log2 |table|)`` bits each).  §4.7 invites exactly this
+          kind of practical alteration: since our table stores only the
+          length sequences that actually occur, a chunk can reference its
+          entry with a handle instead of repeating the full L(S'') string;
+        - ``flags``: the per-chunk vector-vs-table flag bits of §4.7.1.
+        """
+        total = max(2, self._total_capacity)
+        offset_bits = (total - 1).bit_length()
+        l1 = len(self._groups) * offset_bits
+        l2 = 0
+        l3 = 0
+        table_chunks = 0
+        scan_lengths = 0
+        flags = 0
+        for g_index, group in enumerate(self._groups):
+            rel_bits = max(1, (max(2, group.capacity) - 1).bit_length())
+            if group.complete:
+                # One complete level-2 offset vector for the whole group.
+                count = sum(len(v) for v in group.item_offsets if v)
+                l2 += count * rel_bits
+                continue
+            l2 += len(group.chunk_offsets) * rel_bits
+            flags += len(group.chunk_offsets)
+            for c, offsets in enumerate(group.item_offsets):
+                chunk_bits = max(2, group.chunk_caps[c])
+                chunk_off_bits = (chunk_bits - 1).bit_length()
+                if offsets is not None:
+                    l3 += len(offsets) * chunk_off_bits
+                elif group.chunk_size <= self._TABLE_KEY_MAX_ITEMS:
+                    table_chunks += 1
+                else:
+                    # §4.5-regime chunk: stores its L(S'') inline and is
+                    # decoded by a short scan instead of the table.
+                    for width in self._chunk_lengths(g_index, c):
+                        scan_lengths += elias_delta_length(width)
+        # Each realised table entry stores its length key once; table
+        # chunks reference entries through a log2(|table|)-bit handle.
+        handle_bits = max(1, max(2, len(self._table)).bit_length())
+        lengths = table_chunks * handle_bits + scan_lengths
+        table = 0
+        for key, value in self._table.items():
+            key_bits = sum(elias_delta_length(w) for w in key)
+            val_bits = len(value) * max(1, (self._table_threshold).bit_length())
+            table += key_bits + val_bits
+        return {
+            "base_array": self._total_capacity,
+            "l1_coarse": l1,
+            "l2_offsets": l2,
+            "l3_offsets": l3,
+            "lookup_table": table,
+            "length_encodings": lengths,
+            "flags": flags,
+        }
+
+    def total_bits(self) -> int:
+        """Total model size in bits (sum of the storage breakdown)."""
+        return sum(self.storage_breakdown().values())
+
+    def index_bits(self) -> int:
+        """Index overhead in bits: everything except the base array."""
+        breakdown = self.storage_breakdown()
+        return sum(v for k, v in breakdown.items() if k != "base_array")
+
+    def raw_bits(self) -> int:
+        """Bits occupied by the counter fields alone (no slack, no index)."""
+        return sum(self._widths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StringArrayIndex(m={self._m}, "
+                f"base={self._total_capacity} bits, "
+                f"rebuilds={self.rebuilds})")

@@ -1,0 +1,12 @@
+"""Shared pytest configuration for the reproduction test suite."""
+
+from hypothesis import settings, HealthCheck
+
+# The string-array index tests drive fairly heavy stateful machinery; keep
+# hypothesis deadlines off so slow CI boxes don't flake.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,128 @@
+"""Tests for the §3.1.1 variance analysis and the [Mit01] compressed
+Bloom filter sizing."""
+
+import math
+
+import pytest
+
+from repro.analysis.compressed import (
+    best_configuration,
+    classic_configuration,
+    compressed_size,
+    entropy_bits,
+    fill_probability,
+)
+from repro.analysis.variance import (
+    boosting_is_practical,
+    counter_error_variance,
+    max_supported_total,
+    median_failure_probability,
+    required_group_size,
+    required_groups,
+)
+
+
+class TestVarianceAnalysis:
+    def test_variance_matches_expected_error(self):
+        """§3.1.1: 'the variance almost equals the expected size of the
+        error' (N - f_x) k / m."""
+        assert counter_error_variance(10_000, 100, 5, 7000) == \
+            pytest.approx((10_000 - 100) * 5 / 7000)
+
+    def test_paper_k2_example(self):
+        """'For error of 0.1, this gives a k2 of 55'."""
+        assert required_groups(0.1) == 56 or required_groups(0.1) == 55
+        # ceil(24 * ln 10) = ceil(55.26) = 56; the paper rounds down.
+        assert math.isclose(24 * math.log(10), 55.26, abs_tol=0.01)
+
+    def test_paper_t4_example(self):
+        """'If, for example, we allow t = 4, N cannot exceed 4m'."""
+        m = 1000
+        assert max_supported_total(m, 4.0) == pytest.approx(4 * m)
+
+    def test_group_size_formula(self):
+        # k1 = 4 N k / (m t^2)
+        assert required_group_size(1000, 5, 1000, 2.0) == pytest.approx(5.0)
+
+    def test_median_failure_probability(self):
+        """P(median off) < e^(-k2/24)."""
+        assert median_failure_probability(24) == pytest.approx(math.exp(-1))
+        assert median_failure_probability(56) < 0.1
+
+    def test_boosting_impractical_for_realistic_filters(self):
+        """The section's conclusion, as an executable assertion."""
+        # n=1000 items, M=100k stream, gamma=0.7 filter with k=5.
+        assert not boosting_is_practical(100_000, 5, 7143)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counter_error_variance(10, 100, 5, 100)
+        with pytest.raises(ValueError):
+            counter_error_variance(100, 1, 0, 100)
+        with pytest.raises(ValueError):
+            required_groups(0.0)
+        with pytest.raises(ValueError):
+            required_group_size(100, 5, 100, 0)
+        with pytest.raises(ValueError):
+            max_supported_total(0, 1)
+        with pytest.raises(ValueError):
+            max_supported_total(10, 0)
+        with pytest.raises(ValueError):
+            median_failure_probability(0)
+
+
+class TestCompressedBloom:
+    def test_fill_probability(self):
+        assert fill_probability(0, 5, 100) == 0.0
+        assert 0 < fill_probability(100, 5, 1000) < 1
+
+    def test_entropy_extremes(self):
+        assert entropy_bits(100, 0.0) == 0.0
+        assert entropy_bits(100, 1.0) == 0.0
+        assert entropy_bits(100, 0.5) == pytest.approx(100.0)
+
+    def test_optimal_filter_is_incompressible(self):
+        """[Mit01]/§1.1.3: at the space-optimal point p = 0.5, compression
+        buys nothing."""
+        n = 1000
+        m = 10_000
+        k = round(math.log(2) * m / n)
+        p = fill_probability(n, k, m)
+        assert p == pytest.approx(0.5, abs=0.02)
+        assert compressed_size(n, k, m) == pytest.approx(m, rel=0.01)
+
+    def test_compressed_optimum_beats_classic_at_equal_wire_size(self):
+        """The [Mit01] headline: for the same transmitted bits, a larger
+        sparser local filter has a lower false-positive rate."""
+        n = 1000
+        budget = 8000
+        _classic_k, classic_rate = classic_configuration(n, budget)
+        m, k, rate = best_configuration(n, budget)
+        assert compressed_size(n, k, m) <= budget
+        assert rate < classic_rate
+        assert m > budget           # locally larger...
+        assert k < _classic_k       # ...with fewer hash functions
+
+    def test_budget_respected(self):
+        m, k, _rate = best_configuration(500, 4000)
+        assert compressed_size(500, k, m) <= 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fill_probability(10, 0, 100)
+        with pytest.raises(ValueError):
+            entropy_bits(10, 1.5)
+        with pytest.raises(ValueError):
+            best_configuration(100, 0)
+        with pytest.raises(ValueError):
+            best_configuration(0, 100)
+
+    def test_matches_live_filter_entropy(self):
+        """The analytic compressed size tracks a real filter's
+        compressed_bits()."""
+        from repro import BloomFilter
+        n, m, k = 800, 12_000, 3
+        bf = BloomFilter(m, k, seed=2)
+        bf.update(range(n))
+        assert bf.compressed_bits() == pytest.approx(
+            compressed_size(n, k, m), rel=0.05)

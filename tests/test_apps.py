@@ -1,0 +1,370 @@
+"""Tests for the §5 applications."""
+
+import collections
+import random
+
+import pytest
+
+from repro.apps.aggregates import AggregateIndex
+from repro.apps.bifocal import BifocalEstimator
+from repro.apps.bloomjoin import (
+    bloomjoin,
+    exact_grouped_join_count,
+    spectral_bloomjoin_count,
+    spectral_bloomjoin_threshold,
+)
+from repro.apps.iceberg import IcebergIndex, MultiscanIceberg
+from repro.apps.range_query import RangeTreeSBF
+from repro.apps.sliding_window import SlidingWindowSBF
+from repro.data.streams import insertion_stream
+from repro.db.relation import Relation
+from repro.db.site import two_sites
+
+
+def make_relations(seed=0, n_r=400, n_s=700, domain_r=60, domain_s=90):
+    rng = random.Random(seed)
+    r = Relation("R", ("a", "payload"),
+                 [(rng.randrange(domain_r), i) for i in range(n_r)])
+    s = Relation("S", ("a", "other"),
+                 [(rng.randrange(domain_s), i) for i in range(n_s)])
+    return r, s
+
+
+class TestAggregateIndex:
+    def setup_method(self):
+        self.r, _ = make_relations(seed=1)
+        self.index = AggregateIndex(self.r, "a", seed=1)
+
+    def test_count_one_sided(self):
+        for value in self.r.distinct("a"):
+            assert self.index.count(value) >= self.index.exact_count(value)
+
+    def test_count_mostly_exact(self):
+        wrong = sum(1 for v in self.r.distinct("a")
+                    if self.index.count(v) != self.index.exact_count(v))
+        assert wrong <= 2
+
+    def test_count_many_and_sum(self):
+        values = sorted(self.r.distinct("a"))[:10]
+        exact_count = sum(self.index.exact_count(v) for v in values)
+        exact_sum = sum(v * self.index.exact_count(v) for v in values)
+        assert self.index.count_many(values) >= exact_count
+        assert self.index.sum(values) >= exact_sum * 0.999
+
+    def test_avg(self):
+        values = sorted(self.r.distinct("a"))
+        approx = self.index.avg(values)
+        truths = list(self.r.scan("a"))
+        exact = sum(truths) / len(truths)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_max_present(self):
+        assert self.index.max_present([10**9, -5]) is None or \
+            self.index.max_present([10**9, -5]) == 10**9  # FP possible
+        top = max(self.r.distinct("a"))
+        assert self.index.max_present([top]) == top
+
+    def test_insert_row_keeps_sync(self):
+        before = self.index.count(7)
+        self.index.insert_row((7, "new"))
+        assert self.index.count(7) >= before + 1
+
+    def test_delete_value(self):
+        index = AggregateIndex(self.r, "a", method="rm", seed=2)
+        value = next(iter(self.r.distinct("a")))
+        before = index.count(value)
+        index.delete_value(value)
+        assert index.count(value) <= before
+
+    def test_storage_bits(self):
+        assert self.index.storage_bits() > 0
+
+
+class TestIcebergIndex:
+    def setup_method(self):
+        self.stream = insertion_stream(300, 9000, 1.1, seed=3)
+        self.truth = collections.Counter(self.stream)
+        self.index = IcebergIndex(m=3000, seed=3)
+        self.index.consume(self.stream)
+
+    def test_no_false_negatives_any_threshold(self):
+        """The ad-hoc property: thresholds chosen after the build."""
+        for threshold in (2, 10, 50, 200):
+            reported = set(self.index.query(threshold))
+            true_iceberg = {x for x, c in self.truth.items()
+                            if c >= threshold}
+            assert true_iceberg <= reported
+
+    def test_false_positive_rate_small(self):
+        reported = set(self.index.query(50))
+        true_iceberg = {x for x, c in self.truth.items() if c >= 50}
+        extras = reported - true_iceberg
+        assert len(extras) <= max(2, 0.05 * len(self.truth))
+
+    def test_verified_query_is_exact(self):
+        for threshold in (5, 50):
+            verified = self.index.verified_query(threshold,
+                                                 dict(self.truth))
+            assert set(verified) == {x for x, c in self.truth.items()
+                                     if c >= threshold}
+
+    def test_scan_query(self):
+        reported = list(self.index.scan_query(self.stream, 50))
+        assert len(reported) == len(set(reported))
+        true_iceberg = {x for x, c in self.truth.items() if c >= 50}
+        assert true_iceberg <= set(reported)
+
+    def test_passes(self):
+        heavy = self.truth.most_common(1)[0][0]
+        assert self.index.passes(heavy, self.truth[heavy])
+
+    def test_without_key_tracking(self):
+        index = IcebergIndex(m=3000, seed=3, track_keys=False)
+        index.consume(self.stream)
+        with pytest.raises(RuntimeError):
+            index.query(5)
+        assert set(index.scan_query(self.stream, 50))
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            self.index.query(0)
+        with pytest.raises(ValueError):
+            list(self.index.scan_query([], 0))
+
+    def test_storage_bits(self):
+        assert self.index.storage_bits() > 0
+
+
+class TestMultiscanIceberg:
+    def test_no_false_negatives(self):
+        stream = insertion_stream(200, 6000, 1.2, seed=4)
+        truth = collections.Counter(stream)
+        cascade = MultiscanIceberg([400, 200], threshold=40, seed=4)
+        candidates = cascade.run(stream)
+        true_iceberg = {x for x, c in truth.items() if c >= 40}
+        assert true_iceberg <= candidates
+        assert cascade.scans_performed() == 2
+
+    def test_stages_filter_progressively(self):
+        """With reasonable stage sizes the candidate pool shrinks well
+        below the distinct count."""
+        stream = insertion_stream(500, 10_000, 1.3, seed=5)
+        truth = collections.Counter(stream)
+        cascade = MultiscanIceberg([1500, 800], threshold=100, seed=5)
+        candidates = cascade.run(stream)
+        assert len(candidates) < len(truth) / 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MultiscanIceberg([], threshold=5)
+        with pytest.raises(ValueError):
+            MultiscanIceberg([100], threshold=0)
+
+
+class TestBloomjoin:
+    def setup_method(self):
+        self.r, self.s = make_relations(seed=6)
+        self.site1, self.site2, self.net = two_sites()
+        self.site1.store(self.r)
+        self.site2.store(self.s)
+
+    def test_join_result_is_exact(self):
+        """Bloomjoin never loses tuples (BF has no false negatives)."""
+        joined = bloomjoin(self.site1, "R", self.site2, "S", "a",
+                           m=2048, seed=6)
+        exact = self.r.join(self.s, "a")
+        assert sorted(joined.rows) == sorted(exact.rows)
+
+    def test_traffic_savings_vs_shipping_everything(self):
+        """The filter transmission must beat shipping all of S."""
+        bloomjoin(self.site1, "R", self.site2, "S", "a", m=2048, seed=6)
+        from repro.db.site import tuple_bits
+        naive = tuple_bits(self.s.rows)
+        assert self.net.total_bits < naive + 2048
+        assert self.net.rounds == 2
+
+    def test_spectral_count_one_round(self):
+        counts = spectral_bloomjoin_count(self.site1, "R", self.site2,
+                                          "S", "a", m=8192, seed=6)
+        truth = exact_grouped_join_count(self.r, self.s, "a")
+        assert self.net.rounds == 1
+        for value, c in truth.items():
+            assert counts.get(value, 0) >= c
+
+    def test_spectral_count_mostly_exact(self):
+        counts = spectral_bloomjoin_count(self.site1, "R", self.site2,
+                                          "S", "a", m=8192, seed=6)
+        truth = exact_grouped_join_count(self.r, self.s, "a")
+        wrong = sum(1 for v, c in truth.items() if counts.get(v) != c)
+        assert wrong <= max(1, 0.05 * len(truth))
+
+    def test_spectral_threshold(self):
+        truth = exact_grouped_join_count(self.r, self.s, "a")
+        t = sorted(truth.values())[len(truth) // 2]
+        result = spectral_bloomjoin_threshold(self.site1, "R", self.site2,
+                                              "S", "a", t, m=8192, seed=6)
+        true_pass = {v for v, c in truth.items() if c >= t}
+        assert true_pass <= set(result)
+
+    def test_spectral_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            spectral_bloomjoin_threshold(self.site1, "R", self.site2, "S",
+                                         "a", 0)
+
+
+class TestBifocal:
+    def test_exact_oracle_estimate_close(self):
+        r, s = make_relations(seed=7, n_r=2000, n_s=3000)
+        est = BifocalEstimator(r, s, "a", sample_size=800, use_sbf=False,
+                               seed=7)
+        assert est.relative_error() < 0.35
+
+    def test_sbf_oracle_close_to_exact_oracle(self):
+        """§5.4: replacing the t-index with an SBF adds only a small
+        one-sided deviation."""
+        r, s = make_relations(seed=8, n_r=2000, n_s=3000)
+        exact_est = BifocalEstimator(r, s, "a", sample_size=800,
+                                     use_sbf=False, seed=8).estimate()
+        sbf_est = BifocalEstimator(r, s, "a", sample_size=800,
+                                   use_sbf=True, seed=8).estimate()
+        assert sbf_est == pytest.approx(exact_est, rel=0.15)
+
+    def test_exact_join_size(self):
+        r = Relation("R", ("a",), [(1,), (1,), (2,)])
+        s = Relation("S", ("a",), [(1,), (2,), (2,)])
+        est = BifocalEstimator(r, s, "a", sample_size=3, seed=1)
+        assert est.exact() == 2 * 1 + 1 * 2
+
+    def test_invalid_sample_size(self):
+        r, s = make_relations(seed=9)
+        with pytest.raises(ValueError):
+            BifocalEstimator(r, s, "a", sample_size=0)
+
+
+class TestRangeTree:
+    def setup_method(self):
+        self.tree = RangeTreeSBF(0, 127, m=30_000, k=4, seed=10)
+        rng = random.Random(10)
+        self.data = [rng.randrange(128) for _ in range(1500)]
+        for v in self.data:
+            self.tree.insert(v)
+
+    def true_range(self, lo, hi):
+        return sum(1 for v in self.data if lo <= v <= hi)
+
+    def test_point_queries(self):
+        counts = collections.Counter(self.data)
+        wrong = sum(1 for v, c in counts.items()
+                    if self.tree.count(v) != c)
+        assert wrong <= 3
+
+    def test_range_counts_one_sided(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            lo = rng.randrange(128)
+            hi = rng.randrange(lo, 128)
+            assert self.tree.range_count(lo, hi) >= self.true_range(lo, hi)
+
+    def test_range_counts_mostly_exact(self):
+        rng = random.Random(12)
+        wrong = 0
+        for _ in range(30):
+            lo = rng.randrange(128)
+            hi = rng.randrange(lo, 128)
+            if self.tree.range_count(lo, hi) != self.true_range(lo, hi):
+                wrong += 1
+        assert wrong <= 4
+
+    def test_full_domain(self):
+        assert self.tree.range_count(0, 127) >= len(self.data)
+
+    def test_probe_complexity(self):
+        """Theorem 11: a range query needs O(p log|Q|) probes."""
+        import math
+        self.tree.range_count(13, 97)
+        q = 97 - 13 + 1
+        bound = 2 * self.tree.branching * (math.log2(q) + 2)
+        assert self.tree.last_query_probes <= bound
+
+    def test_deletions(self):
+        tree = RangeTreeSBF(0, 63, m=20_000, k=4, seed=13)
+        for v in (5, 5, 9, 20):
+            tree.insert(v)
+        tree.delete(5)
+        assert tree.range_count(0, 10) >= 2
+        assert tree.count(5) >= 1
+
+    def test_empty_and_clipped_ranges(self):
+        assert self.tree.range_count(100, 50) == 0
+        assert self.tree.range_count(-50, 500) >= len(self.data)
+
+    def test_out_of_domain_value(self):
+        with pytest.raises(ValueError):
+            self.tree.insert(128)
+        with pytest.raises(ValueError):
+            self.tree.count(-1)
+
+    def test_pary_tree(self):
+        tree = RangeTreeSBF(0, 63, m=30_000, k=4, branching=4, seed=14)
+        data = [i % 64 for i in range(640)]
+        for v in data:
+            tree.insert(v)
+        assert tree.range_count(0, 63) >= 640
+        assert tree.range_count(10, 20) >= 110
+        assert tree.tree_keys_per_item() < RangeTreeSBF(
+            0, 63, m=100, branching=2).tree_keys_per_item()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RangeTreeSBF(10, 5, m=100)
+        with pytest.raises(ValueError):
+            RangeTreeSBF(0, 10, m=100, branching=1)
+
+
+class TestSlidingWindow:
+    def test_window_counts(self):
+        sw = SlidingWindowSBF(window=200, m=3000, method="rm", seed=15)
+        stream = insertion_stream(100, 1000, 0.8, seed=15)
+        sw.extend(stream)
+        assert len(sw) == 200
+        assert sw.is_full
+        window = stream[-200:]
+        counts = collections.Counter(window)
+        negatives = sum(1 for x, c in counts.items() if sw.query(x) < c)
+        assert negatives == 0
+
+    def test_expired_items_fade(self):
+        sw = SlidingWindowSBF(window=50, m=2000, method="ms", seed=16)
+        sw.extend(["old"] * 50)
+        sw.extend(["new"] * 50)
+        assert sw.query("old") == 0
+        assert sw.query("new") >= 50
+
+    def test_push_returns_evicted(self):
+        sw = SlidingWindowSBF(window=2, m=100, method="ms", seed=17)
+        assert sw.push("a") is None
+        assert sw.push("b") is None
+        assert sw.push("c") == "a"
+
+    def test_true_count_and_contains(self):
+        sw = SlidingWindowSBF(window=10, m=500, method="ms", seed=18)
+        sw.extend(["x", "y", "x"])
+        assert sw.true_count("x") == 2
+        assert sw.contains("x", 2)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSBF(window=0, m=100)
+
+    def test_mi_unusable_under_window(self):
+        """Figure 9: MI degrades badly in sliding windows."""
+        stream = insertion_stream(80, 2000, 1.0, seed=19)
+        mi = SlidingWindowSBF(window=400, m=1200, method="mi", seed=19)
+        rm = SlidingWindowSBF(window=400, m=800, k=5, method="rm", seed=19)
+        mi.extend(stream)
+        rm.extend(stream)
+        counts = collections.Counter(stream[-400:])
+        mi_neg = sum(1 for x, c in counts.items() if mi.query(x) < c)
+        rm_neg = sum(1 for x, c in counts.items() if rm.query(x) < c)
+        assert rm_neg == 0
+        assert mi_neg > 0

@@ -1,0 +1,132 @@
+"""Tests for the experiment-harness utilities (metrics, tables, runner)."""
+
+import os
+
+import pytest
+
+from repro.bench.metrics import (
+    additive_error,
+    error_ratio,
+    evaluate_filter,
+    false_negative_ratio,
+)
+from repro.bench.runner import average_trials, bench_scale, build_and_measure
+from repro.bench.tables import format_table, write_results
+
+
+class TestMetrics:
+    def test_additive_error(self):
+        truth = {"a": 10, "b": 5}
+        estimates = {"a": 13, "b": 1}
+        # sqrt((9 + 16) / 2)
+        assert additive_error(estimates, truth) == pytest.approx(
+            (25 / 2) ** 0.5)
+
+    def test_perfect_estimates(self):
+        truth = {"a": 1, "b": 2}
+        assert additive_error(truth, truth) == 0.0
+        assert error_ratio(truth, truth) == 0.0
+        assert false_negative_ratio(truth, truth) == 0.0
+
+    def test_error_ratio(self):
+        truth = {"a": 1, "b": 2, "c": 3, "d": 4}
+        estimates = {"a": 1, "b": 9, "c": 3, "d": 0}
+        assert error_ratio(estimates, truth) == 0.5
+
+    def test_false_negative_ratio(self):
+        truth = {"a": 5, "b": 5, "c": 5}
+        estimates = {"a": 9, "b": 2, "c": 5}
+        # 2 errors, 1 negative.
+        assert false_negative_ratio(estimates, truth) == 0.5
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            additive_error({}, {})
+        with pytest.raises(ValueError):
+            error_ratio({}, {})
+        with pytest.raises(ValueError):
+            false_negative_ratio({}, {})
+
+    def test_evaluate_filter(self):
+        from repro import SpectralBloomFilter
+        sbf = SpectralBloomFilter(1000, 5, seed=1)
+        truth = {i: 1 + i % 3 for i in range(50)}
+        for x, f in truth.items():
+            sbf.insert(x, f)
+        result = evaluate_filter(sbf, truth)
+        assert set(result) == {"additive_error", "error_ratio",
+                               "false_negative_ratio"}
+        assert result["false_negative_ratio"] == 0.0
+
+
+class TestRunner:
+    def test_average_trials(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return {"x": float(seed)}
+
+        out = average_trials(run, trials=3, base_seed=10)
+        assert seen == [10, 11, 12]
+        assert out["x"] == pytest.approx(11.0)
+
+    def test_average_trials_invalid(self):
+        with pytest.raises(ValueError):
+            average_trials(lambda s: {}, trials=0)
+
+    def test_build_and_measure(self):
+        out = build_and_measure("ms", n=200, total=2000, z=0.5,
+                                m=2000, seed=1)
+        assert out["error_ratio"] < 0.2
+        assert out["false_negative_ratio"] == 0.0
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestTables:
+    def test_format_basic(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 0.5]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "bb" in lines[-1]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.00012345], [12345.678], [0.25],
+                                     [0.0]])
+        assert "0.000123" in table
+        assert "1.23e+04" in table
+        assert "0.25" in table
+
+    def test_write_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_results("unit_test", "hello\n")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        from repro.bench.tables import results_dir
+        target = tmp_path / "deep" / "results"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == str(target)
+        assert target.is_dir()  # created on demand
+
+    def test_results_dir_default_is_in_repo(self, monkeypatch):
+        from repro.bench.tables import results_dir
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        path = results_dir()
+        assert path.endswith(os.path.join("benchmarks", "results"))

@@ -1,0 +1,212 @@
+"""Unit and property tests for the packed bit vector substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.succinct.bitvector import BitVector, BitReader, BitWriter
+
+
+class TestBasics:
+    def test_new_vector_is_zero(self):
+        vec = BitVector(100)
+        assert len(vec) == 100
+        assert all(vec.get_bit(i) == 0 for i in range(100))
+
+    def test_set_and_get_single_bits(self):
+        vec = BitVector(10)
+        vec.set_bit(3)
+        vec.set_bit(7)
+        assert [vec.get_bit(i) for i in range(10)] == [
+            0, 0, 0, 1, 0, 0, 0, 1, 0, 0]
+
+    def test_clear_bit(self):
+        vec = BitVector(8)
+        vec.set_bit(5)
+        vec.set_bit(5, 0)
+        assert vec.get_bit(5) == 0
+
+    def test_grows_on_write_past_end(self):
+        vec = BitVector(4)
+        vec.set_bit(100)
+        assert len(vec) == 101
+        assert vec.get_bit(100) == 1
+
+    def test_read_past_end_is_zero(self):
+        vec = BitVector(4)
+        assert vec.get_bit(1000) == 0
+        assert vec.read(1000, 32) == 0
+
+    def test_negative_position_raises(self):
+        vec = BitVector(4)
+        with pytest.raises(IndexError):
+            vec.get_bit(-1)
+        with pytest.raises(IndexError):
+            vec.set_bit(-1)
+        with pytest.raises(IndexError):
+            vec.read(-1, 4)
+
+    def test_value_too_wide_raises(self):
+        vec = BitVector(8)
+        with pytest.raises(ValueError):
+            vec.write(0, 3, 8)
+
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        vec = BitVector.from_bits(bits)
+        assert [vec.get_bit(i) for i in range(len(bits))] == bits
+
+    def test_dunder_access(self):
+        vec = BitVector(8)
+        vec[2] = 1
+        assert vec[2] == 1
+
+    def test_equality(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = BitVector.from_bits([1, 0, 1])
+        c = BitVector.from_bits([1, 1, 1])
+        assert a == b
+        assert a != c
+        assert a != "not a vector"
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = a.copy()
+        b.set_bit(1)
+        assert a.get_bit(1) == 0
+        assert b.get_bit(1) == 1
+
+    def test_count_ones(self):
+        vec = BitVector.from_bits([1, 0, 1, 1, 0])
+        assert vec.count_ones() == 3
+
+    def test_word_and_popcount_access(self):
+        vec = BitVector(130)
+        vec.write(0, 64, 0xF0F0)
+        vec.set_bit(100)
+        assert vec.word(0) == 0xF0F0
+        assert vec.popcount_word(0) == 8
+        assert vec.popcount_word(1) == 1
+        # Past-the-end word reads are zero, not errors.
+        assert vec.word(99) == 0
+        assert vec.popcount_word(99) == 0
+
+
+class TestFields:
+    def test_write_read_word_aligned(self):
+        vec = BitVector(128)
+        vec.write(0, 64, 0xDEADBEEFCAFEF00D)
+        assert vec.read(0, 64) == 0xDEADBEEFCAFEF00D
+
+    def test_write_read_unaligned_crossing_words(self):
+        vec = BitVector(256)
+        vec.write(61, 40, 0xABCDE12345)
+        assert vec.read(61, 40) == 0xABCDE12345
+
+    def test_write_wider_than_word(self):
+        vec = BitVector(512)
+        big = (1 << 130) - 7
+        vec.write(5, 131, big)
+        assert vec.read(5, 131) == big
+
+    def test_neighbouring_fields_do_not_clobber(self):
+        vec = BitVector(64)
+        vec.write(0, 5, 0b10101)
+        vec.write(5, 5, 0b01010)
+        vec.write(10, 5, 0b11111)
+        assert vec.read(0, 5) == 0b10101
+        assert vec.read(5, 5) == 0b01010
+        assert vec.read(10, 5) == 0b11111
+
+    def test_zero_width_read_write(self):
+        vec = BitVector(8)
+        vec.write(3, 0, 0)
+        assert vec.read(3, 0) == 0
+
+    @given(st.integers(0, 200), st.integers(1, 150),
+           st.integers(min_value=0))
+    def test_roundtrip_random_fields(self, pos, width, raw):
+        value = raw & ((1 << width) - 1)
+        vec = BitVector()
+        vec.write(pos, width, value)
+        assert vec.read(pos, width) == value
+
+    @given(st.lists(st.integers(0, 2**20 - 1), min_size=1, max_size=30))
+    def test_packed_sequence_roundtrip(self, values):
+        """Packing fields back to back keeps every field intact."""
+        widths = [max(1, v.bit_length()) for v in values]
+        vec = BitVector()
+        pos = 0
+        for v, w in zip(values, widths):
+            vec.write(pos, w, v)
+            pos += w
+        pos = 0
+        for v, w in zip(values, widths):
+            assert vec.read(pos, w) == v
+            pos += w
+
+
+class TestMoveRange:
+    def test_move_right_no_overlap(self):
+        vec = BitVector(64)
+        vec.write(0, 8, 0xAB)
+        vec.move_range(0, 8, 20)
+        assert vec.read(20, 8) == 0xAB
+
+    def test_move_right_overlapping(self):
+        vec = BitVector(64)
+        vec.write(0, 16, 0xBEEF)
+        vec.move_range(0, 16, 4)
+        assert vec.read(4, 16) == 0xBEEF
+
+    def test_move_left_overlapping(self):
+        vec = BitVector(64)
+        vec.write(8, 16, 0xBEEF)
+        vec.move_range(8, 16, 2)
+        assert vec.read(2, 16) == 0xBEEF
+
+    def test_move_zero_length_is_noop(self):
+        vec = BitVector.from_bits([1, 0, 1])
+        before = vec.copy()
+        vec.move_range(0, 0, 2)
+        assert vec == before
+
+    def test_move_same_position_is_noop(self):
+        vec = BitVector.from_bits([1, 0, 1, 1])
+        before = vec.copy()
+        vec.move_range(1, 2, 1)
+        assert vec == before
+
+    def test_negative_length_raises(self):
+        vec = BitVector(8)
+        with pytest.raises(ValueError):
+            vec.move_range(0, -1, 4)
+
+    @given(st.integers(0, 100), st.integers(0, 300), st.integers(0, 100),
+           st.integers(min_value=0))
+    def test_move_preserves_payload(self, src, length, dst, raw):
+        payload = raw & ((1 << length) - 1) if length else 0
+        vec = BitVector()
+        vec.write(src, length, payload)
+        vec.move_range(src, length, dst)
+        assert vec.read(dst, length) == payload
+
+
+class TestReaderWriter:
+    def test_writer_then_reader_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0b11, 2)
+        reader = BitReader(writer.vector)
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(2) == 0b11
+
+    def test_read_bit_sequence(self):
+        vec = BitVector.from_bits([1, 0, 1, 1])
+        reader = BitReader(vec)
+        assert [reader.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_writer_tracks_position(self):
+        writer = BitWriter()
+        writer.write_bits(0, 5)
+        writer.write_bits(1, 1)
+        assert writer.pos == 6

@@ -1,0 +1,102 @@
+"""Tests for the [MW94] blocked / external-memory hash family."""
+
+import pytest
+
+from repro import SpectralBloomFilter
+from repro.hashing import BlockedHashFamily, make_family
+
+
+class TestBlockedFamily:
+    def test_all_probes_inside_one_block(self):
+        fam = BlockedHashFamily(m=1024, k=5, seed=1, block_size=64)
+        for key in range(500):
+            idx = fam.indices(key)
+            blocks = {i // 64 for i in idx}
+            assert len(blocks) == 1
+            assert fam.blocks_touched(key) == 1
+
+    def test_indices_in_range_with_ragged_last_block(self):
+        fam = BlockedHashFamily(m=100, k=4, seed=2, block_size=33)
+        for key in range(300):
+            assert all(0 <= i < 100 for i in fam.indices(key))
+
+    def test_default_block_size(self):
+        fam = BlockedHashFamily(m=6400, k=3, seed=3)
+        assert fam.block_size == 100
+        assert fam.n_blocks == 64
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockedHashFamily(m=100, k=3, block_size=0)
+        with pytest.raises(ValueError):
+            BlockedHashFamily(m=100, k=3, block_size=101)
+
+    def test_compatibility_requires_same_block_size(self):
+        a = BlockedHashFamily(100, 3, seed=1, block_size=10)
+        b = BlockedHashFamily(100, 3, seed=1, block_size=10)
+        c = BlockedHashFamily(100, 3, seed=1, block_size=20)
+        assert a.is_compatible(b)
+        assert not a.is_compatible(c)
+
+    def test_spawn_keeps_block_size(self):
+        fam = BlockedHashFamily(100, 3, seed=1, block_size=10)
+        child = fam.spawn(m=50)
+        assert child.block_size == 10
+        assert child.m == 50
+
+    def test_make_family_by_name(self):
+        fam = make_family("blocked", 100, 3, seed=1)
+        assert isinstance(fam, BlockedHashFamily)
+
+
+class TestBlockedSbf:
+    def test_sbf_with_blocked_hashing_works(self):
+        """§2.2: 'The same analysis applies in the SBF case' — the SBF runs
+        unchanged on blocked functions."""
+        sbf = SpectralBloomFilter(4096, 5, seed=4, hash_family="blocked")
+        truth = {x: 1 + x % 6 for x in range(400)}
+        for x, f in truth.items():
+            sbf.insert(x, f)
+        for x, f in truth.items():
+            assert sbf.query(x) >= f
+
+    def test_accuracy_close_to_unblocked_for_large_blocks(self):
+        """[MW94]: 'for large enough segments, the difference is
+        negligible'."""
+        import random
+        rng = random.Random(5)
+        stream = [rng.randrange(800) for _ in range(8000)]
+        truth: dict[int, int] = {}
+        m, k = 6000, 5
+        plain = SpectralBloomFilter(m, k, seed=5)
+        blocked = SpectralBloomFilter(
+            m, k, seed=5,
+            hash_family=BlockedHashFamily(m, k, seed=5, block_size=m // 8))
+        for x in stream:
+            truth[x] = truth.get(x, 0) + 1
+            plain.insert(x)
+            blocked.insert(x)
+        plain_err = sum(1 for x, f in truth.items() if plain.query(x) != f)
+        blocked_err = sum(1 for x, f in truth.items()
+                          if blocked.query(x) != f)
+        assert blocked_err <= 3 * plain_err + 5
+
+    def test_tiny_blocks_degrade_accuracy(self):
+        """The other side of the [MW94] analysis: heavy segmentation
+        hurts — with block_size ~ k every key piles onto one tiny block."""
+        import random
+        rng = random.Random(6)
+        stream = [rng.randrange(500) for _ in range(5000)]
+        truth: dict[int, int] = {}
+        m, k = 4000, 5
+        plain = SpectralBloomFilter(m, k, seed=6)
+        tiny = SpectralBloomFilter(
+            m, k, seed=6,
+            hash_family=BlockedHashFamily(m, k, seed=6, block_size=8))
+        for x in stream:
+            truth[x] = truth.get(x, 0) + 1
+            plain.insert(x)
+            tiny.insert(x)
+        plain_err = sum(1 for x, f in truth.items() if plain.query(x) != f)
+        tiny_err = sum(1 for x, f in truth.items() if tiny.query(x) != f)
+        assert tiny_err > plain_err

@@ -1,0 +1,123 @@
+"""Tests for the §4.5 alternative compact counter representation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.succinct.compact_stream import CompactCounterStream
+from repro.succinct.steps import StepsCodec
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompactCounterStream([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CompactCounterStream([1, -1])
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            CompactCounterStream([1], codec="huffman")
+
+    def test_roundtrip_elias(self):
+        values = [0, 1, 5, 1000, 0, 3]
+        stream = CompactCounterStream(values, codec="elias")
+        assert stream.to_list() == values
+
+    def test_roundtrip_steps(self):
+        values = [0, 1, 0, 0, 2, 9]
+        stream = CompactCounterStream(values, codec="steps")
+        assert stream.to_list() == values
+
+    def test_custom_codec_instance(self):
+        stream = CompactCounterStream([3, 1, 4], codec=StepsCodec((2, 3)))
+        assert stream.to_list() == [3, 1, 4]
+
+    def test_len_and_getitem(self):
+        stream = CompactCounterStream([7, 8, 9])
+        assert len(stream) == 3
+        assert stream[1] == 8
+
+
+class TestUpdates:
+    def test_set_and_get(self):
+        stream = CompactCounterStream([0] * 10)
+        stream.set(4, 12345)
+        assert stream.get(4) == 12345
+        assert stream.get(3) == 0
+        assert stream.get(5) == 0
+
+    def test_setitem(self):
+        stream = CompactCounterStream([0, 0])
+        stream[1] = 3
+        assert stream[1] == 3
+
+    def test_increment_decrement(self):
+        stream = CompactCounterStream([5])
+        assert stream.increment(0, 3) == 8
+        assert stream.decrement(0, 8) == 0
+
+    def test_decrement_below_zero_raises(self):
+        stream = CompactCounterStream([0])
+        with pytest.raises(ValueError):
+            stream.decrement(0)
+
+    def test_index_out_of_range(self):
+        stream = CompactCounterStream([1])
+        with pytest.raises(IndexError):
+            stream.get(1)
+        with pytest.raises(IndexError):
+            stream.set(2, 0)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 60),
+           st.integers(10, 150))
+    def test_random_ops_match_list(self, seed, m, n_ops):
+        rng = random.Random(seed)
+        reference = [rng.randrange(50) for _ in range(m)]
+        stream = CompactCounterStream(list(reference))
+        for _ in range(n_ops):
+            i = rng.randrange(m)
+            if rng.random() < 0.5:
+                delta = rng.randrange(1, 100)
+                reference[i] += delta
+                stream.increment(i, delta)
+            else:
+                value = rng.randrange(10_000)
+                reference[i] = value
+                stream.set(i, value)
+        assert stream.to_list() == reference
+
+
+class TestStorage:
+    def test_breakdown_keys(self):
+        stream = CompactCounterStream([1] * 100)
+        assert set(stream.storage_breakdown()) == {
+            "stream", "l1_coarse", "l2_offsets"}
+
+    def test_stream_bits_near_coded_size(self):
+        """The stream component equals the sum of codeword lengths."""
+        from repro.succinct.elias import EliasCodec
+        codec = EliasCodec()
+        values = [0, 1, 5, 17, 250]
+        stream = CompactCounterStream(values, codec=codec)
+        expected = sum(codec.length(v) for v in values)
+        assert stream.storage_breakdown()["stream"] == expected
+
+    def test_steps_is_smaller_for_almost_set(self):
+        """Figure 10: for avg frequency ~1 the steps codec wins."""
+        values = [1 if i % 2 else 0 for i in range(1000)]
+        elias = CompactCounterStream(values, codec="elias").total_bits()
+        steps = CompactCounterStream(values, codec="steps").total_bits()
+        assert steps < elias
+
+    def test_elias_wins_for_large_counters(self):
+        """Figure 10: Elias overtakes steps as average frequency grows."""
+        rng = random.Random(3)
+        values = [rng.randrange(50, 5000) for _ in range(500)]
+        elias = CompactCounterStream(values, codec="elias").total_bits()
+        steps = CompactCounterStream(values, codec="steps").total_bits()
+        assert elias <= steps

@@ -1,0 +1,191 @@
+"""Tests for the workload generators (Zipf, streams, forest cover)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.forest import forest_cover_elevations
+from repro.data.streams import (
+    apply_workload,
+    deletion_phase_workload,
+    insertion_stream,
+    sliding_window_stream,
+    stream_from_counts,
+)
+from repro.data.zipf import ZipfDistribution, zipf_frequencies, zipf_multiset
+
+
+class TestZipfDistribution:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -0.5)
+
+    def test_pmf_sums_to_one(self):
+        dist = ZipfDistribution(500, 1.2)
+        assert sum(dist.probabilities()) == pytest.approx(1.0)
+
+    def test_pmf_decreasing_in_rank(self):
+        dist = ZipfDistribution(100, 0.8)
+        probs = dist.probabilities()
+        assert all(probs[i] >= probs[i + 1] for i in range(99))
+
+    def test_zero_skew_is_uniform(self):
+        dist = ZipfDistribution(50, 0.0)
+        assert dist.pmf(0) == pytest.approx(dist.pmf(49))
+
+    def test_power_law_ratio(self):
+        """p_i / p_j = (j/i)^z."""
+        dist = ZipfDistribution(1000, 1.5)
+        assert dist.pmf(0) / dist.pmf(9) == pytest.approx(10 ** 1.5,
+                                                          rel=1e-9)
+
+    def test_sample_deterministic_per_seed(self):
+        dist = ZipfDistribution(100, 1.0)
+        a = dist.sample(1000, seed=5)
+        b = dist.sample(1000, seed=5)
+        c = dist.sample(1000, seed=6)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_sample_range(self):
+        dist = ZipfDistribution(30, 2.0)
+        sample = dist.sample(5000, seed=1)
+        assert sample.min() >= 0
+        assert sample.max() < 30
+
+    def test_sample_head_heavy(self):
+        dist = ZipfDistribution(1000, 1.5)
+        sample = dist.sample(20_000, seed=2)
+        head_share = (sample < 10).mean()
+        assert head_share > 0.5
+
+    def test_expected_frequency(self):
+        dist = ZipfDistribution(10, 1.0)
+        assert dist.expected_frequency(0, 1000) == pytest.approx(
+            1000 * dist.pmf(0))
+
+
+class TestZipfHelpers:
+    def test_frequencies_sum_exactly(self):
+        freqs = zipf_frequencies(200, 10_000, 1.1)
+        assert sum(freqs) == 10_000
+        assert all(f >= 0 for f in freqs)
+        assert freqs[0] == max(freqs)
+
+    def test_multiset_total(self):
+        counts = zipf_multiset(300, 5000, 0.9, seed=3)
+        assert sum(counts.values()) == 5000
+        assert len(counts) <= 300
+
+    @given(st.integers(1, 300), st.integers(1, 3000),
+           st.floats(0.0, 2.5))
+    @settings(max_examples=20)
+    def test_multiset_valid_for_any_parameters(self, n, total, z):
+        counts = zipf_multiset(n, total, z, seed=1)
+        assert sum(counts.values()) == total
+        assert all(0 <= x < n for x in counts)
+
+
+class TestStreams:
+    def test_stream_from_counts(self):
+        stream = stream_from_counts({"a": 3, "b": 1}, seed=1)
+        assert sorted(stream) == ["a", "a", "a", "b"]
+
+    def test_stream_from_counts_negative(self):
+        with pytest.raises(ValueError):
+            stream_from_counts({"a": -1})
+
+    def test_insertion_stream_length(self):
+        stream = insertion_stream(100, 2500, 1.0, seed=2)
+        assert len(stream) == 2500
+        assert all(0 <= x < 100 for x in stream)
+
+    def test_deletion_phase_workload_shape(self):
+        """Figure 8's protocol: deletions remove chosen items entirely."""
+        ops = deletion_phase_workload(100, 2000, 0.5, phases=4,
+                                      delete_fraction=0.05, seed=3)
+        inserts = sum(1 for op, _ in ops if op == "insert")
+        deletes = sum(1 for op, _ in ops if op == "delete")
+        assert inserts == 2000
+        assert deletes > 0
+        # Replaying must never drive a count negative.
+        live: dict[int, int] = {}
+        for op, x in ops:
+            live[x] = live.get(x, 0) + (1 if op == "insert" else -1)
+            assert live[x] >= 0
+
+    def test_deletion_phase_invalid(self):
+        with pytest.raises(ValueError):
+            deletion_phase_workload(10, 100, 0.5, delete_fraction=1.5)
+        with pytest.raises(ValueError):
+            deletion_phase_workload(10, 100, 0.5, phases=0)
+
+    def test_sliding_window_stream_semantics(self):
+        """Every insert beyond the window is preceded by the eviction of
+        the oldest live item."""
+        ops = list(sliding_window_stream(50, 600, 0.5, window=100, seed=4))
+        inserts = [x for op, x in ops if op == "insert"]
+        assert len(inserts) == 600
+        live: list[int] = []
+        for op, x in ops:
+            if op == "insert":
+                live.append(x)
+                assert len(live) <= 100
+            else:
+                assert live[0] == x
+                live.pop(0)
+        assert len(live) == 100
+
+    def test_sliding_window_invalid(self):
+        with pytest.raises(ValueError):
+            list(sliding_window_stream(10, 100, 0.5, window=0))
+
+    def test_apply_workload(self):
+        from repro import SpectralBloomFilter
+        sbf = SpectralBloomFilter(500, 4, seed=1)
+        truth = apply_workload(sbf, [("insert", 1), ("insert", 1),
+                                     ("delete", 1)])
+        assert truth == {1: 1}
+        assert sbf.query(1) >= 1
+        with pytest.raises(ValueError):
+            apply_workload(sbf, [("upsert", 1)])
+
+
+class TestForestCover:
+    def test_default_statistics(self):
+        """Scaled-down default keeps the paper's count statistics exact."""
+        counts = forest_cover_elevations(n_records=58_101, n_distinct=1978,
+                                         seed=1)
+        assert sum(counts.values()) == 58_101
+        assert len(counts) == 1978
+
+    def test_multimodal_shape(self):
+        """Figure 7a: a dominant central bulge, light tails."""
+        counts = forest_cover_elevations(n_records=50_000, n_distinct=1000,
+                                         seed=2)
+        values = sorted(counts)
+        span = values[-1] - values[0]
+        mid = [v for v in values
+               if values[0] + span * 0.4 <= v <= values[0] + span * 0.75]
+        tail = [v for v in values if v >= values[0] + span * 0.95]
+        mid_mass = sum(counts[v] for v in mid) / 50_000
+        tail_mass = sum(counts[v] for v in tail) / 50_000
+        assert mid_mass > 0.35
+        assert tail_mass < 0.05
+
+    def test_deterministic(self):
+        a = forest_cover_elevations(n_records=5000, n_distinct=200, seed=3)
+        b = forest_cover_elevations(n_records=5000, n_distinct=200, seed=3)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            forest_cover_elevations(n_records=0)
+        with pytest.raises(ValueError):
+            forest_cover_elevations(n_distinct=0)
+
+    def test_elevation_values_plausible(self):
+        counts = forest_cover_elevations(n_records=5000, n_distinct=300,
+                                         seed=4)
+        assert all(1800 <= v <= 4000 for v in counts)

@@ -1,0 +1,263 @@
+"""Tests for the §1.1 distributed systems rebuilt on the substrate:
+Summary Cache, Attenuated Bloom Filters, differential files, hot lists."""
+
+import collections
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.attenuated import (
+    AttenuatedFilter,
+    build_attenuated_tables,
+    route,
+)
+from repro.apps.differential import DifferentialStore
+from repro.apps.hotlist import HotList
+from repro.apps.summary_cache import build_mesh
+from repro.data.streams import insertion_stream
+from repro.db.site import Network
+
+
+class TestSummaryCache:
+    def build(self, spectral=False):
+        proxies = build_mesh(["p1", "p2", "p3"], m=2048, k=4, seed=1,
+                             spectral=spectral)
+        p1, p2, p3 = proxies
+        for i in range(50):
+            p2.store(f"doc{i}")
+        for i in range(40, 90):
+            p3.store(f"doc{i}")
+        for proxy in proxies:
+            proxy.publish()
+        return proxies
+
+    def test_remote_hit_through_summary(self):
+        p1, p2, p3 = self.build()
+        source, obj = p1.lookup("doc10")
+        assert source == "p2"
+        assert obj == "doc10"
+        assert p1.remote_hits == 1
+
+    def test_local_hit_costs_nothing(self):
+        p1, _p2, _p3 = self.build()
+        p1.store("mine")
+        before = p1.network.rounds
+        assert p1.lookup("mine") == ("p1", "mine")
+        assert p1.network.rounds == before
+
+    def test_global_miss(self):
+        p1, _p2, _p3 = self.build()
+        assert p1.lookup("nowhere") is None
+
+    def test_summary_traffic_accounted(self):
+        network = Network()
+        proxies = build_mesh(["a", "b"], m=1024, k=3, seed=2,
+                             network=network)
+        proxies[0].store("x")
+        proxies[0].publish()
+        assert network.breakdown().get("summary", 0) > 0
+
+    def test_stale_summary_behaviour(self):
+        """[FCAB98] tolerates staleness: an eviction between publishes
+        causes a wasted forward, not an error."""
+        p1, p2, _p3 = self.build()
+        p2.evict("doc10")
+        result = p1.lookup("doc10")
+        assert result is None or result[0] == "p3"
+        assert p1.wasted_forwards >= 1
+
+    def test_spectral_summaries_route_to_hottest_replica(self):
+        """The SBF upgrade: prefer the replica with more references."""
+        proxies = build_mesh(["a", "b", "c"], m=4096, k=4, seed=3,
+                             spectral=True)
+        a, b, c = proxies
+        b.store("hot")                 # 1 reference at b
+        for _ in range(10):
+            c.store("hot")             # 10 references at c
+        for proxy in proxies:
+            proxy.publish()
+        source, _obj = a.lookup("hot")
+        assert source == "c"
+
+    def test_wasted_forwards_are_false_positives(self):
+        rng = random.Random(4)
+        proxies = build_mesh(["a", "b"], m=256, k=2, seed=4)
+        a, b = proxies
+        for i in range(300):
+            b.store(f"item{i}")
+        b.publish()
+        a.publish()
+        misses = 0
+        for i in range(300, 600):
+            if a.lookup(f"item{i}") is None:
+                misses += 1
+        # Heavily loaded summary -> some false positives, counted.
+        assert misses == 300
+        assert a.wasted_forwards == a.forwards
+        assert rng  # keep the fixture honest
+
+
+class TestAttenuated:
+    def build(self, depth=3):
+        graph = nx.path_graph(5)  # 0 - 1 - 2 - 3 - 4
+        documents = {0: {"left"}, 4: {"right"}, 2: {"middle"}}
+        tables = build_attenuated_tables(graph, documents, depth=depth,
+                                         m=1024, k=3, seed=5)
+        return graph, documents, tables
+
+    def test_filter_depth_validation(self):
+        with pytest.raises(ValueError):
+            AttenuatedFilter(0, 100, 3)
+
+    def test_claimed_distance(self):
+        filt = AttenuatedFilter(3, 512, 3, seed=1)
+        filt.add("doc", 2)
+        assert filt.claimed_distance("doc") == 2
+        assert filt.claimed_distance("other") is None
+        filt.add("doc", 1)
+        assert filt.claimed_distance("doc") == 1
+
+    def test_out_of_depth_replicas_ignored(self):
+        filt = AttenuatedFilter(2, 512, 3, seed=1)
+        filt.add("far", 5)
+        assert filt.claimed_distance("far") is None
+
+    def test_routing_reaches_nearby_replica(self):
+        graph, documents, tables = self.build()
+        found, path = route(graph, tables, documents, 1, "middle")
+        assert found
+        assert path[-1] == 2
+        assert len(path) <= 3
+
+    def test_routing_prefers_closer_replica(self):
+        """Attenuation: from node 1, 'left' (1 hop) wins over 'right'."""
+        graph, documents, tables = self.build(depth=4)
+        found, path = route(graph, tables, documents, 1, "left")
+        assert found
+        assert path == [1, 0]
+
+    def test_unreachable_document(self):
+        graph, documents, tables = self.build(depth=2)
+        # 'right' is 3 hops from node 0 with depth-2 tables: no edge
+        # claims it there.
+        found, path = route(graph, tables, documents, 0, "right")
+        assert not found or len(path) > 2
+
+    def test_storage_accounting(self):
+        filt = AttenuatedFilter(3, 512, 3)
+        assert filt.storage_bits() == 3 * 512
+
+    def test_routing_on_random_graph(self):
+        rng = random.Random(6)
+        graph = nx.connected_watts_strogatz_graph(30, 4, 0.3, seed=6)
+        documents = {node: set() for node in graph.nodes}
+        docs = [f"d{i}" for i in range(40)]
+        for doc in docs:
+            documents[rng.choice(list(graph.nodes))].add(doc)
+        tables = build_attenuated_tables(graph, documents, depth=4,
+                                         m=4096, k=4, seed=6)
+        found_count = 0
+        for doc in docs:
+            found, _path = route(graph, tables, documents, 0, doc,
+                                 max_hops=10)
+            found_count += found
+        # Depth-4 tables over a small-world graph find most documents.
+        assert found_count >= len(docs) * 0.6
+
+
+class TestDifferentialStore:
+    def test_read_through_pending_update(self):
+        store = DifferentialStore({"a": 1, "b": 2}, seed=1)
+        store.update("a", 10)
+        assert store.read("a") == 10
+        assert store.read("b") == 2
+
+    def test_unmodified_keys_skip_the_file(self):
+        store = DifferentialStore({f"k{i}": i for i in range(200)},
+                                  m=4096, seed=2)
+        store.update("k0", -1)
+        before = store.file_probes
+        for i in range(1, 200):
+            store.read(f"k{i}")
+        # The filter prevents (almost) every unnecessary probe.
+        assert store.file_probes - before <= 5
+
+    def test_flush_applies_and_resets(self):
+        store = DifferentialStore({"a": 1}, seed=3)
+        store.update("a", 5)
+        store.update("c", 9)
+        assert store.flush() == 2
+        assert store.base == {"a": 5, "c": 9}
+        before = store.file_probes
+        store.read("a")
+        assert store.file_probes == before  # fresh filter, no probe
+
+    def test_spectral_counts_and_threshold_reads(self):
+        store = DifferentialStore({"a": 1}, seed=4, spectral=True)
+        store.update("a", 2)
+        store.update("a", 3)
+        assert store.pending_updates("a") >= 2
+        # A reader that only reconciles on >= 3 pending sees stale data.
+        assert store.read("a", min_pending=3) == 1
+        assert store.read("a") == 3
+
+    def test_spectral_per_key_flush(self):
+        store = DifferentialStore({}, seed=5, spectral=True)
+        store.update("x", 1)
+        store.update("x", 2)
+        store.update("y", 7)
+        assert store.flush_key("x")
+        assert store.base["x"] == 2
+        assert store.pending_updates("x") == 0  # SBF deletion worked
+        assert store.pending_updates("y") >= 1
+        assert not store.flush_key("zz")
+
+    def test_per_key_flush_requires_spectral(self):
+        store = DifferentialStore({}, seed=6)
+        store.update("x", 1)
+        with pytest.raises(RuntimeError):
+            store.flush_key("x")
+
+
+class TestHotList:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            HotList(0, m=100)
+
+    def test_finds_true_heavy_hitters(self):
+        stream = insertion_stream(500, 20_000, 1.2, seed=7)
+        hot = HotList(capacity=20, m=10_000, seed=7)
+        hot.consume(stream)
+        truth = collections.Counter(stream)
+        true_top = {item for item, _c in truth.most_common(10)}
+        reported = {item for item, _est in hot.top(20)}
+        assert true_top <= reported
+
+    def test_estimates_one_sided(self):
+        stream = insertion_stream(300, 5000, 1.0, seed=8)
+        hot = HotList(capacity=10, m=5000, seed=8)
+        hot.consume(stream)
+        truth = collections.Counter(stream)
+        for item, estimate in hot.top():
+            assert estimate >= truth[item]
+
+    def test_capacity_respected(self):
+        hot = HotList(capacity=5, m=1000, seed=9)
+        hot.consume(range(100))
+        assert len(hot) <= 5
+
+    def test_membership_and_top_n(self):
+        hot = HotList(capacity=3, m=1000, seed=10)
+        for item, count in [("a", 10), ("b", 5), ("c", 3), ("d", 1)]:
+            hot.offer(item, count)
+        assert "a" in hot
+        top2 = hot.top(2)
+        assert top2[0][0] == "a"
+        assert len(top2) == 2
+
+    def test_storage_is_sketch_plus_list(self):
+        hot = HotList(capacity=4, m=1000, seed=11)
+        empty_bits = hot.storage_bits()
+        hot.consume(["x"] * 10)
+        assert hot.storage_bits() > empty_bits

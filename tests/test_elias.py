@@ -1,0 +1,118 @@
+"""Tests for the Elias gamma/delta codes of paper §4.5."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.succinct.bitvector import BitReader, BitWriter
+from repro.succinct.elias import (
+    EliasCodec,
+    elias_delta_decode,
+    elias_delta_encode,
+    elias_delta_length,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+
+
+def roundtrip(encode, decode, n):
+    pattern, nbits = encode(n)
+    writer = BitWriter()
+    writer.write_bits(pattern, nbits)
+    assert writer.pos == nbits
+    return decode(BitReader(writer.vector))
+
+
+class TestGamma:
+    def test_known_codewords(self):
+        # gamma(1) = "1", gamma(2) = "010", gamma(3) = "011" (MSB-first).
+        assert elias_gamma_encode(1) == (0b1, 1)
+        pattern, nbits = elias_gamma_encode(2)
+        assert nbits == 3
+        # Stream order: 0, 1, 0 -> LSB-first pattern 0b010.
+        assert [pattern >> i & 1 for i in range(3)] == [0, 1, 0]
+        pattern, nbits = elias_gamma_encode(3)
+        assert [pattern >> i & 1 for i in range(3)] == [0, 1, 1]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            elias_gamma_encode(0)
+
+    def test_length_is_2L_minus_1(self):
+        for n in (1, 2, 7, 8, 1000):
+            _, nbits = elias_gamma_encode(n)
+            assert nbits == 2 * n.bit_length() - 1
+
+    @given(st.integers(1, 10**9))
+    def test_roundtrip(self, n):
+        assert roundtrip(elias_gamma_encode, elias_gamma_decode, n) == n
+
+
+class TestDelta:
+    def test_known_codewords(self):
+        # delta(1) = gamma(1) = "1".
+        assert elias_delta_encode(1) == (0b1, 1)
+        # delta(2): gamma(2)="010" + "0" -> stream 0,1,0,0.
+        pattern, nbits = elias_delta_encode(2)
+        assert nbits == 4
+        assert [pattern >> i & 1 for i in range(4)] == [0, 1, 0, 0]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            elias_delta_encode(0)
+        with pytest.raises(ValueError):
+            elias_delta_length(0)
+
+    def test_length_formula_matches_paper(self):
+        """L2(n) = floor(log n) + 2*floor(log(floor(log n)+1)) + 1 (§4.5)."""
+        import math
+        for n in (1, 2, 3, 4, 7, 8, 100, 1000, 12345):
+            log_n = int(math.log2(n)) if n > 1 else 0
+            expected = log_n + 2 * int(math.log2(log_n + 1)) + 1
+            assert elias_delta_length(n) == expected
+
+    @given(st.integers(1, 10**12))
+    def test_roundtrip(self, n):
+        assert roundtrip(elias_delta_encode, elias_delta_decode, n) == n
+
+    @given(st.integers(1, 10**9))
+    def test_encoded_length_matches_formula(self, n):
+        _, nbits = elias_delta_encode(n)
+        assert nbits == elias_delta_length(n)
+
+
+class TestCodec:
+    def test_zero_counter_supported(self):
+        """The codec stores v+1, so counter 0 round-trips (§4.5 footnote)."""
+        codec = EliasCodec()
+        assert roundtrip(codec.encode, codec.decode, 0) == 0
+
+    def test_negative_rejected(self):
+        codec = EliasCodec()
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+        with pytest.raises(ValueError):
+            codec.length(-1)
+
+    def test_paper_example_one_costs_four_bits(self):
+        """§4.5: 'to encode the number 1 (actually encoding the number 2)
+        we need 4 bits'."""
+        assert EliasCodec().length(1) == 4
+
+    @given(st.integers(0, 10**9))
+    def test_roundtrip_and_length(self, v):
+        codec = EliasCodec()
+        pattern, nbits = codec.encode(v)
+        assert nbits == codec.length(v)
+        writer = BitWriter()
+        writer.write_bits(pattern, nbits)
+        assert codec.decode(BitReader(writer.vector)) == v
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50))
+    def test_stream_of_codewords_is_self_delimiting(self, values):
+        codec = EliasCodec()
+        writer = BitWriter()
+        for v in values:
+            pattern, nbits = codec.encode(v)
+            writer.write_bits(pattern, nbits)
+        reader = BitReader(writer.vector)
+        assert [codec.decode(reader) for _ in values] == values

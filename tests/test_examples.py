@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline it promises.  Keeps the examples/ directory honest as the library
+evolves."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+CASES = [
+    ("quickstart.py", "frequency queries"),
+    ("network_heavy_hitters.py", "verified iceberg"),
+    ("distributed_bloomjoin.py", "Spectral Bloomjoin"),
+    ("warehouse_sliding_window.py", "false-neg"),
+    ("elevation_range_index.py", "point query"),
+    ("proxy_cache_mesh.py", "spectral summaries"),
+    ("search_engine_hotlist.py", "differential file"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES)
+def test_example_runs(script, marker):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker.lower() in result.stdout.lower(), (
+        f"{script} output missing {marker!r}:\n{result.stdout[:1000]}")
+
+
+def test_every_example_is_covered():
+    scripts = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert scripts == {script for script, _marker in CASES}

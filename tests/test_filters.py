@@ -1,0 +1,277 @@
+"""Tests for the baseline filters: Bloom, counting Bloom, Count-Min,
+chained hash table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BloomFilter,
+    ChainedHashTable,
+    CountingBloomFilter,
+    CountMinSketch,
+    SpectralBloomFilter,
+)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(2000, 5, seed=1)
+        keys = [f"key{i}" for i in range(200)]
+        bf.update(keys)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_near_prediction(self):
+        n, m, k = 1000, 8000, 5
+        bf = BloomFilter(m, k, seed=2)
+        bf.update(range(n))
+        fp = sum(1 for x in range(10**6, 10**6 + 5000) if x in bf) / 5000
+        assert fp == pytest.approx(bf.false_positive_rate(n), abs=0.015)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0)
+
+    def test_for_items(self):
+        bf = BloomFilter.for_items(500, 0.01, seed=1)
+        bf.update(range(500))
+        fp = sum(1 for x in range(10**6, 10**6 + 2000) if x in bf) / 2000
+        assert fp < 0.03
+
+    def test_union(self):
+        a = BloomFilter(500, 3, seed=3)
+        b = BloomFilter(500, 3, seed=3)
+        a.add("x")
+        b.add("y")
+        u = a | b
+        assert "x" in u and "y" in u
+
+    def test_union_incompatible(self):
+        a = BloomFilter(500, 3, seed=3)
+        b = BloomFilter(500, 3, seed=4)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_fill_ratio_and_compression(self):
+        """[Mit01]: a lightly-loaded filter is compressible; at p=0.5 the
+        entropy bound approaches m."""
+        bf = BloomFilter(10_000, 4, seed=5)
+        bf.update(range(100))
+        assert bf.fill_ratio() < 0.1
+        assert bf.compressed_bits() < bf.storage_bits() * 0.5
+        empty = BloomFilter(100, 2)
+        assert empty.compressed_bits() == 0.0
+
+    def test_storage_bits(self):
+        assert BloomFilter(1234, 3).storage_bits() == 1234
+
+
+class TestCountingBloomFilter:
+    def test_membership_with_deletions(self):
+        cbf = CountingBloomFilter(2000, 4, seed=1)
+        cbf.update(["a", "b", "c"])
+        cbf.remove("b")
+        assert "a" in cbf and "c" in cbf
+        assert "b" not in cbf
+
+    def test_saturation_caps_estimates(self):
+        """§1.1.3: 4-bit counters cannot represent multiset frequencies."""
+        cbf = CountingBloomFilter(100, 3, bits_per_counter=4, seed=2)
+        for _ in range(100):
+            cbf.add("popular")
+        assert cbf.estimate("popular") == 15
+        assert cbf.is_saturated("popular")
+        assert cbf.overflows > 0
+
+    def test_sbf_fixes_the_saturation_gap(self):
+        """The motivating comparison: the SBF counts past 15."""
+        sbf = SpectralBloomFilter(100, 3, seed=2)
+        for _ in range(100):
+            sbf.insert("popular")
+        assert sbf.query("popular") == 100
+
+    def test_saturated_counters_not_decremented(self):
+        cbf = CountingBloomFilter(10, 1, bits_per_counter=2, seed=3)
+        for _ in range(10):
+            cbf.add("x")
+        cbf.remove("x")
+        assert cbf.estimate("x") == 3  # stuck at saturation
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(10, 3, bits_per_counter=0)
+
+    def test_storage_bits(self):
+        cbf = CountingBloomFilter(100, 3, bits_per_counter=4)
+        assert cbf.storage_bits() == 400
+
+
+class TestCountMinSketch:
+    def test_one_sided_error(self):
+        rng = random.Random(4)
+        cms = CountMinSketch(width=1000, depth=4, seed=4)
+        truth: dict[int, int] = {}
+        for _ in range(5000):
+            x = rng.randrange(300)
+            truth[x] = truth.get(x, 0) + 1
+            cms.insert(x)
+        for x, f in truth.items():
+            assert cms.query(x) >= f
+
+    def test_conservative_update_not_worse(self):
+        """[EV02]: conservative update dominates plain update."""
+        rng = random.Random(5)
+        plain = CountMinSketch(400, 4, seed=5)
+        cons = CountMinSketch(400, 4, conservative=True, seed=5)
+        truth: dict[int, int] = {}
+        for _ in range(6000):
+            x = rng.randrange(500)
+            truth[x] = truth.get(x, 0) + 1
+            plain.insert(x)
+            cons.insert(x)
+        for x, f in truth.items():
+            assert f <= cons.query(x) <= plain.query(x)
+
+    def test_conservative_matches_mi_spirit(self):
+        """CM+conservative and SBF+MI implement the same estimator family;
+        their total error should be in the same ballpark for equal space."""
+        rng = random.Random(6)
+        stream = [rng.randrange(400) for _ in range(8000)]
+        truth: dict[int, int] = {}
+        cms = CountMinSketch(width=800, depth=5, conservative=True, seed=6)
+        sbf = SpectralBloomFilter(m=4000, k=5, method="mi", seed=6)
+        for x in stream:
+            truth[x] = truth.get(x, 0) + 1
+            cms.insert(x)
+            sbf.insert(x)
+        cms_err = sum(cms.query(x) - f for x, f in truth.items())
+        sbf_err = sum(sbf.query(x) - f for x, f in truth.items())
+        assert cms_err >= 0 and sbf_err >= 0
+        if cms_err + sbf_err > 0:
+            ratio = (sbf_err + 1) / (cms_err + 1)
+            assert 0.1 < ratio < 10
+
+    def test_bulk_and_mapping_update(self):
+        cms = CountMinSketch(100, 3, seed=1)
+        cms.update({"a": 3})
+        cms.update(["a", "b"])
+        assert cms.query("a") >= 4
+        assert cms.total_count == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 3)
+        with pytest.raises(ValueError):
+            CountMinSketch(10, 3).insert("x", -1)
+
+    def test_storage_bits_positive(self):
+        cms = CountMinSketch(10, 2)
+        cms.insert("x", 100)
+        assert cms.storage_bits() > 0
+
+
+class TestChainedHashTable:
+    def test_exact_counting(self):
+        table = ChainedHashTable(64, seed=1)
+        rng = random.Random(7)
+        truth: dict[int, int] = {}
+        for _ in range(2000):
+            x = rng.randrange(150)
+            truth[x] = truth.get(x, 0) + 1
+            table.insert(x)
+        for x, f in truth.items():
+            assert table.query(x) == f
+        assert table.query("missing") == 0
+        assert len(table) == len(truth)
+
+    def test_delete_semantics(self):
+        table = ChainedHashTable(16, seed=1)
+        table.insert("x", 5)
+        table.delete("x", 2)
+        assert table.query("x") == 3
+        table.delete("x", 3)
+        assert "x" not in table
+        with pytest.raises(KeyError):
+            table.delete("x")
+        table.insert("y", 1)
+        with pytest.raises(ValueError):
+            table.delete("y", 5)
+
+    def test_update_and_items(self):
+        table = ChainedHashTable(8, seed=1)
+        table.update({"a": 2, "b": 1})
+        table.update(["a"])
+        assert dict(table.items()) == {"a": 3, "b": 1}
+
+    def test_storage_accounting(self):
+        table = ChainedHashTable(64, seed=2)
+        for x in range(100):
+            table.insert(x, x + 1)
+        assert table.key_storage_bits_tight() < table.key_storage_bits_loose()
+        assert table.storage_bits() > table.counter_storage_bits()
+
+    def test_probe_counting(self):
+        table = ChainedHashTable(2, seed=3)  # force chains
+        for x in range(20):
+            table.insert(x)
+        before = table.probes
+        table.query(0)
+        assert table.probes > before
+        assert table.max_chain_length() >= 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(0)
+        with pytest.raises(ValueError):
+            ChainedHashTable(4).insert("x", -2)
+
+
+class TestBackendsModule:
+    def test_make_backend_passthrough_and_errors(self):
+        from repro.storage.backends import ArrayBackend, make_backend
+        backend = ArrayBackend(10)
+        assert make_backend(backend, 10) is backend
+        with pytest.raises(ValueError):
+            make_backend(backend, 11)
+        with pytest.raises(ValueError):
+            make_backend("punchcards", 10)
+        assert isinstance(make_backend(ArrayBackend, 10), ArrayBackend)
+
+    @pytest.mark.parametrize("name", ["array", "compact", "stream"])
+    def test_backend_contract(self, name):
+        from repro.storage.backends import make_backend
+        backend = make_backend(name, 8)
+        assert len(backend) == 8
+        assert backend.to_list() == [0] * 8
+        assert backend.add(3, 5) == 5
+        backend.set(3, 2)
+        assert backend.get(3) == 2
+        with pytest.raises(ValueError):
+            backend.add(3, -10)
+        assert backend.add_clamped(3, -10) == 0
+        assert backend.storage_bits() > 0
+
+    @pytest.mark.parametrize("name", ["array", "compact", "stream"])
+    def test_backend_invalid_size(self, name):
+        from repro.storage.backends import make_backend
+        with pytest.raises(ValueError):
+            make_backend(name, 0)
+
+    @settings(max_examples=15)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 200)),
+                    min_size=1, max_size=60))
+    def test_backends_stay_in_lockstep(self, ops):
+        from repro.storage.backends import make_backend
+        backends = [make_backend(n, 16) for n in ("array", "compact",
+                                                  "stream")]
+        for i, value in ops:
+            for backend in backends:
+                backend.set(i, value)
+        reference = backends[0].to_list()
+        for backend in backends[1:]:
+            assert backend.to_list() == reference

@@ -1,0 +1,138 @@
+"""Tests for key canonicalisation and the hash-function families."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing import (
+    DoubleHashingFamily,
+    ModuloMultiplyFamily,
+    MultiplyShiftFamily,
+    TabulationFamily,
+    canonical_key,
+    make_family,
+)
+
+ALL_FAMILIES = [ModuloMultiplyFamily, MultiplyShiftFamily,
+                TabulationFamily, DoubleHashingFamily]
+
+
+class TestCanonicalKey:
+    def test_deterministic(self):
+        assert canonical_key("hello") == canonical_key("hello")
+        assert canonical_key(42) == canonical_key(42)
+
+    def test_types_do_not_collide_trivially(self):
+        assert canonical_key("1") != canonical_key(1)
+        assert canonical_key(b"1") != canonical_key("1")
+
+    def test_small_ints_are_distinct(self):
+        outputs = {canonical_key(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    def test_bool_and_none(self):
+        assert canonical_key(True) == canonical_key(1)
+        assert isinstance(canonical_key(None), int)
+
+    def test_tuples(self):
+        assert canonical_key((1, "a")) == canonical_key((1, "a"))
+        assert canonical_key((1, "a")) != canonical_key(("a", 1))
+
+    def test_nested_tuples(self):
+        assert canonical_key(((1, 2), 3)) != canonical_key((1, (2, 3)))
+
+    def test_floats(self):
+        assert canonical_key(1.5) == canonical_key(1.5)
+        assert canonical_key(1.5) != canonical_key(2.5)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_key([1, 2])
+
+    @given(st.integers())
+    def test_output_is_64_bit(self, x):
+        out = canonical_key(x)
+        assert 0 <= out < 2**64
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("cls", ALL_FAMILIES)
+    def test_indices_in_range(self, cls):
+        fam = cls(m=97, k=5, seed=7)
+        for key in ["a", "b", 1, 2, (3, "x"), b"bytes"]:
+            idx = fam.indices(key)
+            assert len(idx) == 5
+            assert all(0 <= i < 97 for i in idx)
+
+    @pytest.mark.parametrize("cls", ALL_FAMILIES)
+    def test_deterministic_per_seed(self, cls):
+        a = cls(m=101, k=3, seed=11)
+        b = cls(m=101, k=3, seed=11)
+        c = cls(m=101, k=3, seed=12)
+        assert a.indices("key") == b.indices("key")
+        assert any(a.indices(f"key{i}") != c.indices(f"key{i}")
+                   for i in range(20))
+
+    @pytest.mark.parametrize("cls", ALL_FAMILIES)
+    def test_distribution_is_roughly_uniform(self, cls):
+        """Chi-square style sanity check: bucket loads near expectation."""
+        m, k, n = 64, 1, 20_000
+        fam = cls(m=m, k=k, seed=3)
+        loads = [0] * m
+        for key in range(n):
+            loads[fam.indices(key)[0]] += 1
+        expected = n / m
+        assert all(0.5 * expected < load < 1.5 * expected for load in loads)
+
+    @pytest.mark.parametrize("cls", ALL_FAMILIES)
+    def test_invalid_parameters(self, cls):
+        with pytest.raises(ValueError):
+            cls(m=0, k=5)
+        with pytest.raises(ValueError):
+            cls(m=10, k=0)
+
+    def test_compatibility(self):
+        a = ModuloMultiplyFamily(m=50, k=4, seed=1)
+        b = ModuloMultiplyFamily(m=50, k=4, seed=1)
+        c = ModuloMultiplyFamily(m=50, k=4, seed=2)
+        d = MultiplyShiftFamily(m=50, k=4, seed=1)
+        assert a.is_compatible(b)
+        assert not a.is_compatible(c)
+        assert not a.is_compatible(d)
+
+    def test_spawn_changes_size_keeps_seed(self):
+        a = ModuloMultiplyFamily(m=50, k=4, seed=9)
+        b = a.spawn(m=25)
+        assert b.m == 25 and b.k == 4 and b.seed == 9
+
+    def test_m_of_one_always_maps_to_zero(self):
+        fam = ModuloMultiplyFamily(m=1, k=3, seed=0)
+        assert fam.indices("anything") == (0, 0, 0)
+
+    def test_double_hashing_probes_distinct_for_prime_m(self):
+        fam = DoubleHashingFamily(m=101, k=5, seed=0)
+        for key in range(200):
+            idx = fam.indices(key)
+            assert len(set(idx)) == 5
+
+
+class TestMakeFamily:
+    def test_by_name(self):
+        fam = make_family("modmul", 100, 5, seed=1)
+        assert isinstance(fam, ModuloMultiplyFamily)
+
+    def test_by_class(self):
+        fam = make_family(TabulationFamily, 100, 5, seed=1)
+        assert isinstance(fam, TabulationFamily)
+
+    def test_instance_passthrough(self):
+        original = MultiplyShiftFamily(100, 5, seed=1)
+        assert make_family(original, 100, 5) is original
+
+    def test_instance_size_mismatch_raises(self):
+        original = MultiplyShiftFamily(100, 5, seed=1)
+        with pytest.raises(ValueError):
+            make_family(original, 99, 5)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_family("nope", 10, 2)

@@ -1,0 +1,166 @@
+"""Cross-module integration tests: realistic pipelines combining the SBF
+methods, the §4 storage backends, the data generators and the §5 apps."""
+
+import collections
+import random
+
+import pytest
+
+from repro import SpectralBloomFilter
+from repro.apps.iceberg import IcebergIndex
+from repro.apps.bloomjoin import (
+    exact_grouped_join_count,
+    spectral_bloomjoin_count,
+)
+from repro.apps.range_query import RangeTreeSBF
+from repro.apps.sliding_window import SlidingWindowSBF
+from repro.data.forest import forest_cover_elevations
+from repro.data.streams import (
+    deletion_phase_workload,
+    insertion_stream,
+    stream_from_counts,
+)
+from repro.db.relation import Relation
+from repro.db.site import two_sites
+
+
+class TestCompactBackendPipelines:
+    """The §4 storage layer must be a transparent drop-in everywhere."""
+
+    def test_compact_rm_with_deletions_matches_array(self):
+        ops = deletion_phase_workload(150, 3000, 0.8, seed=31)
+        filters = {
+            backend: SpectralBloomFilter(1200, 4, method="rm", seed=31,
+                                         backend=backend)
+            for backend in ("array", "compact")
+        }
+        for op, x in ops:
+            for sbf in filters.values():
+                if op == "insert":
+                    sbf.insert(x)
+                else:
+                    sbf.delete(x)
+        for x in range(150):
+            assert (filters["array"].query(x)
+                    == filters["compact"].query(x))
+
+    def test_compact_iceberg_over_forest_data(self):
+        counts = forest_cover_elevations(n_records=8000, n_distinct=400,
+                                         seed=32)
+        stream = stream_from_counts(counts, seed=32)
+        index = IcebergIndex(m=3000, k=5, method="mi", seed=32)
+        # Route the index's SBF through the compact backend.
+        index.sbf = SpectralBloomFilter(3000, 5, method="mi", seed=32,
+                                        backend="compact")
+        index.consume(stream)
+        threshold = 40
+        reported = index.query(threshold)
+        exact = {v for v, f in counts.items() if f >= threshold}
+        assert exact <= set(reported)
+
+    def test_compact_sliding_window(self):
+        sw = SlidingWindowSBF(window=300, m=1500, method="rm", seed=33)
+        sw.sbf = SpectralBloomFilter(1500, 5, method="rm", seed=33,
+                                     backend="compact")
+        stream = insertion_stream(80, 1500, 0.9, seed=33)
+        sw._buffer.clear()
+        for x in stream:
+            sw.push(x)
+        truth = collections.Counter(stream[-300:])
+        for x, f in truth.items():
+            assert sw.query(x) >= f
+
+
+class TestDistributedPipelines:
+    def test_three_site_union_then_query(self):
+        """§2.2: a relation partitioned over sites is queried by shipping
+        and adding SBFs."""
+        rng = random.Random(34)
+        partitions = [
+            {x: rng.randrange(1, 20) for x in rng.sample(range(500), 150)}
+            for _ in range(3)
+        ]
+        filters = []
+        for part in partitions:
+            sbf = SpectralBloomFilter(6000, 5, seed=34)
+            sbf.update(part)
+            filters.append(sbf)
+        merged = filters[0] + filters[1] + filters[2]
+        truth: dict[int, int] = {}
+        for part in partitions:
+            for x, f in part.items():
+                truth[x] = truth.get(x, 0) + f
+        errors = sum(1 for x, f in truth.items() if merged.query(x) != f)
+        for x, f in truth.items():
+            assert merged.query(x) >= f
+        assert errors <= 0.05 * len(truth)
+
+    def test_spectral_join_then_iceberg_threshold(self):
+        """Pipeline: distributed grouped join, then an ad-hoc HAVING."""
+        rng = random.Random(35)
+        r = Relation("R", ("a", "x"),
+                     [(rng.randrange(40), i) for i in range(300)])
+        s = Relation("S", ("a", "y"),
+                     [(rng.randrange(40), i) for i in range(600)])
+        site1, site2, net = two_sites()
+        site1.store(r)
+        site2.store(s)
+        counts = spectral_bloomjoin_count(site1, "R", site2, "S", "a",
+                                          m=8192, seed=35)
+        truth = exact_grouped_join_count(r, s, "a")
+        for t in (50, 100, 200):
+            reported = {v for v, c in counts.items() if c >= t}
+            exact = {v for v, c in truth.items() if c >= t}
+            assert exact <= reported
+        assert net.rounds == 1
+
+
+class TestEndToEndGuarantees:
+    @pytest.mark.parametrize("backend", ["array", "compact"])
+    @pytest.mark.parametrize("method", ["ms", "rm"])
+    def test_insert_delete_insert_cycles(self, backend, method):
+        """Long mixed workloads keep the one-sided invariant intact."""
+        rng = random.Random(36)
+        sbf = SpectralBloomFilter(900, 4, method=method, seed=36,
+                                  backend=backend)
+        truth: dict[int, int] = {}
+        for _ in range(1500):
+            x = rng.randrange(120)
+            if truth.get(x, 0) > 0 and rng.random() < 0.35:
+                sbf.delete(x)
+                truth[x] -= 1
+            else:
+                sbf.insert(x)
+                truth[x] = truth.get(x, 0) + 1
+        for x, f in truth.items():
+            assert sbf.query(x) >= f
+
+    def test_range_tree_on_zipf_traffic(self):
+        """Range tree + skewed data + deletions, all through one SBF."""
+        tree = RangeTreeSBF(0, 255, m=60_000, k=4, method="ms", seed=37)
+        stream = insertion_stream(256, 4000, 1.0, seed=37)
+        live = collections.Counter()
+        for i, v in enumerate(stream):
+            tree.insert(v)
+            live[v] += 1
+            if i % 7 == 0 and live[v] > 1:
+                tree.delete(v)
+                live[v] -= 1
+        for lo, hi in ((0, 255), (10, 60), (200, 240)):
+            true_count = sum(f for v, f in live.items() if lo <= v <= hi)
+            assert tree.range_count(lo, hi) >= true_count
+
+    def test_storage_accounting_through_the_stack(self):
+        """storage_bits flows from the SAI through backends to the SBF."""
+        sbf = SpectralBloomFilter(512, 4, method="rm", seed=38,
+                                  backend="compact")
+        for x in range(200):
+            sbf.insert(x, 1 + x % 5)
+        total = sbf.storage_bits()
+        primary = sbf.counters.storage_bits()
+        secondary = sbf.method.secondary.storage_bits()
+        marker = (sbf.method.marker.storage_bits()
+                  if sbf.method.marker is not None else 0)
+        assert total == primary + secondary + marker
+        breakdown = sbf.counters.storage_breakdown()
+        assert primary == sum(breakdown.values())

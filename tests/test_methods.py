@@ -1,0 +1,280 @@
+"""Behavioural tests for the three maintenance methods (§2.2, §3.2, §3.3)
+and the Trapping refinement (§3.3.1)."""
+
+import random
+
+import pytest
+
+from repro import SpectralBloomFilter
+from repro.core.methods import (
+    MinimalIncrease,
+    MinimumSelection,
+    RecurringMinimum,
+    make_method,
+)
+from repro.core.trapping import TrappingRecurringMinimum
+
+
+def zipf_stream(n_distinct, total, skew, seed):
+    """Small local Zipfian sampler for method comparisons."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i ** skew) for i in range(1, n_distinct + 1)]
+    cum = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum.append(acc)
+    out = []
+    for _ in range(total):
+        r = rng.random() * acc
+        lo, hi = 0, n_distinct - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cum[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo)
+    return out
+
+
+def run_stream(method, stream, m=3500, k=5, seed=0, **options):
+    sbf = SpectralBloomFilter(m, k, method=method, seed=seed,
+                              method_options=options)
+    truth: dict[int, int] = {}
+    for x in stream:
+        truth[x] = truth.get(x, 0) + 1
+        sbf.insert(x)
+    return sbf, truth
+
+
+def error_ratio(sbf, truth):
+    errors = sum(1 for x, f in truth.items() if sbf.query(x) != f)
+    return errors / len(truth)
+
+
+class TestMinimumSelection:
+    def test_estimate_is_min_counter(self):
+        sbf = SpectralBloomFilter(200, 4, method="ms", seed=1)
+        sbf.insert("x", 7)
+        assert sbf.query("x") == min(sbf.counter_values("x")) == 7
+
+    def test_error_rate_matches_bloom_error(self):
+        """Claim 1: P(m_x != f_x) ~= E_b."""
+        stream = zipf_stream(1000, 20_000, 0.5, seed=4)
+        sbf, truth = run_stream("ms", stream, m=7000, k=5, seed=4)
+        observed = error_ratio(sbf, truth)
+        predicted = sbf.expected_bloom_error(len(truth))
+        # Loose band: a single run of one seed.
+        assert observed <= 3 * predicted + 0.02
+
+
+class TestMinimalIncrease:
+    def test_counters_grow_minimally(self):
+        """MI performs the minimal increases keeping m_x >= f_x."""
+        ms = SpectralBloomFilter(300, 5, method="ms", seed=2)
+        mi = SpectralBloomFilter(300, 5, method="mi", seed=2)
+        stream = zipf_stream(100, 2000, 1.0, seed=2)
+        for x in stream:
+            ms.insert(x)
+            mi.insert(x)
+        assert sum(mi) <= sum(ms)
+
+    def test_mi_never_worse_than_ms(self):
+        """Claim 4: per-item MI error <= MS error on insert-only data."""
+        stream = zipf_stream(800, 15_000, 0.8, seed=9)
+        ms, truth = run_stream("ms", stream, m=4000, seed=9)
+        mi, _ = run_stream("mi", stream, m=4000, seed=9)
+        for x, f in truth.items():
+            assert f <= mi.query(x) <= ms.query(x)
+
+    def test_mi_significantly_better_overall(self):
+        """§3.4: 'MI performs about 5 times better in terms of error ratio'
+        — we assert a conservative >= 1.5x improvement for one seed."""
+        stream = zipf_stream(1000, 20_000, 0.5, seed=6)
+        ms, truth = run_stream("ms", stream, m=7000, seed=6)
+        mi, _ = run_stream("mi", stream, m=7000, seed=6)
+        ms_err = error_ratio(ms, truth)
+        mi_err = error_ratio(mi, truth)
+        assert mi_err <= ms_err / 1.5 + 1e-9
+
+    def test_bulk_insert_matches_iterated(self):
+        """§3.2: 'increase the smallest counter(s) by r, and update every
+        other counter to the maximum of its old value and m_x + r'."""
+        a = SpectralBloomFilter(150, 5, method="mi", seed=3)
+        b = SpectralBloomFilter(150, 5, method="mi", seed=3)
+        rng = random.Random(0)
+        for _ in range(300):
+            x = rng.randrange(40)
+            a.insert(x, 3)
+            for _ in range(3):
+                b.insert(x)
+        for x in range(40):
+            assert a.query(x) == b.query(x)
+
+    def test_supports_deletion_flag(self):
+        sbf = SpectralBloomFilter(100, 3, method="mi")
+        assert sbf.method.supports_deletion is False
+        assert SpectralBloomFilter(100, 3, method="ms").method.supports_deletion
+
+
+class TestRecurringMinimum:
+    def test_default_secondary_is_half(self):
+        sbf = SpectralBloomFilter(1000, 5, method="rm", seed=1)
+        assert sbf.method.secondary_m == 500
+
+    def test_secondary_options(self):
+        sbf = SpectralBloomFilter(1000, 5, method="rm", seed=1,
+                                  method_options={"secondary_m": 123,
+                                                  "secondary_k": 3})
+        assert sbf.method.secondary.m == 123
+        assert sbf.method.secondary.k == 3
+
+    def test_rm_beats_ms_on_skewed_stream(self):
+        """§3.3/Table 1: with the primary at gamma ~= 0.7 and a secondary of
+        m/2, RM's error ratio is well below MS's at the same primary size."""
+        n = 1000
+        stream = zipf_stream(n, 20_000, 0.5, seed=14)
+        m = round(n * 5 / 0.7)
+        ms, truth = run_stream("ms", stream, m=m, seed=14)
+        rm, _ = run_stream("rm", stream, m=m, seed=14, secondary_m=m // 2)
+        assert error_ratio(rm, truth) < error_ratio(ms, truth)
+
+    def test_rm_recurring_minimum_fraction_matches_table1(self):
+        """Table 1 at gamma = 0.7: P(Rx) ~= 0.81."""
+        n = 1000
+        stream = zipf_stream(n, 20_000, 0.5, seed=14)
+        m = round(n * 5 / 0.7)
+        rm, truth = run_stream("rm", stream, m=m, seed=14, secondary_m=m // 2)
+        recurring = sum(
+            1 for x in truth
+            if rm.method._has_recurring_minimum(rm.counter_values(x)))
+        assert recurring / len(truth) == pytest.approx(0.81, abs=0.08)
+
+    def test_rm_supports_deletions_without_false_negatives(self):
+        stream = zipf_stream(300, 6000, 0.7, seed=15)
+        sbf, truth = run_stream("rm", stream, m=2500, seed=15)
+        victims = list(truth)[::4]
+        for x in victims:
+            sbf.delete(x, truth[x])
+            truth[x] = 0
+        for x, f in truth.items():
+            assert sbf.query(x) >= f
+
+    def test_marker_filter_variant(self):
+        stream = zipf_stream(500, 8000, 0.6, seed=16)
+        sbf, truth = run_stream("rm", stream, m=3000, seed=16,
+                                use_marker=True)
+        assert sbf.method.marker is not None
+        negatives = sum(1 for x, f in truth.items() if sbf.query(x) < f)
+        assert negatives == 0
+
+    def test_storage_bits_include_secondary(self):
+        plain = SpectralBloomFilter(1000, 5, method="ms", seed=1)
+        rm = SpectralBloomFilter(1000, 5, method="rm", seed=1)
+        rm.insert("x", 100)
+        plain.insert("x", 100)
+        assert rm.storage_bits() > plain.storage_bits()
+
+    def test_single_vs_recurring_minimum_detection(self):
+        rm = SpectralBloomFilter(100, 4, method="rm", seed=1).method
+        assert rm._has_recurring_minimum((2, 2, 3, 4))
+        assert not rm._has_recurring_minimum((1, 2, 3, 4))
+        assert rm._has_recurring_minimum((5, 5, 5, 5))
+
+    def test_shadowed_item_estimate_from_secondary(self):
+        """An item detected with a single minimum must be answerable from
+        the secondary with its uncontaminated count."""
+        sbf = SpectralBloomFilter(50, 3, method="rm", seed=2)
+        # Flood the primary to force collisions.
+        for x in range(200):
+            sbf.insert(x)
+        negatives = sum(1 for x in range(200) if sbf.query(x) < 1)
+        assert negatives == 0
+
+
+class TestTrappingRecurringMinimum:
+    def test_trap_repairs_late_detection(self):
+        """Construct the §3.3.1 scenario: x transferred with a contaminated
+        value, the contaminator keeps arriving, the trap claws the
+        contamination back."""
+        # Find a pair of keys sharing exactly one counter.
+        seed = 0
+        probe = SpectralBloomFilter(64, 3, method="ms", seed=seed)
+        pair = None
+        keys = list(range(400))
+        for a in keys:
+            ia = set(probe.indices(a))
+            for b in keys:
+                if a == b:
+                    continue
+                shared = ia & set(probe.indices(b))
+                if len(shared) == 1:
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        x, y = pair
+
+        def run(method):
+            sbf = SpectralBloomFilter(64, 3, method=method, seed=seed)
+            # y contaminates first (10 arrivals), then x arrives once, then
+            # y keeps arriving (late firing opportunities).
+            for _ in range(10):
+                sbf.insert(y)
+            sbf.insert(x)
+            for _ in range(10):
+                sbf.insert(y)
+            return sbf.query(x)
+
+        rm_est = run("rm")
+        trm_est = run("trm")
+        assert trm_est <= rm_est
+        assert trm_est >= 1  # never a false negative for this scenario
+
+    def test_trap_fires_counted(self):
+        stream = zipf_stream(300, 6000, 1.2, seed=17)
+        sbf, truth = run_stream("trm", stream, m=900, seed=17)
+        assert isinstance(sbf.method, TrappingRecurringMinimum)
+        for x, f in truth.items():
+            assert sbf.query(x) >= 0
+        assert sbf.method.trap_fires >= 0
+
+    def test_delete_clears_owned_traps(self):
+        sbf = SpectralBloomFilter(64, 3, method="trm", seed=1)
+        for x in range(100):
+            sbf.insert(x, 2)
+        owners = {t.owner for t in sbf.method._traps.values()}
+        if owners:
+            victim = next(iter(owners))
+            sbf.delete(victim, 1)
+            assert all(t.owner != victim
+                       for t in sbf.method._traps.values())
+
+    def test_storage_accounts_for_traps(self):
+        trm = SpectralBloomFilter(512, 4, method="trm", seed=1)
+        rm = SpectralBloomFilter(512, 4, method="rm", seed=1)
+        assert trm.storage_bits() > rm.storage_bits()
+
+
+class TestMakeMethod:
+    def test_long_names(self):
+        sbf = SpectralBloomFilter(100, 3)
+        assert make_method("minimum-selection", sbf).name == "ms"
+        assert make_method("minimal-increase", sbf).name == "mi"
+        assert make_method("recurring-minimum", sbf).name == "rm"
+        assert make_method("trapping", sbf).name == "trm"
+
+    def test_classes(self):
+        sbf = SpectralBloomFilter(100, 3)
+        assert isinstance(make_method(MinimumSelection, sbf),
+                          MinimumSelection)
+        assert isinstance(make_method(MinimalIncrease, sbf), MinimalIncrease)
+        assert isinstance(make_method(RecurringMinimum, sbf),
+                          RecurringMinimum)
+
+    def test_unknown(self):
+        sbf = SpectralBloomFilter(100, 3)
+        with pytest.raises(ValueError):
+            make_method("bogus", sbf)

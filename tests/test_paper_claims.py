@@ -1,0 +1,274 @@
+"""One test per numbered claim / lemma / theorem in the paper.
+
+The rest of the suite exercises these properties in passing; this module
+is the explicit claims index — each test names the statement it checks
+and is written as close to the paper's wording as the substrate allows.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import SpectralBloomFilter
+from repro.analysis.zipf_errors import (
+    expected_relative_error,
+    relative_error_tail_probability,
+)
+from repro.apps.range_query import RangeTreeSBF
+from repro.core.params import bloom_error
+from repro.core.unbiased import UnbiasedEstimator
+from repro.data.streams import insertion_stream
+from repro.succinct.string_array import StringArrayIndex
+
+
+class TestClaim1:
+    """Claim 1: for all x, f_x <= m_x, and f_x != m_x with probability
+    E_SBF = E_b (the Bloom error)."""
+
+    def test_minimum_upper_bounds_frequency(self):
+        rng = random.Random(1)
+        sbf = SpectralBloomFilter(3000, 5, method="ms", seed=1)
+        truth: dict[int, int] = {}
+        for _ in range(4000):
+            x = rng.randrange(700)
+            truth[x] = truth.get(x, 0) + 1
+            sbf.insert(x)
+        for x, f in truth.items():
+            assert sbf.min_counter(x) >= f
+
+    def test_error_probability_tracks_bloom_error(self):
+        n, k, m = 800, 5, 5600
+        sbf = SpectralBloomFilter(m, k, method="ms", seed=2)
+        for x in range(n):
+            sbf.insert(x, 1 + x % 3)
+        errors = sum(1 for x in range(n)
+                     if sbf.query(x) != 1 + x % 3)
+        predicted = bloom_error(n, k, m)
+        assert errors / n == pytest.approx(predicted, abs=0.03)
+
+
+class TestLemma2:
+    """Lemma 2: P(RE_i^z > T) <= k (i / ((n-k) T^(1/z)))^k."""
+
+    def test_bound_formula_and_shape(self):
+        n, k, z = 1000, 5, 1.0
+        # The bound decreases with T and increases with rank i.
+        assert (relative_error_tail_probability(100, n, k, z, 1.0)
+                < relative_error_tail_probability(100, n, k, z, 0.2))
+        assert (relative_error_tail_probability(50, n, k, z, 0.5)
+                < relative_error_tail_probability(500, n, k, z, 0.5))
+
+    def test_bound_dominates_simulation(self):
+        """Empirically: conditioned on an error, the relative error of a
+        frequent item rarely exceeds T when the bound says it shouldn't."""
+        n, k, z, T = 400, 5, 1.0, 2.0
+        exceed = 0
+        errors = 0
+        for seed in range(6):
+            sbf = SpectralBloomFilter(n * k, k, method="ms", seed=seed)
+            truth: dict[int, int] = {}
+            for x in insertion_stream(n, 8000, z, seed=seed):
+                truth[x] = truth.get(x, 0) + 1
+                sbf.insert(x)
+            ranked = sorted(truth, key=truth.get, reverse=True)
+            for rank, x in enumerate(ranked[:50], start=1):
+                estimate = sbf.query(x)
+                if estimate != truth[x]:
+                    errors += 1
+                    if (estimate - truth[x]) / truth[x] > T:
+                        exceed += 1
+        bound = relative_error_tail_probability(50, n, k, z, T)
+        if errors:
+            assert exceed / errors <= min(1.0, bound) + 0.25
+
+
+class TestLemma3:
+    """Lemma 3: f̄_x = (v̄_x - kN/m) / (1 - k/m) is unbiased."""
+
+    def test_empirical_unbiasedness(self):
+        biases = []
+        for seed in range(5):
+            rng = random.Random(seed)
+            sbf = SpectralBloomFilter(2500, 5, seed=seed)
+            truth: dict[int, int] = {}
+            for _ in range(3000):
+                x = rng.randrange(500)
+                truth[x] = truth.get(x, 0) + 1
+                sbf.insert(x)
+            est = UnbiasedEstimator(sbf)
+            biases.append(sum(est.estimate(x) - f
+                              for x, f in truth.items()) / len(truth))
+        avg_f = 3000 / 500
+        assert abs(sum(biases) / len(biases)) < 0.15 * avg_f
+
+
+class TestClaim4:
+    """Claim 4: MI's error probability is at most E_b and its error size
+    at most MS's, for every item."""
+
+    def test_pointwise_dominance(self):
+        for seed in (3, 4):
+            ms = SpectralBloomFilter(2800, 5, method="ms", seed=seed)
+            mi = SpectralBloomFilter(2800, 5, method="mi", seed=seed)
+            truth: dict[int, int] = {}
+            for x in insertion_stream(600, 9000, 0.8, seed=seed):
+                truth[x] = truth.get(x, 0) + 1
+                ms.insert(x)
+                mi.insert(x)
+            for x, f in truth.items():
+                assert f <= mi.query(x) <= ms.query(x)
+
+
+class TestClaim5:
+    """Claim 5: for uniform data, MI reduces the error roughly k-fold.
+
+    The claim's idealised model predicts an expected MI error of F/k when
+    MS errs by F; we assert the substantial (>= k/2-fold) reduction on
+    real uniform streams, aggregated over the erroneous items.
+    """
+
+    def test_uniform_error_reduction(self):
+        k = 5
+        total_ms = total_mi = 0
+        for seed in range(5):
+            ms = SpectralBloomFilter(2000, k, method="ms", seed=seed)
+            mi = SpectralBloomFilter(2000, k, method="mi", seed=seed)
+            truth: dict[int, int] = {}
+            for x in insertion_stream(500, 10_000, 0.0, seed=seed):
+                truth[x] = truth.get(x, 0) + 1
+                ms.insert(x)
+                mi.insert(x)
+            total_ms += sum(ms.query(x) - f for x, f in truth.items())
+            total_mi += sum(mi.query(x) - f for x, f in truth.items())
+        assert total_ms > 0
+        assert total_mi <= total_ms / (k / 2)
+
+
+class TestTheorem6:
+    """Theorem 6: an SBF of N + o(N) + O(m) bits, O(1) lookups, O(1)
+    expected amortised updates."""
+
+    def test_storage_bound_constants(self):
+        rng = random.Random(6)
+        values = [rng.randrange(0, 300) for _ in range(20_000)]
+        sai = StringArrayIndex(values)
+        n_bits = sai.raw_bits()
+        m = len(sai)
+        # Generous concrete constants for the asymptotic statement:
+        # total <= 3N + 12m covers base+slack+index at this scale.
+        assert sai.total_bits() <= 3 * n_bits + 12 * m
+
+    def test_amortised_updates(self):
+        """Per-op update time stays flat across a 16x size range."""
+        import time
+        per_op = []
+        for n in (1000, 16_000):
+            rng = random.Random(7)
+            sai = StringArrayIndex([0] * n)
+            t0 = time.perf_counter()
+            for _ in range(5 * n):
+                sai.increment(rng.randrange(n))
+            per_op.append((time.perf_counter() - t0) / (5 * n))
+        assert per_op[1] < 8 * per_op[0]
+
+
+class TestLemma7:
+    """Lemma 7: the string-array index supports access to any item in
+    O(1) time within o(N) + O(m) bits."""
+
+    def test_lookup_touches_bounded_structures(self):
+        """position() resolves through at most the three fixed levels —
+        demonstrated by its cost being independent of m."""
+        import time
+        costs = []
+        for n in (2000, 32_000):
+            sai = StringArrayIndex(list(range(1, n + 1)))
+            for i in range(0, n, 97):
+                sai.get(i)  # warm the lookup table
+            t0 = time.perf_counter()
+            for i in range(0, n, max(1, n // 1000)):
+                sai.position(i)
+            costs.append((time.perf_counter() - t0) / 1000)
+        assert costs[1] < 8 * costs[0]
+
+
+class TestLemma8:
+    """Lemma 8: the expected number of items between an expanding counter
+    and the first available slack is O(1/eps) — i.e., pushes stay short."""
+
+    def test_pushes_move_bounded_tails(self):
+        rng = random.Random(8)
+        n = 4000
+        sai = StringArrayIndex([0] * n)
+        for _ in range(10 * n):
+            sai.increment(rng.randrange(n))
+        # Every push shifted at most a chunk's tail (a handful of items);
+        # with ~10n width-growing increments the total push count stays
+        # within a small multiple of the updates, and rebuilds are rare.
+        assert sai.pushes <= 10 * n
+        assert sai.rebuilds <= 8
+
+
+class TestTheorem9:
+    """Theorem 9: the §4.6 reduction exponent shrinks the index by a
+    (log log N)^c-flavoured factor while keeping O(1) operations."""
+
+    def test_reduction_shrinks_realised_index(self):
+        rng = random.Random(9)
+        values = [rng.randrange(1, 200) for _ in range(6000)]
+        sizes = {}
+        for c in (0.0, 0.5):
+            sai = StringArrayIndex(list(values), reduction_c=c)
+            for i in range(0, len(values), 5):
+                sai.get(i)
+            sizes[c] = sai.index_bits()
+        assert sizes[0.5] < sizes[0.0]
+
+
+class TestClaim10:
+    """Claim 10: T / log T > beta is satisfied for T > 3 beta log beta,
+    beta > 3 (the paper's helper inequality)."""
+
+    @pytest.mark.parametrize("beta", [4, 10, 100, 5000])
+    def test_inequality(self, beta):
+        t = 3 * beta * math.log2(beta)
+        t_probe = t * 1.0001  # strictly above the bound
+        assert t_probe / math.log2(t_probe) > beta
+
+
+class TestTheorem11:
+    """Theorem 11: range queries with log r updates per insert and
+    O(log |Q|) probes per range lookup."""
+
+    def test_update_and_probe_complexity(self):
+        r = 1024
+        tree = RangeTreeSBF(0, r - 1, m=50_000, k=4, seed=11)
+        assert tree.tree_keys_per_item() <= math.log2(r) + 2
+        for v in range(0, r, 3):
+            tree.insert(v)
+        tree.range_count(100, 611)
+        q = 611 - 100 + 1
+        assert tree.last_query_probes <= 2 * (math.log2(q) + 2)
+
+
+class TestClaim12:
+    """Claim 12: the range tree inserts at most n log r synthetic keys."""
+
+    def test_tree_key_volume(self):
+        r = 256
+        tree = RangeTreeSBF(0, r - 1, m=40_000, k=4, seed=12)
+        distinct = set()
+        rng = random.Random(12)
+        synthetic_inserts = 0
+        for _ in range(500):
+            v = rng.randrange(r)
+            distinct.add(v)
+            synthetic_inserts += len(tree._ancestors(v))
+            tree.insert(v)
+        # Per insert: < log2(r) synthetic keys; over distinct items the
+        # *distinct* synthetic keys are <= n log r.
+        distinct_tree_keys = {key
+                              for v in distinct
+                              for key in tree._ancestors(v)}
+        assert len(distinct_tree_keys) <= len(distinct) * math.log2(r)

@@ -1,0 +1,118 @@
+"""Tests for the Bloom-parameter math of §2.1."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import (
+    bloom_error,
+    bloom_error_from_gamma,
+    gamma,
+    m_for_gamma,
+    optimal_k,
+    optimal_m,
+    recommended_parameters,
+)
+
+
+class TestBloomError:
+    def test_paper_c8_example(self):
+        """§2.1: for m = 8n the optimal error is 'slightly larger than 2%'."""
+        n = 1000
+        m = 8 * n
+        k = optimal_k(m, n)
+        err = bloom_error(n, k, m)
+        assert 0.02 < err < 0.026
+
+    def test_error_rate_formula(self):
+        """E_b = (0.6185)^(m/n) at the optimal k."""
+        n, m = 1000, 10_000
+        k = optimal_k(m, n)
+        assert bloom_error(n, k, m) == pytest.approx(0.6185 ** (m / n),
+                                                     rel=0.05)
+
+    def test_zero_items_zero_error(self):
+        assert bloom_error(0, 5, 100) == 0.0
+
+    def test_exact_close_to_approximation(self):
+        approx = bloom_error(500, 5, 5000)
+        exact = bloom_error(500, 5, 5000, exact=True)
+        assert approx == pytest.approx(exact, rel=0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bloom_error(10, 0, 100)
+        with pytest.raises(ValueError):
+            bloom_error(10, 5, 0)
+        with pytest.raises(ValueError):
+            bloom_error(-1, 5, 100)
+
+    def test_gamma_form_matches(self):
+        n, k, m = 1000, 5, 7000
+        assert bloom_error_from_gamma(gamma(n, k, m), k) == pytest.approx(
+            bloom_error(n, k, m))
+
+    def test_table1_bloom_errors(self):
+        """Table 1's Eb column: gamma=0.7 -> 0.032, gamma=1 -> 0.101."""
+        assert bloom_error_from_gamma(0.7 * 5, 5) != 0  # sanity on call form
+        # gamma in the paper is per-table nk/m; Eb = (1 - e^-gamma)^k.
+        assert bloom_error_from_gamma(0.7, 5) == pytest.approx(0.032,
+                                                               abs=0.002)
+        assert bloom_error_from_gamma(1.0, 5) == pytest.approx(0.101,
+                                                               abs=0.004)
+
+    @given(st.integers(1, 10**6), st.integers(1, 12), st.integers(1, 10**7))
+    def test_error_is_probability(self, n, k, m):
+        assert 0.0 <= bloom_error(n, k, m) <= 1.0
+
+
+class TestOptimalParameters:
+    def test_optimal_k_near_ln2_ratio(self):
+        assert optimal_k(10_000, 1000) in (6, 7)  # ln2*10 = 6.93
+
+    def test_optimal_k_at_least_one(self):
+        assert optimal_k(10, 1000) == 1
+
+    def test_optimal_k_minimises_error(self):
+        n, m = 1000, 9000
+        best = optimal_k(m, n)
+        err = bloom_error(n, best, m)
+        for k in range(1, 15):
+            assert err <= bloom_error(n, k, m) + 1e-12
+
+    def test_optimal_m_achieves_error(self):
+        n, eps = 5000, 0.01
+        m = optimal_m(n, eps)
+        k = optimal_k(m, n)
+        assert bloom_error(n, k, m) <= eps * 1.05
+
+    def test_optimal_m_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_m(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_m(100, 1.5)
+
+    def test_recommended_parameters(self):
+        m, k = recommended_parameters(1000, 0.01)
+        assert m > 0 and k > 0
+        assert bloom_error(1000, k, m) <= 0.011
+
+    def test_optimal_gamma_is_ln2(self):
+        """§2.1: 'in the optimal case, gamma = ln(2) ~= 0.7'."""
+        n = 1000
+        m = optimal_m(n, 0.01)
+        k = optimal_k(m, n)
+        assert gamma(n, k, m) == pytest.approx(math.log(2), rel=0.1)
+
+
+class TestSizing:
+    def test_m_for_gamma_roundtrip(self):
+        n, k = 1000, 5
+        for g in (0.12, 0.5, 0.7, 1.0, 2.0):
+            m = m_for_gamma(n, k, g)
+            assert gamma(n, k, m) == pytest.approx(g, rel=0.02)
+
+    def test_m_for_gamma_invalid(self):
+        with pytest.raises(ValueError):
+            m_for_gamma(1000, 5, 0)

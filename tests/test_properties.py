@@ -1,0 +1,120 @@
+"""Additional cross-cutting property tests on the paper's guarantees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SpectralBloomFilter
+from repro.core.serialize import dump_sbf, load_sbf
+from repro.succinct.string_array import StringArrayIndex
+
+key_counts = st.dictionaries(st.integers(0, 60), st.integers(1, 8),
+                             min_size=1, max_size=40)
+
+
+class TestJoinMultiplication:
+    @settings(max_examples=25)
+    @given(key_counts, key_counts)
+    def test_product_upper_bounds_join_multiplicity(self, left, right):
+        """§2.2: for any pair of multisets, ``min_i(a_i * b_i)`` never
+        under-counts the join multiplicity ``f^a_x * f^b_x``."""
+        a = SpectralBloomFilter(400, 4, seed=77)
+        b = SpectralBloomFilter(400, 4, seed=77)
+        a.update(left)
+        b.update(right)
+        product = a * b
+        for key in set(left) | set(right):
+            expected = left.get(key, 0) * right.get(key, 0)
+            assert product.query(key) >= expected
+
+    @settings(max_examples=25)
+    @given(key_counts, key_counts)
+    def test_union_commutes(self, left, right):
+        a = SpectralBloomFilter(400, 4, seed=78)
+        b = SpectralBloomFilter(400, 4, seed=78)
+        a.update(left)
+        b.update(right)
+        ab = a + b
+        ba = b + a
+        assert list(ab) == list(ba)
+
+    @settings(max_examples=25)
+    @given(key_counts)
+    def test_difference_of_self_is_empty(self, counts):
+        a = SpectralBloomFilter(400, 4, seed=79)
+        a.update(counts)
+        empty = a - a
+        assert all(c == 0 for c in empty)
+        assert empty.total_count == 0
+
+
+class TestSerializationProperties:
+    @settings(max_examples=20)
+    @given(key_counts, st.sampled_from(["ms", "mi", "rm"]))
+    def test_roundtrip_preserves_all_estimates(self, counts, method):
+        sbf = SpectralBloomFilter(300, 3, method=method, seed=80)
+        sbf.update(counts)
+        restored = load_sbf(dump_sbf(sbf))
+        for key in range(70):
+            assert restored.query(key) == sbf.query(key)
+
+    @settings(max_examples=20)
+    @given(key_counts)
+    def test_shipped_filters_remain_algebra_compatible(self, counts):
+        a = SpectralBloomFilter(300, 3, seed=81)
+        a.update(counts)
+        restored = load_sbf(dump_sbf(a))
+        doubled = a + restored
+        for key, f in counts.items():
+            assert doubled.query(key) >= 2 * f
+
+
+class TestHeavyGroupDynamics:
+    def test_updates_inside_complete_offset_vector_groups(self):
+        """Groups above (log N)^3 bits use complete level-2 vectors; their
+        expand/push machinery must work like everyone else's."""
+        values = [2**499] * 48
+        sai = StringArrayIndex(values, group_items=8)
+        assert any(g.complete for g in sai._groups)
+        rng = random.Random(9)
+        model = list(values)
+        for _ in range(200):
+            i = rng.randrange(len(model))
+            delta = rng.randrange(1, 2**50)
+            model[i] += delta
+            sai.increment(i, delta)
+        assert sai.to_list() == model
+
+    def test_mixed_light_and_heavy_groups(self):
+        values = [1] * 32 + [2**499] * 32 + [7] * 32
+        sai = StringArrayIndex(values, group_items=8)
+        flags = [g.complete for g in sai._groups]
+        assert any(flags) and not all(flags)
+        for i in (0, 33, 70):
+            sai.increment(i, 5)
+        expected = list(values)
+        for i in (0, 33, 70):
+            expected[i] += 5
+        assert sai.to_list() == expected
+
+
+class TestKeyTypeDiversity:
+    @pytest.mark.parametrize("keys", [
+        ["alpha", "beta", "gamma"],
+        [b"raw", b"bytes", b"here"],
+        [(1, "compound"), (2, "keys"), (1, "different")],
+        [1.5, 2.5, -3.25],
+        [None, True, 0],
+    ])
+    def test_all_supported_key_types_roundtrip(self, keys):
+        sbf = SpectralBloomFilter(500, 4, seed=82)
+        for i, key in enumerate(keys):
+            sbf.insert(key, i + 1)
+        for i, key in enumerate(keys):
+            assert sbf.query(key) >= i + 1
+
+    def test_unsupported_key_type_raises(self):
+        sbf = SpectralBloomFilter(100, 3)
+        with pytest.raises(TypeError):
+            sbf.insert(["lists", "are", "unhashable here"])

@@ -1,0 +1,110 @@
+"""Tests for the rank/select directory against a naive reference."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rank_select import RankDirectory
+
+
+def naive_rank1(bits, pos):
+    return sum(bits[: pos + 1])
+
+
+def naive_select1(bits, j):
+    seen = 0
+    for i, b in enumerate(bits):
+        seen += b
+        if seen == j:
+            return i
+    raise ValueError
+
+
+class TestRank:
+    def test_empty_vector(self):
+        d = RankDirectory(BitVector(0))
+        assert d.total_ones == 0
+        assert d.rank1(0) == 0
+
+    def test_all_ones(self):
+        bits = [1] * 200
+        d = RankDirectory(BitVector.from_bits(bits))
+        for pos in (0, 63, 64, 100, 199):
+            assert d.rank1(pos) == pos + 1
+
+    def test_rank_minus_one_is_zero(self):
+        d = RankDirectory(BitVector.from_bits([1, 1]))
+        assert d.rank1(-1) == 0
+
+    def test_rank_past_end_counts_all(self):
+        d = RankDirectory(BitVector.from_bits([1, 0, 1]))
+        assert d.rank1(10_000) == 2
+
+    def test_rank0_complements_rank1(self):
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        d = RankDirectory(BitVector.from_bits(bits))
+        for pos in range(len(bits)):
+            assert d.rank0(pos) + d.rank1(pos) == pos + 1
+
+    def test_paper_flag_translation(self):
+        """§4.7.1: r_j = rank(F, j) maps subgroup j to its offset-vector slot."""
+        flags = [0, 1, 0, 0, 1, 1, 0, 1]
+        d = RankDirectory(BitVector.from_bits(flags))
+        # Subgroup 4 is the 2nd flagged subgroup.
+        assert d.rank1(4) == 2
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=700))
+    def test_rank_matches_naive(self, bits):
+        d = RankDirectory(BitVector.from_bits(bits))
+        for pos in range(0, len(bits), max(1, len(bits) // 17)):
+            assert d.rank1(pos) == naive_rank1(bits, pos)
+
+
+class TestSelect:
+    def test_select_out_of_range_raises(self):
+        d = RankDirectory(BitVector.from_bits([1, 0, 1]))
+        with pytest.raises(ValueError):
+            d.select1(0)
+        with pytest.raises(ValueError):
+            d.select1(3)
+
+    def test_select_simple(self):
+        d = RankDirectory(BitVector.from_bits([0, 1, 0, 1, 1]))
+        assert d.select1(1) == 1
+        assert d.select1(2) == 3
+        assert d.select1(3) == 4
+
+    def test_select_across_superblocks(self):
+        rng = random.Random(7)
+        bits = [1 if rng.random() < 0.05 else 0 for _ in range(3000)]
+        d = RankDirectory(BitVector.from_bits(bits))
+        for j in range(1, sum(bits) + 1):
+            assert d.select1(j) == naive_select1(bits, j)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=700))
+    def test_select_inverts_rank(self, bits):
+        d = RankDirectory(BitVector.from_bits(bits))
+        for j in range(1, d.total_ones + 1):
+            pos = d.select1(j)
+            assert bits[pos] == 1
+            assert d.rank1(pos) == j
+
+
+class TestRebuild:
+    def test_rebuild_after_mutation(self):
+        vec = BitVector.from_bits([1, 0, 0, 0])
+        d = RankDirectory(vec)
+        assert d.total_ones == 1
+        vec.set_bit(2)
+        d.rebuild()
+        assert d.total_ones == 2
+        assert d.select1(2) == 2
+
+    def test_size_is_sublinear(self):
+        """The directory should cost far less than the vector it indexes."""
+        bits = [1, 0] * 50_000
+        vec = BitVector.from_bits(bits)
+        d = RankDirectory(vec)
+        assert d.size_bits() < len(vec)

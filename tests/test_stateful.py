@@ -1,0 +1,174 @@
+"""Hypothesis stateful (model-based) tests.
+
+Each machine drives a structure through arbitrary interleaved operations
+and checks it against a trivially-correct Python model after every step —
+the strongest guard we have against rare interleaving bugs in the
+String-Array Index's push/grow/rebuild machinery and the SBF methods'
+auxiliary state.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import SpectralBloomFilter
+from repro.succinct.compact_stream import CompactCounterStream
+from repro.succinct.string_array import StringArrayIndex
+
+
+class StringArrayMachine(RuleBasedStateMachine):
+    """StringArrayIndex vs a plain list under arbitrary op interleavings."""
+
+    @initialize(values=st.lists(st.integers(0, 1000), min_size=1,
+                                max_size=40),
+                chunk_slack=st.integers(1, 8),
+                group_slack=st.integers(2, 16))
+    def setup(self, values, chunk_slack, group_slack):
+        self.model = list(values)
+        self.sai = StringArrayIndex(values, chunk_slack=chunk_slack,
+                                    group_slack=group_slack)
+
+    def _index(self, i):
+        return i % len(self.model)
+
+    @rule(i=st.integers(0, 10**6), delta=st.integers(1, 10**5))
+    def increment(self, i, delta):
+        i = self._index(i)
+        self.model[i] += delta
+        self.sai.increment(i, delta)
+
+    @rule(i=st.integers(0, 10**6), delta=st.integers(1, 100))
+    def decrement_clamped(self, i, delta):
+        i = self._index(i)
+        delta = min(delta, self.model[i])
+        if delta:
+            self.model[i] -= delta
+            self.sai.decrement(i, delta)
+
+    @rule(i=st.integers(0, 10**6), value=st.integers(0, 2**40))
+    def set_value(self, i, value):
+        i = self._index(i)
+        self.model[i] = value
+        self.sai.set(i, value)
+
+    @rule()
+    def rebuild(self):
+        self.sai.rebuild()
+
+    @rule(i=st.integers(0, 10**6))
+    def read_one(self, i):
+        i = self._index(i)
+        assert self.sai.get(i) == self.model[i]
+
+    @invariant()
+    def widths_cover_values(self):
+        for i in range(0, len(self.model), max(1, len(self.model) // 7)):
+            width = self.sai.width(i)
+            assert width >= max(1, self.model[i].bit_length())
+
+    @invariant()
+    def storage_is_consistent(self):
+        assert self.sai.total_bits() >= self.sai.raw_bits()
+
+    def teardown(self):
+        if hasattr(self, "model"):
+            assert self.sai.to_list() == self.model
+
+
+class CompactStreamMachine(RuleBasedStateMachine):
+    """CompactCounterStream vs a plain list."""
+
+    @initialize(values=st.lists(st.integers(0, 500), min_size=1,
+                                max_size=30),
+                codec=st.sampled_from(["elias", "steps"]))
+    def setup(self, values, codec):
+        self.model = list(values)
+        self.stream = CompactCounterStream(values, codec=codec)
+
+    def _index(self, i):
+        return i % len(self.model)
+
+    @rule(i=st.integers(0, 10**6), delta=st.integers(1, 10**4))
+    def increment(self, i, delta):
+        i = self._index(i)
+        self.model[i] += delta
+        self.stream.increment(i, delta)
+
+    @rule(i=st.integers(0, 10**6), value=st.integers(0, 2**30))
+    def set_value(self, i, value):
+        i = self._index(i)
+        self.model[i] = value
+        self.stream.set(i, value)
+
+    @rule(i=st.integers(0, 10**6))
+    def read_one(self, i):
+        i = self._index(i)
+        assert self.stream.get(i) == self.model[i]
+
+    def teardown(self):
+        if hasattr(self, "model"):
+            assert self.stream.to_list() == self.model
+
+
+class SbfMachine(RuleBasedStateMachine):
+    """SBF (MS and RM, both backends) vs an exact Counter model.
+
+    Invariant under any insert/delete interleaving that only removes
+    present items: every estimate upper-bounds the true count.
+    """
+
+    @initialize(method=st.sampled_from(["ms", "rm"]),
+                backend=st.sampled_from(["array", "compact"]),
+                seed=st.integers(0, 2**16))
+    def setup(self, method, backend, seed):
+        self.truth: dict[int, int] = {}
+        self.sbf = SpectralBloomFilter(300, 4, method=method, seed=seed,
+                                       backend=backend)
+        self.rng = random.Random(seed)
+
+    @rule(key=st.integers(0, 60), count=st.integers(1, 5))
+    def insert(self, key, count):
+        self.truth[key] = self.truth.get(key, 0) + count
+        self.sbf.insert(key, count)
+
+    @rule(key=st.integers(0, 60), count=st.integers(1, 5))
+    def delete_present(self, key, count):
+        have = self.truth.get(key, 0)
+        count = min(count, have)
+        if count:
+            self.truth[key] -= count
+            self.sbf.delete(key, count)
+
+    @rule(key=st.integers(0, 60))
+    def query_upper_bounds(self, key):
+        assert self.sbf.query(key) >= self.truth.get(key, 0)
+
+    @invariant()
+    def total_count_matches(self):
+        if hasattr(self, "truth"):
+            assert self.sbf.total_count == sum(self.truth.values())
+
+    def teardown(self):
+        if hasattr(self, "truth"):
+            for key, count in self.truth.items():
+                assert self.sbf.query(key) >= count
+
+
+TestStringArrayMachine = StringArrayMachine.TestCase
+TestStringArrayMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None)
+
+TestCompactStreamMachine = CompactStreamMachine.TestCase
+TestCompactStreamMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+TestSbfMachine = SbfMachine.TestCase
+TestSbfMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,116 @@
+"""Tests for the 'steps' small-counter encoding of paper §4.5."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.succinct.bitvector import BitReader, BitWriter
+from repro.succinct.elias import EliasCodec
+from repro.succinct.steps import StepsCodec
+
+
+def roundtrip(codec, v):
+    pattern, nbits = codec.encode(v)
+    writer = BitWriter()
+    writer.write_bits(pattern, nbits)
+    return codec.decode(BitReader(writer.vector))
+
+
+class TestPaperExample:
+    """§4.5: '0 to represent 0, 10 to represent 1 and 11 means bigger'."""
+
+    def setup_method(self):
+        self.codec = StepsCodec((0, 0))
+
+    def test_zero_is_one_bit(self):
+        pattern, nbits = self.codec.encode(0)
+        assert (pattern, nbits) == (0b0, 1)
+
+    def test_one_is_two_bits(self):
+        pattern, nbits = self.codec.encode(1)
+        assert nbits == 2
+        assert [pattern >> i & 1 for i in range(2)] == [1, 0]
+
+    def test_larger_values_escape_to_elias(self):
+        pattern, nbits = self.codec.encode(5)
+        # Escape prefix "11" then Elias.
+        assert pattern & 0b11 == 0b11
+        assert nbits > 2
+
+    def test_average_cost_for_almost_set(self):
+        """§4.5: for data where most counters are 0 or 1 in equal shares the
+        steps method averages 1.5 bits/counter vs Elias' 2.5."""
+        steps_avg = (self.codec.length(0) + self.codec.length(1)) / 2
+        elias = EliasCodec()
+        elias_avg = (elias.length(0) + elias.length(1)) / 2
+        assert steps_avg == 1.5
+        assert elias_avg == 2.5
+
+    @given(st.integers(0, 10**6))
+    def test_roundtrip(self, v):
+        assert roundtrip(self.codec, v) == v
+
+
+class TestConfigurations:
+    def test_config_1_2_covers_documented_ranges(self):
+        codec = StepsCodec((1, 2))
+        # "0"+1 bit covers {0,1}: 2 bits each.
+        assert codec.length(0) == 2
+        assert codec.length(1) == 2
+        # "10"+2 bits covers {2..5}: 4 bits each.
+        for v in (2, 3, 4, 5):
+            assert codec.length(v) == 4
+        # 6 and above escape: "11" + elias(v - 6 + 1).
+        assert codec.length(6) == 2 + 1  # elias delta of 1 is a single bit
+        assert codec.length(100) == 2 + EliasCodec().length(100 - 6)
+
+    def test_config_2_3(self):
+        codec = StepsCodec((2, 3))
+        for v in range(4):
+            assert codec.length(v) == 3
+        for v in range(4, 12):
+            assert codec.length(v) == 5
+
+    def test_name(self):
+        assert StepsCodec((1, 2)).name == "steps(1,2)"
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ValueError):
+            StepsCodec(())
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            StepsCodec((1, -1))
+
+    def test_negative_value_rejected(self):
+        codec = StepsCodec((1, 2))
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+        with pytest.raises(ValueError):
+            codec.length(-1)
+
+    @given(st.sampled_from([(0, 0), (1, 2), (2, 3), (1,), (3, 3, 3)]),
+           st.integers(0, 10**6))
+    def test_roundtrip_all_configs(self, widths, v):
+        codec = StepsCodec(widths)
+        assert roundtrip(codec, v) == v
+
+    @given(st.sampled_from([(0, 0), (1, 2), (2, 3)]),
+           st.lists(st.integers(0, 5000), min_size=1, max_size=40))
+    def test_stream_is_self_delimiting(self, widths, values):
+        codec = StepsCodec(widths)
+        writer = BitWriter()
+        for v in values:
+            pattern, nbits = codec.encode(v)
+            assert nbits == codec.length(v)
+            writer.write_bits(pattern, nbits)
+        reader = BitReader(writer.vector)
+        assert [codec.decode(reader) for _ in values] == values
+
+    def test_steps_beats_elias_for_small_values(self):
+        """§4.5's motivation: 1 costs 4 bits under Elias but 2 under steps;
+        0 costs 1 bit under both."""
+        steps = StepsCodec((0, 0))
+        elias = EliasCodec()
+        assert steps.length(0) == elias.length(0) == 1
+        assert steps.length(1) == 2
+        assert elias.length(1) == 4

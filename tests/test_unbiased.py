@@ -1,0 +1,127 @@
+"""Tests for the §3.1 probabilistic estimators."""
+
+import random
+
+import pytest
+
+from repro import SpectralBloomFilter
+from repro.core.unbiased import (
+    HybridEstimator,
+    MedianOfMeansEstimator,
+    UnbiasedEstimator,
+)
+
+
+def build_filter(seed=0, m=4000, k=5, n=400, total=3000):
+    rng = random.Random(seed)
+    sbf = SpectralBloomFilter(m, k, seed=seed)
+    truth: dict[int, int] = {}
+    for _ in range(total):
+        x = rng.randrange(n)
+        truth[x] = truth.get(x, 0) + 1
+        sbf.insert(x)
+    return sbf, truth
+
+
+class TestUnbiasedEstimator:
+    def test_requires_k_less_than_m(self):
+        sbf = SpectralBloomFilter(3, 3, seed=1)
+        with pytest.raises(ValueError):
+            UnbiasedEstimator(sbf)
+
+    def test_mean_bias_is_small(self):
+        """Lemma 3: E(f̄_x) = f_x — across many items the average error
+        should hover near zero (unlike MS, which is positively biased)."""
+        sbf, truth = build_filter(seed=2)
+        est = UnbiasedEstimator(sbf)
+        bias = sum(est.estimate(x) - f for x, f in truth.items()) / len(truth)
+        avg_f = sum(truth.values()) / len(truth)
+        assert abs(bias) < 0.25 * avg_f
+
+    def test_less_biased_than_minimum_selection(self):
+        sbf, truth = build_filter(seed=3, m=2000)
+        est = UnbiasedEstimator(sbf)
+        unbiased_bias = sum(est.estimate(x) - f
+                            for x, f in truth.items()) / len(truth)
+        ms_bias = sum(sbf.query(x) - f
+                      for x, f in truth.items()) / len(truth)
+        assert abs(unbiased_bias) < abs(ms_bias) + 1e-9
+        assert ms_bias >= 0  # MS errors are one-sided upward
+
+    def test_can_produce_false_negatives(self):
+        """§3.1's drawback: the constant correction harms accurate items."""
+        sbf, truth = build_filter(seed=4, m=1500)
+        est = UnbiasedEstimator(sbf)
+        negatives = sum(1 for x, f in truth.items() if est.estimate(x) < f)
+        assert negatives > 0
+
+    def test_clamped_is_non_negative(self):
+        sbf, truth = build_filter(seed=5)
+        est = UnbiasedEstimator(sbf)
+        for x in list(truth)[:50]:
+            assert est.estimate_clamped(x) >= 0
+
+    def test_aggregate_count_close_to_truth(self):
+        """The aggregate use-case: the sum over a group is accurate."""
+        sbf, truth = build_filter(seed=6)
+        est = UnbiasedEstimator(sbf)
+        keys = list(truth)[:200]
+        true_sum = sum(truth[x] for x in keys)
+        approx = est.aggregate_count(keys)
+        assert approx == pytest.approx(true_sum, rel=0.1)
+
+
+class TestMedianOfMeans:
+    def test_group_validation(self):
+        sbf = SpectralBloomFilter(100, 4, seed=1)
+        with pytest.raises(ValueError):
+            MedianOfMeansEstimator(sbf, groups=0)
+        with pytest.raises(ValueError):
+            MedianOfMeansEstimator(sbf, groups=5)
+
+    def test_estimates_are_finite(self):
+        sbf, truth = build_filter(seed=7)
+        est = MedianOfMeansEstimator(sbf, groups=3)
+        for x in list(truth)[:50]:
+            value = est.estimate(x)
+            assert value == value  # not NaN
+            assert est.estimate_clamped(x) >= 0
+
+    def test_single_group_equals_unbiased(self):
+        sbf, truth = build_filter(seed=8)
+        mom = MedianOfMeansEstimator(sbf, groups=1)
+        ub = UnbiasedEstimator(sbf)
+        for x in list(truth)[:20]:
+            assert mom.estimate(x) == pytest.approx(ub.estimate(x))
+
+
+class TestHybrid:
+    def test_recurring_minimum_trusted(self):
+        """Items with recurring minimum get the (exact w.h.p.) minimum."""
+        sbf = SpectralBloomFilter(5000, 5, seed=9)
+        sbf.insert("solo", 7)
+        hybrid = HybridEstimator(sbf)
+        assert hybrid.estimate("solo") == 7.0
+
+    def test_never_exceeds_minimum(self):
+        """The hybrid keeps the one-sided upper bound m_x."""
+        sbf, truth = build_filter(seed=10, m=1500)
+        hybrid = HybridEstimator(sbf)
+        for x in list(truth)[:100]:
+            assert hybrid.estimate(x) <= sbf.query(x)
+
+    def test_fewer_false_negatives_than_pure_unbiased(self):
+        sbf, truth = build_filter(seed=11, m=1500)
+        hybrid = HybridEstimator(sbf)
+        unbiased = UnbiasedEstimator(sbf)
+        hybrid_neg = sum(1 for x, f in truth.items()
+                         if hybrid.estimate(x) < f)
+        unbiased_neg = sum(1 for x, f in truth.items()
+                           if unbiased.estimate(x) < f)
+        assert hybrid_neg <= unbiased_neg
+
+    def test_clamped(self):
+        sbf, truth = build_filter(seed=12)
+        hybrid = HybridEstimator(sbf)
+        for x in list(truth)[:20]:
+            assert hybrid.estimate_clamped(x) >= 0
