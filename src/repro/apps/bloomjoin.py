@@ -20,9 +20,20 @@ benchmarks can compare bytes and rounds.
 
 from __future__ import annotations
 
+import json
+import zlib
+
 from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import (
+    WireFormatError,
+    dump_bloom,
+    dump_sbf,
+    load_bloom,
+    load_sbf,
+)
 from repro.db.relation import Relation
 from repro.db.site import Site
+from repro.db.transport import DeliveryFailed, ReliableChannel
 from repro.filters.bloom import BloomFilter
 
 
@@ -111,3 +122,140 @@ def exact_grouped_join_count(r1: Relation, r2: Relation,
     right = r2.group_by_count(attribute)
     return {value: left[value] * right[value]
             for value in left.keys() & right.keys()}
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant variants: checksummed frames, retries, graceful fallback
+# ----------------------------------------------------------------------
+def _tuples_to_frame(rows: list[tuple]) -> bytes:
+    """Frame rows for the wire (JSON-scalar attributes only)."""
+    return json.dumps([list(row) for row in rows]).encode("utf-8")
+
+
+def _frame_to_tuples(frame: bytes) -> list[tuple]:
+    try:
+        rows = json.loads(frame.decode("utf-8"))
+        return [tuple(row) for row in rows]
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireFormatError(f"corrupt tuple frame: {exc}") from None
+
+
+def _channel_seed(seed: int, sender: str, recipient: str) -> int:
+    """Deterministic per-channel jitter seed for reproducible chaos runs."""
+    return seed ^ zlib.crc32(f"{sender}->{recipient}".encode("utf-8"))
+
+
+def _validated_sbf(payload: bytes) -> SpectralBloomFilter:
+    """Decode an SBF frame and audit it before it is trusted (§5.3)."""
+    sbf = load_sbf(payload)
+    issues = sbf.check_integrity()
+    if issues:
+        raise WireFormatError(
+            "received filter failed integrity audit: " + "; ".join(issues))
+    return sbf
+
+
+def resilient_bloomjoin(site1: Site, r1_name: str, site2: Site,
+                        r2_name: str, attribute: str, *, m: int = 4096,
+                        k: int = 5, seed: int = 0,
+                        channel_options: dict | None = None,
+                        ) -> tuple[Relation, dict]:
+    """Bloomjoin over an unreliable network; returns ``(join, report)``.
+
+    The synopsis travels as a checksummed :func:`dump_bloom` frame through
+    a :class:`ReliableChannel` (timeouts, capped exponential backoff,
+    duplicate suppression).  If the synopsis transfer exhausts its retry
+    budget the protocol *degrades gracefully*: site 2 ships its entire
+    relation instead (label ``"fallback-tuples"``), so the join is still
+    exact — the extra traffic shows up in ``Network.breakdown()``.
+
+    The report carries ``fallback`` plus the per-leg
+    :class:`~repro.db.transport.ChannelStats` (``synopsis_channel`` /
+    ``tuple_channel``).
+    """
+    r1 = site1.relation(r1_name)
+    r2 = site2.relation(r2_name)
+    options = dict(channel_options or {})
+    network = site1.network
+    forward = ReliableChannel(
+        network, site1.name, site2.name,
+        seed=_channel_seed(seed, site1.name, site2.name), **options)
+    backward = ReliableChannel(
+        network, site2.name, site1.name,
+        seed=_channel_seed(seed, site2.name, site1.name), **options)
+    report = {"fallback": False,
+              "synopsis_channel": forward.stats,
+              "tuple_channel": backward.stats}
+    pos = r2.column_position(attribute)
+    try:
+        bf = BloomFilter(m, k, seed=seed)
+        for value in r1.scan(attribute):
+            bf.add(value)
+        frame = forward.send("bloom-filter", dump_bloom(bf),
+                             validator=load_bloom)
+        received = load_bloom(frame)
+        survivors = [row for row in r2 if row[pos] in received]
+        label = "filtered-tuples"
+    except DeliveryFailed:
+        # Degraded mode: no synopsis made it across, so every tuple of R2
+        # travels — correct answer, more traffic.
+        report["fallback"] = True
+        survivors = list(r2)
+        label = "fallback-tuples"
+    shipped_frame = backward.send(label, _tuples_to_frame(survivors),
+                                  validator=_frame_to_tuples)
+    shipped = Relation(r2.name, r2.columns, _frame_to_tuples(shipped_frame))
+    return r1.join(shipped, attribute), report
+
+
+def resilient_spectral_bloomjoin_count(site1: Site, r1_name: str,
+                                       site2: Site, r2_name: str,
+                                       attribute: str, *, m: int = 4096,
+                                       k: int = 5, seed: int = 0,
+                                       method: str = "ms",
+                                       channel_options: dict | None = None,
+                                       ) -> tuple[dict, dict]:
+    """Spectral Bloomjoin count over an unreliable network.
+
+    S's SBF travels as a checksummed :func:`dump_sbf` frame; the receiver
+    audits it with :meth:`SpectralBloomFilter.check_integrity` before
+    multiplying.  If the synopsis transfer exhausts its retry budget, the
+    protocol falls back to shipping S's join-attribute values outright
+    (label ``"fallback-tuples"``) and computes the grouped counts exactly
+    at the primary site.
+
+    Returns ``({value: join count}, report)`` with the same report shape
+    as :func:`resilient_bloomjoin`.
+    """
+    r1 = site1.relation(r1_name)
+    r2 = site2.relation(r2_name)
+    options = dict(channel_options or {})
+    network = site1.network
+    channel = ReliableChannel(
+        network, site2.name, site1.name,
+        seed=_channel_seed(seed, site2.name, site1.name), **options)
+    report = {"fallback": False, "synopsis_channel": channel.stats}
+    try:
+        sbf2 = _build_sbf(r2, attribute, m, k, seed, method)
+        frame = channel.send("sbf", dump_sbf(sbf2),
+                             validator=_validated_sbf)
+        shipped = load_sbf(frame)
+        sbf1 = _build_sbf(r1, attribute, m, k, seed, method)
+        product = sbf1 * shipped
+        result: dict = {}
+        for value in r1.distinct(attribute):
+            estimate = product.query(value)
+            if estimate > 0:
+                result[value] = estimate
+        return result, report
+    except DeliveryFailed:
+        report["fallback"] = True
+        rows = [(value,) for value in r2.scan(attribute)]
+        frame = channel.send("fallback-tuples", _tuples_to_frame(rows),
+                             validator=_frame_to_tuples)
+        right: dict = {}
+        for (value,) in _frame_to_tuples(frame):
+            right[value] = right.get(value, 0) + 1
+        left = r1.group_by_count(attribute)
+        return ({value: left[value] * right[value]
+                 for value in left.keys() & right.keys()}, report)

@@ -18,15 +18,33 @@ This module builds that protocol on our substrate:
 - with ``spectral=True`` the summaries are SBFs, upgrading the protocol:
   peers can pick the replica with the *highest reference count* (a
   popularity-aware routing decision a plain Bloom filter cannot support).
+
+Fault tolerance: summaries travel as checksummed wire frames
+(:func:`dump_bloom` / :func:`dump_sbf`) through per-peer
+:class:`~repro.db.transport.ReliableChannel` instances, so dropped,
+duplicated, and bit-corrupted frames are retried.  When a publish exhausts
+its retry budget, the peer simply keeps serving from its *last good*
+summary and the missed update is recorded in :attr:`Proxy.staleness` —
+[FCAB98]'s staleness tolerance, extended to transport failures.  Received
+frames that decode but fail the structural audit are rejected and counted
+in :attr:`Proxy.summaries_rejected` (never silently trusted).
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Hashable
 
 from repro.core.sbf import SpectralBloomFilter
-from repro.core.serialize import dump_bloom, dump_sbf
+from repro.core.serialize import (
+    WireFormatError,
+    dump_bloom,
+    dump_sbf,
+    load_bloom,
+    load_sbf,
+)
 from repro.db.site import Network
+from repro.db.transport import DeliveryFailed, ReliableChannel
 from repro.filters.bloom import BloomFilter
 
 
@@ -35,28 +53,40 @@ class Proxy:
 
     Args:
         name: node identifier.
-        network: shared traffic-accounting channel.
+        network: shared traffic-accounting channel (may be a
+            :class:`~repro.db.faults.FaultyNetwork`).
         m, k: summary filter parameters.
         spectral: publish SBF summaries (with reference counts) instead of
             plain Bloom filters.
+        max_retries: per-publish retry budget of the reliable transport.
     """
 
     def __init__(self, name: str, network: Network, *, m: int = 4096,
-                 k: int = 4, seed: int = 0, spectral: bool = False):
+                 k: int = 4, seed: int = 0, spectral: bool = False,
+                 max_retries: int = 4):
         self.name = name
         self.network = network
         self.m = int(m)
         self.k = int(k)
         self.seed = int(seed)
         self.spectral = bool(spectral)
+        self.max_retries = int(max_retries)
         self.cache: dict[Hashable, int] = {}   # object -> reference count
         self.peers: list["Proxy"] = []
         # Last summary *received* from each peer (name -> filter).
         self.peer_summaries: dict[str, object] = {}
+        # Reliable channels to peers, created lazily (name -> channel).
+        self._channels: dict[str, ReliableChannel] = {}
         # Diagnostics.
         self.forwards = 0
         self.wasted_forwards = 0
         self.remote_hits = 0
+        # Fault-tolerance diagnostics.
+        self.publish_failures = 0       # sender side: budgets exhausted
+        self.summaries_rejected = 0     # receiver side: audit failures
+        # Receiver side: consecutive missed updates per peer name; reset
+        # to 0 when a fresh summary lands.
+        self.staleness: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # local cache behaviour
@@ -89,17 +119,79 @@ class Proxy:
                 summary.add(obj)
         return summary
 
-    def publish(self) -> None:
-        """Broadcast the current summary to every peer (accounted)."""
+    def _channel_to(self, peer: "Proxy") -> ReliableChannel:
+        channel = self._channels.get(peer.name)
+        if channel is None:
+            jitter_seed = self.seed ^ zlib.crc32(
+                f"{self.name}->{peer.name}".encode("utf-8"))
+            channel = ReliableChannel(self.network, self.name, peer.name,
+                                      max_retries=self.max_retries,
+                                      seed=jitter_seed)
+            self._channels[peer.name] = channel
+        return channel
+
+    def _decode_summary(self, frame: bytes):
+        """Decode and audit a summary frame; WireFormatError on any doubt."""
+        if self.spectral:
+            summary = load_sbf(frame)
+            issues = summary.check_integrity()
+            if issues:
+                raise WireFormatError(
+                    "summary failed integrity audit: " + "; ".join(issues))
+            return summary
+        return load_bloom(frame)
+
+    def publish(self) -> dict:
+        """Broadcast the current summary to every peer (accounted).
+
+        Each peer receives a checksummed frame over a reliable channel.
+        Undeliverable peers keep their last good summary and accrue
+        staleness.  Returns ``{"delivered": ..., "failed": ...}`` counts.
+        """
         summary = self.build_summary()
         if self.spectral:
             wire = dump_sbf(summary)
         else:
             wire = dump_bloom(summary)
+        delivered = failed = 0
         for peer in self.peers:
-            self.network.send(self.name, peer.name, "summary", summary,
-                              len(wire) * 8)
-            peer.peer_summaries[self.name] = summary
+            channel = self._channel_to(peer)
+            try:
+                frame = channel.send("summary", wire,
+                                     validator=peer._decode_summary)
+            except DeliveryFailed:
+                self.publish_failures += 1
+                peer.staleness[self.name] = \
+                    peer.staleness.get(self.name, 0) + 1
+                failed += 1
+                continue
+            if peer.receive_summary(self.name, frame):
+                delivered += 1
+            else:
+                failed += 1
+        return {"delivered": delivered, "failed": failed}
+
+    def receive_summary(self, sender: str, frame: bytes) -> bool:
+        """Install a peer's summary frame after decoding and auditing it.
+
+        A frame that fails the audit is rejected — the proxy keeps routing
+        from the sender's last good summary (graceful degradation) and the
+        rejection is counted; corruption is never silently accepted.
+        """
+        try:
+            summary = self._decode_summary(frame)
+        except WireFormatError:
+            self.summaries_rejected += 1
+            self.staleness[sender] = self.staleness.get(sender, 0) + 1
+            return False
+        self.peer_summaries[sender] = summary
+        self.staleness[sender] = 0
+        return True
+
+    def channel_stats(self) -> dict[str, object]:
+        """Per-peer :class:`~repro.db.transport.ChannelStats` snapshots."""
+        return {name: channel.stats
+                for name, channel in self._channels.items()}
 
     # ------------------------------------------------------------------
     # request handling
@@ -110,7 +202,10 @@ class Proxy:
         Returns ``(source_name, obj)`` if found anywhere, None on a global
         miss (the origin server would be contacted).  Forwards a probe to
         each peer whose summary claims the object, most-promising first
-        (by claimed reference count, in spectral mode).
+        (by claimed reference count, in spectral mode).  Summaries may be
+        stale (evictions or failed publishes since the last good frame);
+        as in [FCAB98] that costs a wasted forward or a missed remote hit,
+        never an error.
         """
         if obj in self.cache:
             return (self.name, obj)
@@ -140,10 +235,12 @@ class Proxy:
 
 def build_mesh(names: list[str], *, m: int = 4096, k: int = 4,
                seed: int = 0, spectral: bool = False,
-               network: Network | None = None) -> list[Proxy]:
+               network: Network | None = None,
+               max_retries: int = 4) -> list[Proxy]:
     """A fully-connected proxy mesh (every node peers with every other)."""
     network = network if network is not None else Network()
-    proxies = [Proxy(name, network, m=m, k=k, seed=seed, spectral=spectral)
+    proxies = [Proxy(name, network, m=m, k=k, seed=seed, spectral=spectral,
+                     max_retries=max_retries)
                for name in names]
     for proxy in proxies:
         proxy.peers = [p for p in proxies if p is not proxy]

@@ -50,6 +50,16 @@ class Method(ABC):
         (Recurring Minimum) merge it here.
         """
 
+    def integrity_issues(self) -> list[str]:
+        """Method-specific invariant violations (empty list = consistent).
+
+        Called by :meth:`SpectralBloomFilter.check_integrity` so receivers
+        of a deserialised filter can audit it before trusting it; each
+        method knows the relation its maintenance scheme keeps between the
+        counter vector and ``total_count``.
+        """
+        return []
+
 
 class MinimumSelection(Method):
     """The basic scheme (§2.2): increment all counters, estimate = minimum.
@@ -73,6 +83,19 @@ class MinimumSelection(Method):
 
     def estimate(self, key: object) -> int:
         return self.sbf.min_counter(key)
+
+    def integrity_issues(self) -> list[str]:
+        # MS adds every insert/delete to all k counters, so the counter sum
+        # is exactly k * N — except for join products, whose total_count is
+        # defined as sum // k (see SpectralBloomFilter.multiply), hence the
+        # one-sub-k tolerance.
+        sbf = self.sbf
+        total = sum(sbf.counters)
+        low = sbf.k * sbf.total_count
+        if not low <= total < low + sbf.k:
+            return [f"ms: counter sum {total} inconsistent with "
+                    f"k*N = {sbf.k} * {sbf.total_count}"]
+        return []
 
 
 class MinimalIncrease(Method):
@@ -110,6 +133,22 @@ class MinimalIncrease(Method):
 
     def estimate(self, key: object) -> int:
         return self.sbf.min_counter(key)
+
+    def integrity_issues(self) -> list[str]:
+        # An MI insert of r raises each counter by at most r, so the sum
+        # never exceeds k * N.  (Clamped deletions — unsupported by the
+        # scheme — can break this bound; a filter that trips it genuinely
+        # lost its one-sided guarantee.)
+        sbf = self.sbf
+        issues = []
+        if sbf.total_count < 0:
+            issues.append(f"mi: total_count is negative "
+                          f"({sbf.total_count})")
+        total = sum(sbf.counters)
+        if total > sbf.k * max(0, sbf.total_count):
+            issues.append(f"mi: counter sum {total} exceeds "
+                          f"k*N = {sbf.k} * {sbf.total_count}")
+        return issues
 
 
 class RecurringMinimum(Method):
@@ -268,6 +307,41 @@ class RecurringMinimum(Method):
             self.secondary = a.secondary.union(b.secondary)
             if self.marker is not None and a.marker and b.marker:
                 self.marker = a.marker.union(b.marker)
+
+    def integrity_issues(self) -> list[str]:
+        # The RM primary is maintained exactly like MS (every operation
+        # touches all k counters), so the same sum invariant applies; on
+        # top of that the secondary/marker configuration must be
+        # self-consistent for lookups to stay one-sided.
+        sbf = self.sbf
+        issues = []
+        total = sum(sbf.counters)
+        low = sbf.k * sbf.total_count
+        if not low <= total < low + sbf.k:
+            issues.append(f"rm: primary counter sum {total} inconsistent "
+                          f"with k*N = {sbf.k} * {sbf.total_count}")
+        if (self.secondary.m != self.secondary_m
+                or self.secondary.k != self.secondary_k):
+            issues.append(
+                f"rm: secondary is ({self.secondary.m}, {self.secondary.k}) "
+                f"but options declare ({self.secondary_m}, "
+                f"{self.secondary_k})")
+        else:
+            issues.extend(f"rm secondary: {issue}"
+                          for issue in self.secondary.check_integrity())
+        if self.use_marker:
+            if self.marker is None:
+                issues.append("rm: use_marker=True but no marker filter")
+            elif (self.marker.m, self.marker.k) != (sbf.m, sbf.k):
+                issues.append(
+                    f"rm: marker is ({self.marker.m}, {self.marker.k}) but "
+                    f"must match the primary ({sbf.m}, {sbf.k})")
+            elif self.secondary.total_count > 0 and self.marker.n_added == 0:
+                issues.append("rm: secondary holds shadows but the marker "
+                              "filter is empty")
+        elif self.marker is not None:
+            issues.append("rm: marker present although use_marker=False")
+        return issues
 
 
 _METHODS = {

@@ -291,6 +291,32 @@ class SpectralBloomFilter:
         nonzero = sum(1 for c in self.counters if c)
         return nonzero / self.m
 
+    def check_integrity(self) -> list[str]:
+        """Audit the filter's internal invariants; returns found issues.
+
+        Intended for receivers of a deserialised filter (Bloomjoin /
+        Summary-Cache peers): a checksum proves the *frame* arrived intact,
+        this audit proves the *structure* is self-consistent before it is
+        trusted.  Checks counter non-negativity and dimensions, then the
+        method-specific counter-sum vs ``total_count`` invariant (exact
+        ``k*N`` for MS and the RM primary, the ``<= k*N`` bound for MI)
+        and Recurring Minimum's secondary/marker consistency.
+
+        Returns an empty list when every invariant holds.
+        """
+        issues = []
+        if len(self.counters) != self.m:
+            issues.append(f"backend holds {len(self.counters)} counters "
+                          f"but m = {self.m}")
+        for i, value in enumerate(self.counters):
+            if value < 0:
+                issues.append(f"counter {i} is negative ({value})")
+                break
+        if self.total_count < 0 and self.method.name != "mi":
+            issues.append(f"total_count is negative ({self.total_count})")
+        issues.extend(self.method.integrity_issues())
+        return issues
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SpectralBloomFilter(m={self.m}, k={self.k}, "
                 f"method={self.method.name!r}, N={self.total_count})")

@@ -8,6 +8,16 @@ up: byte serialisation for :class:`BloomFilter` and
 marker along), with the hash-family configuration embedded so the receiver
 reconstructs a *compatible* filter.
 
+Wire format v2 (the only version written, and the only one accepted)::
+
+    frame := magic(4) | header_len:u32le | header_json | payload | crc32:u32le
+
+The magic encodes the version (``RBF2`` / ``RSB2``); the CRC32 trailer
+covers every preceding byte, so a truncated or bit-flipped frame is always
+*detected* — loaders raise :class:`WireFormatError` (a ``ValueError``)
+instead of decoding a corrupted blob into a silently wrong filter.  Every
+header field is bounds- and type-checked before any structure is built.
+
 Only the seed-constructible families round-trip (all built-ins); a custom
 family instance must be re-supplied at load time.
 """
@@ -16,6 +26,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 from repro.core.methods import RecurringMinimum
 from repro.core.sbf import SpectralBloomFilter
@@ -30,8 +41,14 @@ from repro.hashing import (
 from repro.succinct.bitvector import BitVector, BitReader, BitWriter
 from repro.succinct.elias import EliasCodec
 
-_MAGIC_BLOOM = b"RBF1"
-_MAGIC_SBF = b"RSB1"
+#: current wire-format version (encoded in the frame magic)
+WIRE_VERSION = 2
+
+_MAGIC_BLOOM = b"RBF2"
+_MAGIC_SBF = b"RSB2"
+# Version-1 magics (no checksum); recognised only to give a clear error.
+_MAGIC_BLOOM_V1 = b"RBF1"
+_MAGIC_SBF_V1 = b"RSB1"
 
 _FAMILY_NAMES = {
     ModuloMultiplyFamily: "modmul",
@@ -40,19 +57,89 @@ _FAMILY_NAMES = {
     DoubleHashingFamily: "double",
     BlockedHashFamily: "blocked",
 }
+_KNOWN_FAMILIES = frozenset(_FAMILY_NAMES.values())
+_KNOWN_METHODS = frozenset({"ms", "mi", "rm"})
 
 
-def _header(magic: bytes, meta: dict) -> bytes:
+class WireFormatError(ValueError):
+    """A wire frame is truncated, corrupted, or structurally invalid.
+
+    Raised by every load path in this module — corruption is always
+    *detected*, never silently decoded into a wrong filter.
+    """
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message)
+
+
+def _seal(magic: bytes, meta: dict, payload: bytes) -> bytes:
+    """Assemble a v2 frame: magic + header + payload + CRC32 trailer."""
     blob = json.dumps(meta, sort_keys=True).encode("utf-8")
-    return magic + struct.pack("<I", len(blob)) + blob
+    frame = magic + struct.pack("<I", len(blob)) + blob + payload
+    return frame + struct.pack("<I", zlib.crc32(frame) & 0xFFFFFFFF)
 
 
-def _read_header(data: bytes, magic: bytes) -> tuple[dict, bytes]:
-    if len(data) < 8 or data[:4] != magic:
-        raise ValueError(f"not a {magic.decode()} blob")
+def _read_header(data: bytes, magic: bytes,
+                 legacy_magic: bytes) -> tuple[dict, bytes]:
+    """Validate a v2 frame end to end; return (header dict, payload bytes).
+
+    Checks, in order: type and minimum length, magic (with a dedicated
+    message for version-1 frames), declared header length against the
+    actual frame size, the CRC32 trailer, and that the header parses to a
+    JSON object.  Any failure raises :class:`WireFormatError`.
+    """
+    _check(isinstance(data, (bytes, bytearray, memoryview)),
+           f"wire frame must be bytes, got {type(data).__name__}")
+    data = bytes(data)
+    kind = magic.decode("ascii")
+    _check(len(data) >= 4, f"frame too short ({len(data)} bytes) to hold a "
+                           f"{kind} magic")
+    if data[:4] == legacy_magic:
+        raise WireFormatError(
+            f"version-1 {legacy_magic.decode()} frame (no checksum) is no "
+            f"longer supported; re-serialise with wire version {WIRE_VERSION}")
+    _check(data[:4] == magic, f"not a {kind} frame")
+    _check(len(data) >= 12,
+           f"truncated {kind} frame: {len(data)} bytes cannot hold the "
+           f"header length and checksum")
     (length,) = struct.unpack("<I", data[4:8])
-    meta = json.loads(data[8:8 + length].decode("utf-8"))
-    return meta, data[8 + length:]
+    _check(8 + length + 4 <= len(data),
+           f"truncated {kind} frame: header declares {length} bytes but "
+           f"only {len(data) - 12} are available")
+    (stored_crc,) = struct.unpack("<I", data[-4:])
+    actual_crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    _check(stored_crc == actual_crc,
+           f"checksum mismatch on {kind} frame "
+           f"(stored {stored_crc:#010x}, computed {actual_crc:#010x})")
+    try:
+        meta = json.loads(data[8:8 + length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"corrupt {kind} header: {exc}") from None
+    _check(isinstance(meta, dict), f"{kind} header must be a JSON object")
+    return meta, data[8 + length:-4]
+
+
+def _meta_int(meta: dict, key: str, *, minimum: int | None = None) -> int:
+    """Fetch an integer header field with presence/type/bounds validation."""
+    _check(key in meta, f"header is missing required field {key!r}")
+    value = meta[key]
+    _check(isinstance(value, int) and not isinstance(value, bool),
+           f"header field {key!r} must be an integer, got {value!r}")
+    if minimum is not None:
+        _check(value >= minimum,
+               f"header field {key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _meta_family(meta: dict) -> str:
+    _check("family" in meta, "header is missing required field 'family'")
+    family = meta["family"]
+    _check(isinstance(family, str) and family in _KNOWN_FAMILIES,
+           f"unknown hash family {family!r}; expected one of "
+           f"{sorted(_KNOWN_FAMILIES)}")
+    return family
 
 
 def _family_name(family) -> str:
@@ -69,26 +156,38 @@ def _family_name(family) -> str:
 # Bloom filter
 # ----------------------------------------------------------------------
 def dump_bloom(bf: BloomFilter) -> bytes:
-    """Serialise a Bloom filter to bytes (bit vector + parameters)."""
+    """Serialise a Bloom filter to a checksummed v2 frame."""
     meta = {"m": bf.m, "k": bf.k, "seed": bf.seed,
             "family": _family_name(bf.family), "n_added": bf.n_added}
     payload = bytearray((bf.m + 7) // 8)
     for i in range(len(payload)):
         payload[i] = bf.bits.read(8 * i, 8)
-    return _header(_MAGIC_BLOOM, meta) + bytes(payload)
+    return _seal(_MAGIC_BLOOM, meta, bytes(payload))
 
 
 def load_bloom(data: bytes) -> BloomFilter:
-    """Reconstruct a Bloom filter serialised by :func:`dump_bloom`."""
-    meta, payload = _read_header(data, _MAGIC_BLOOM)
-    bf = BloomFilter(meta["m"], meta["k"], seed=meta["seed"],
-                     hash_family=meta["family"])
-    expected = (meta["m"] + 7) // 8
-    if len(payload) < expected:
-        raise ValueError("truncated Bloom filter blob")
+    """Reconstruct a Bloom filter serialised by :func:`dump_bloom`.
+
+    Raises:
+        WireFormatError: on any truncation, corruption, or invalid field.
+    """
+    meta, payload = _read_header(data, _MAGIC_BLOOM, _MAGIC_BLOOM_V1)
+    m = _meta_int(meta, "m", minimum=1)
+    k = _meta_int(meta, "k", minimum=1)
+    seed = _meta_int(meta, "seed")
+    n_added = _meta_int(meta, "n_added", minimum=0)
+    family = _meta_family(meta)
+    expected = (m + 7) // 8
+    _check(len(payload) == expected,
+           f"Bloom payload is {len(payload)} bytes, expected {expected} "
+           f"for m={m}")
+    try:
+        bf = BloomFilter(m, k, seed=seed, hash_family=family)
+    except (ValueError, TypeError) as exc:
+        raise WireFormatError(f"invalid Bloom parameters: {exc}") from None
     for i in range(expected):
         bf.bits.write(8 * i, 8, payload[i])
-    bf.n_added = meta["n_added"]
+    bf.n_added = n_added
     return bf
 
 
@@ -114,15 +213,21 @@ def _load_counters(sbf: SpectralBloomFilter, payload: bytes) -> None:
     for i, byte in enumerate(payload):
         bits.write(8 * i, 8, byte)
     reader = BitReader(bits)
-    for i in range(sbf.m):
-        sbf.counters.set(i, codec.decode(reader))
+    try:
+        for i in range(sbf.m):
+            sbf.counters.set(i, codec.decode(reader))
+    except (ValueError, IndexError, OverflowError) as exc:
+        raise WireFormatError(
+            f"corrupt counter stream at counter {i}: {exc}") from None
 
 
 def dump_sbf(sbf: SpectralBloomFilter) -> bytes:
-    """Serialise an SBF: Elias-coded counters + parameters + method state.
+    """Serialise an SBF to a checksummed v2 frame.
 
-    Recurring Minimum filters embed their secondary SBF and marker filter
-    recursively, so the receiver gets a fully-functional filter.
+    The payload is the Elias-coded counter vector; Recurring Minimum
+    filters embed their secondary SBF and marker filter recursively (each
+    as its own checksummed frame), so the receiver gets a fully-functional
+    filter.
     """
     meta = {
         "m": sbf.m, "k": sbf.k, "seed": sbf.seed,
@@ -139,7 +244,24 @@ def dump_sbf(sbf: SpectralBloomFilter) -> bytes:
         if sbf.method.marker is not None:
             sections.append(dump_bloom(sbf.method.marker))
     meta["sections"] = [len(s) for s in sections]
-    return _header(_MAGIC_SBF, meta) + b"".join(sections)
+    return _seal(_MAGIC_SBF, meta, b"".join(sections))
+
+
+def _meta_sections(meta: dict, payload: bytes) -> list[int]:
+    """Validate the section-length table against the actual payload."""
+    _check("sections" in meta, "header is missing required field 'sections'")
+    sections = meta["sections"]
+    _check(isinstance(sections, list) and 1 <= len(sections) <= 3,
+           f"'sections' must be a list of 1-3 lengths, got {sections!r}")
+    for length in sections:
+        _check(isinstance(length, int) and not isinstance(length, bool)
+               and length >= 0,
+               f"section lengths must be non-negative integers, "
+               f"got {length!r}")
+    _check(sum(sections) == len(payload),
+           f"section lengths {sections} sum to {sum(sections)} but the "
+           f"payload is {len(payload)} bytes")
+    return sections
 
 
 def load_sbf(data: bytes) -> SpectralBloomFilter:
@@ -147,21 +269,47 @@ def load_sbf(data: bytes) -> SpectralBloomFilter:
 
     Note: Trapping RM filters are shipped as plain RM (live traps are a
     transient optimisation, not part of the represented multiset).
+
+    Raises:
+        WireFormatError: on any truncation, corruption, or invalid field —
+            including malformed section tables and parameter fields.
     """
-    meta, payload = _read_header(data, _MAGIC_SBF)
-    sbf = SpectralBloomFilter(meta["m"], meta["k"], seed=meta["seed"],
-                              hash_family=meta["family"],
-                              method=meta["method"],
-                              method_options=meta["method_options"])
-    offsets = meta["sections"]
-    body = payload[:offsets[0]]
-    _load_counters(sbf, body)
-    sbf.total_count = meta["total_count"]
-    cursor = offsets[0]
-    if isinstance(sbf.method, RecurringMinimum) and len(offsets) > 1:
-        sbf.method.secondary = load_sbf(payload[cursor:cursor + offsets[1]])
-        cursor += offsets[1]
-        if sbf.method.marker is not None and len(offsets) > 2:
+    meta, payload = _read_header(data, _MAGIC_SBF, _MAGIC_SBF_V1)
+    m = _meta_int(meta, "m", minimum=1)
+    k = _meta_int(meta, "k", minimum=1)
+    seed = _meta_int(meta, "seed")
+    total_count = _meta_int(meta, "total_count", minimum=0)
+    family = _meta_family(meta)
+    _check("method" in meta, "header is missing required field 'method'")
+    method = meta["method"]
+    _check(isinstance(method, str) and method in _KNOWN_METHODS,
+           f"unknown method {method!r}; expected one of "
+           f"{sorted(_KNOWN_METHODS)}")
+    options = meta.get("method_options", {})
+    _check(isinstance(options, dict)
+           and all(isinstance(key, str) for key in options),
+           f"'method_options' must be a string-keyed object, got {options!r}")
+    sections = _meta_sections(meta, payload)
+    try:
+        sbf = SpectralBloomFilter(m, k, seed=seed, hash_family=family,
+                                  method=method, method_options=options)
+    except (ValueError, TypeError) as exc:
+        raise WireFormatError(f"invalid SBF parameters: {exc}") from None
+    if isinstance(sbf.method, RecurringMinimum):
+        expected_sections = 2 if sbf.method.marker is None else 3
+    else:
+        expected_sections = 1
+    _check(len(sections) == expected_sections,
+           f"method {method!r} (options {options!r}) requires "
+           f"{expected_sections} section(s), header declares "
+           f"{len(sections)}")
+    _load_counters(sbf, payload[:sections[0]])
+    sbf.total_count = total_count
+    cursor = sections[0]
+    if isinstance(sbf.method, RecurringMinimum):
+        sbf.method.secondary = load_sbf(payload[cursor:cursor + sections[1]])
+        cursor += sections[1]
+        if sbf.method.marker is not None:
             sbf.method.marker = load_bloom(
-                payload[cursor:cursor + offsets[2]])
+                payload[cursor:cursor + sections[2]])
     return sbf

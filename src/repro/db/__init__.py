@@ -8,10 +8,31 @@ scenarios honestly:
 - :class:`Relation` — an in-memory table with scans, filters, group-by
   counts and exact joins (the ground truth every app is checked against);
 - :class:`Site` / :class:`Network` — named sites holding relations,
-  exchanging messages over a channel that accounts bytes and round-trips.
+  exchanging messages over a channel that accounts bytes and round-trips;
+- :class:`FaultyNetwork` / :class:`FaultPolicy` — seeded fault injection
+  (drop / duplicate / corrupt / delay / reorder) at the physical layer;
+- :class:`ReliableChannel` — checksummed, sequence-numbered transport
+  with retry budgets and capped exponential backoff on top of either.
 """
 
+from repro.db.faults import FaultPolicy, FaultyNetwork
 from repro.db.relation import Relation
 from repro.db.site import Network, Site
+from repro.db.transport import (
+    ChannelStats,
+    DeliveryFailed,
+    ReliableChannel,
+    TransportError,
+)
 
-__all__ = ["Relation", "Site", "Network"]
+__all__ = [
+    "Relation",
+    "Site",
+    "Network",
+    "FaultPolicy",
+    "FaultyNetwork",
+    "ReliableChannel",
+    "ChannelStats",
+    "DeliveryFailed",
+    "TransportError",
+]

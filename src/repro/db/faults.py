@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the distributed substrate.
+
+Real deployments of filter-exchange protocols (Bloomjoins §5.3, Summary
+Cache §1.1.1) must survive dropped, duplicated, delayed/reordered, and
+bit-corrupted frames.  This module makes those faults *reproducible*:
+a :class:`FaultyNetwork` is a drop-in :class:`~repro.db.site.Network`
+subclass whose :meth:`~FaultyNetwork.transmit` applies a per-channel
+:class:`FaultPolicy` — each policy owns a seeded RNG, so a chaos run with
+the same policies and the same traffic replays the exact same fault
+schedule.
+
+Traffic accounting stays intact: every transmission attempt (including
+duplicate copies) is charged to the ledger, so ``Network.breakdown()``
+still reports what actually crossed the wire.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.site import Network
+
+#: fault decisions drawn by :meth:`FaultPolicy.decide`
+OK = "ok"
+DROP = "drop"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+DELAY = "delay"
+REORDER = "reorder"
+
+
+class FaultPolicy:
+    """Seeded per-channel fault schedule.
+
+    Each frame independently suffers at most one fault, drawn from the
+    configured probabilities (which must sum to at most 1):
+
+    - ``drop``: the frame never arrives;
+    - ``duplicate``: two identical copies arrive (both charged);
+    - ``corrupt``: one random bit of the frame is flipped;
+    - ``delay`` / ``reorder``: the frame is held back and delivered after
+      the *next* frame on the same channel — i.e. late and out of order.
+      (The two names share one mechanism; they are counted separately so
+      schedules read naturally.)
+
+    Args:
+        seed: RNG seed; identical seeds replay identical fault schedules.
+    """
+
+    def __init__(self, *, drop: float = 0.0, duplicate: float = 0.0,
+                 corrupt: float = 0.0, delay: float = 0.0,
+                 reorder: float = 0.0, seed: int = 0):
+        rates = {"drop": drop, "duplicate": duplicate, "corrupt": corrupt,
+                 "delay": delay, "reorder": reorder}
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{name} probability must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0 + 1e-12:
+            raise ValueError(
+                f"fault probabilities must sum to <= 1, got {rates}")
+        self.drop = float(drop)
+        self.duplicate = float(duplicate)
+        self.corrupt = float(corrupt)
+        self.delay = float(delay)
+        self.reorder = float(reorder)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def decide(self) -> str:
+        """Draw the fault (or :data:`OK`) suffered by the next frame."""
+        u = self._rng.random()
+        for decision, rate in ((DROP, self.drop),
+                               (DUPLICATE, self.duplicate),
+                               (CORRUPT, self.corrupt),
+                               (DELAY, self.delay),
+                               (REORDER, self.reorder)):
+            if u < rate:
+                return decision
+            u -= rate
+        return OK
+
+    def corrupt_bytes(self, frame: bytes) -> bytes:
+        """Return *frame* with one random bit flipped."""
+        if not frame:
+            return frame
+        position = self._rng.randrange(len(frame) * 8)
+        mutated = bytearray(frame)
+        mutated[position // 8] ^= 1 << (position % 8)
+        return bytes(mutated)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPolicy(drop={self.drop}, duplicate={self.duplicate}, "
+                f"corrupt={self.corrupt}, delay={self.delay}, "
+                f"reorder={self.reorder}, seed={self.seed})")
+
+
+class FaultyNetwork(Network):
+    """A :class:`Network` whose frame deliveries suffer injected faults.
+
+    Plain ``send`` calls (the legacy payload-object path) are unaffected;
+    faults apply to :meth:`transmit`, the physical layer the reliable
+    transport drives.  With no policies configured the network behaves
+    exactly like the base class, so it is a drop-in replacement.
+
+    Attributes:
+        faults: running totals of injected faults per kind
+            (``drops`` / ``duplicates`` / ``corruptions`` / ``delays`` /
+            ``reorders``) — chaos tests assert against these to prove
+            every injected corruption was *detected* downstream.
+    """
+
+    def __init__(self, default_policy: FaultPolicy | None = None):
+        super().__init__()
+        self.default_policy = default_policy
+        self._policies: dict[tuple[str, str, str | None], FaultPolicy] = {}
+        self._delayed: dict[tuple[str, str], list[bytes]] = {}
+        self.faults = {"drops": 0, "duplicates": 0, "corruptions": 0,
+                       "delays": 0, "reorders": 0}
+
+    def set_policy(self, sender: str, recipient: str,
+                   policy: FaultPolicy | None, *,
+                   label: str | None = None) -> None:
+        """Attach *policy* to the directed channel sender -> recipient.
+
+        With *label* the policy applies only to frames carrying that
+        message label (e.g. fault the ``"sbf"`` synopsis leg while the
+        ``"fallback-tuples"`` leg stays clean).  ``None`` as the policy
+        restores perfect delivery for the targeted traffic even when a
+        default policy is configured.
+        """
+        self._policies[(sender, recipient, label)] = policy
+
+    def policy_for(self, sender: str, recipient: str,
+                   label: str | None = None) -> FaultPolicy | None:
+        """The policy governing the given traffic, most specific first."""
+        for key in ((sender, recipient, label), (sender, recipient, None)):
+            if key in self._policies:
+                return self._policies[key]
+        return self.default_policy
+
+    def pending_delayed(self, sender: str, recipient: str) -> int:
+        """Frames currently held back on the given channel."""
+        return len(self._delayed.get((sender, recipient), []))
+
+    def transmit(self, sender: str, recipient: str, label: str,
+                 frame: bytes) -> list[bytes]:
+        if not isinstance(frame, (bytes, bytearray)):
+            raise TypeError(
+                f"transmit carries wire frames (bytes), got "
+                f"{type(frame).__name__}")
+        frame = bytes(frame)
+        # Every attempt burns wire regardless of its fate.
+        self.send(sender, recipient, label, frame, len(frame) * 8)
+        key = (sender, recipient)
+        held = self._delayed.pop(key, [])
+        policy = self.policy_for(sender, recipient, label)
+        arrivals: list[bytes] = []
+        decision = OK if policy is None else policy.decide()
+        if decision == DROP:
+            self.faults["drops"] += 1
+        elif decision == DUPLICATE:
+            self.faults["duplicates"] += 1
+            # The duplicate copy crossed the wire too.
+            self.send(sender, recipient, label, frame, len(frame) * 8)
+            arrivals += [frame, frame]
+        elif decision == CORRUPT:
+            self.faults["corruptions"] += 1
+            arrivals.append(policy.corrupt_bytes(frame))
+        elif decision in (DELAY, REORDER):
+            self.faults["delays" if decision == DELAY else "reorders"] += 1
+            self._delayed.setdefault(key, []).append(frame)
+        else:
+            arrivals.append(frame)
+        # Frames held back by earlier transmits arrive now, *after* the
+        # current frame: late and out of order.
+        arrivals.extend(held)
+        return arrivals

@@ -50,6 +50,28 @@ class Network:
                                      int(bits)))
         return payload
 
+    def transmit(self, sender: str, recipient: str, label: str,
+                 frame: bytes) -> list[bytes]:
+        """Physical-layer delivery attempt of one wire frame.
+
+        The frame is charged to the traffic ledger at its actual size and
+        the method returns the list of frames that arrive at *recipient*
+        from this attempt.  The base network is perfectly reliable — the
+        frame arrives exactly once, intact — while fault-injecting
+        subclasses (:class:`repro.db.faults.FaultyNetwork`) may return an
+        empty list (drop), duplicates, a bit-flipped copy, or earlier
+        delayed frames appended out of order.  Reliable transports
+        (:class:`repro.db.transport.ReliableChannel`) sit on top of this
+        hook.
+        """
+        if not isinstance(frame, (bytes, bytearray)):
+            raise TypeError(
+                f"transmit carries wire frames (bytes), got "
+                f"{type(frame).__name__}")
+        frame = bytes(frame)
+        self.send(sender, recipient, label, frame, len(frame) * 8)
+        return [frame]
+
     @property
     def total_bits(self) -> int:
         """All traffic so far, in bits."""

@@ -182,6 +182,12 @@ def make_backend(backend: str | CounterBackend | type, m: int,
     Accepted names: ``"array"`` (default), ``"compact"``, ``"stream"``.
     """
     if isinstance(backend, CounterBackend):
+        if options:
+            raise ValueError(
+                f"backend options {sorted(options)} cannot be applied to an "
+                f"already-constructed {type(backend).__name__}; pass the "
+                f"class or short name instead"
+            )
         if len(backend) != m:
             raise ValueError(
                 f"backend has {len(backend)} counters but the filter needs {m}"

@@ -1,0 +1,165 @@
+"""Fuzz / property tests for the hardened wire format (serialize v2).
+
+Two guarantees are exercised exhaustively with seeded randomness:
+
+1. **Round-trip fidelity** — every method x hash-family combination dumps
+   and loads back to an equivalent filter (same queries, same metadata).
+2. **Corruption is always loud** — any truncation, bit flip, or junk
+   input raises :class:`WireFormatError`.  Never a bare ``struct.error``
+   or ``IndexError``, and never a silently wrong filter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import (
+    WireFormatError,
+    dump_bloom,
+    dump_sbf,
+    load_bloom,
+    load_sbf,
+)
+from repro.filters.bloom import BloomFilter
+
+METHODS = ["ms", "mi", "rm", "trm"]
+FAMILIES = ["modmul", "multiply-shift", "tabulation", "double", "blocked"]
+
+
+def build_sbf(method: str, family: str, *, m: int = 128, k: int = 3,
+              seed: int = 11, items: int = 80) -> SpectralBloomFilter:
+    sbf = SpectralBloomFilter(m, k, method=method, seed=seed,
+                              hash_family=family)
+    rng = random.Random(seed)
+    for _ in range(items):
+        sbf.insert(rng.randrange(40))
+    return sbf
+
+
+def flip_bit(frame: bytes, position: int) -> bytes:
+    mutated = bytearray(frame)
+    mutated[position // 8] ^= 1 << (position % 8)
+    return bytes(mutated)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_sbf_round_trip_all_methods_and_families(self, method, family):
+        sbf = build_sbf(method, family)
+        restored = load_sbf(dump_sbf(sbf))
+        assert restored.m == sbf.m and restored.k == sbf.k
+        assert restored.total_count == sbf.total_count
+        for x in range(50):
+            assert restored.query(x) == sbf.query(x)
+        assert restored.check_integrity() == []
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_bloom_round_trip_all_families(self, family):
+        bf = BloomFilter(256, 4, seed=3, hash_family=family)
+        for x in range(60):
+            bf.add(x)
+        restored = load_bloom(dump_bloom(bf))
+        assert restored.m == bf.m and restored.k == bf.k
+        assert restored.n_added == bf.n_added
+        for x in range(120):
+            assert (x in restored) == (x in bf)
+
+    def test_empty_filters_round_trip(self):
+        bf = BloomFilter(64, 2, seed=0)
+        assert load_bloom(dump_bloom(bf)).n_added == 0
+        sbf = SpectralBloomFilter(64, 2, seed=0)
+        restored = load_sbf(dump_sbf(sbf))
+        assert restored.total_count == 0
+        assert restored.check_integrity() == []
+
+
+class TestTruncationFuzz:
+    """Every possible truncation point must raise WireFormatError."""
+
+    def assert_all_truncations_fail(self, frame: bytes, loader) -> None:
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                loader(frame[:cut])
+
+    def test_truncated_bloom_frames(self):
+        bf = BloomFilter(64, 3, seed=5)
+        for x in range(20):
+            bf.add(x)
+        self.assert_all_truncations_fail(dump_bloom(bf), load_bloom)
+
+    def test_truncated_sbf_frames(self):
+        sbf = build_sbf("rm", "modmul", m=64, k=3, items=30)
+        self.assert_all_truncations_fail(dump_sbf(sbf), load_sbf)
+
+    def test_trailing_garbage_rejected(self):
+        frame = dump_bloom(BloomFilter(64, 3, seed=5))
+        with pytest.raises(WireFormatError):
+            load_bloom(frame + b"\x00")
+
+
+class TestBitFlipFuzz:
+    """A single flipped bit anywhere in the frame is always detected."""
+
+    def assert_flips_detected(self, frame: bytes, loader, seed: int,
+                              trials: int = 400) -> None:
+        rng = random.Random(seed)
+        for _ in range(trials):
+            corrupted = flip_bit(frame, rng.randrange(len(frame) * 8))
+            try:
+                loader(corrupted)
+            except WireFormatError:
+                continue
+            pytest.fail("bit-flipped frame decoded without error")
+
+    def test_bloom_bit_flips(self):
+        bf = BloomFilter(128, 4, seed=7)
+        for x in range(40):
+            bf.add(x)
+        self.assert_flips_detected(dump_bloom(bf), load_bloom, seed=1)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_sbf_bit_flips_all_methods(self, method):
+        sbf = build_sbf(method, "modmul", m=64, k=3, items=40)
+        self.assert_flips_detected(dump_sbf(sbf), load_sbf, seed=2,
+                                   trials=250)
+
+    def test_exhaustive_flips_on_small_frame(self):
+        frame = dump_bloom(BloomFilter(16, 2, seed=9))
+        for position in range(len(frame) * 8):
+            with pytest.raises(WireFormatError):
+                load_bloom(flip_bit(frame, position))
+
+
+class TestJunkInputs:
+    @pytest.mark.parametrize("loader", [load_bloom, load_sbf])
+    def test_non_bytes_rejected(self, loader):
+        for junk in [None, 42, "RBF2...", [1, 2, 3]]:
+            with pytest.raises(WireFormatError):
+                loader(junk)
+
+    @pytest.mark.parametrize("loader", [load_bloom, load_sbf])
+    def test_random_byte_blobs_rejected(self, loader):
+        rng = random.Random(13)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, 128)))
+            with pytest.raises(WireFormatError):
+                loader(blob)
+
+    def test_legacy_magic_gets_clear_error(self):
+        frame = bytearray(dump_bloom(BloomFilter(32, 2, seed=1)))
+        frame[:4] = b"RBF1"
+        with pytest.raises(WireFormatError, match="no longer supported"):
+            load_bloom(bytes(frame))
+
+    def test_cross_format_frames_rejected(self):
+        bf_frame = dump_bloom(BloomFilter(32, 2, seed=1))
+        sbf_frame = dump_sbf(SpectralBloomFilter(32, 2, seed=1))
+        with pytest.raises(WireFormatError):
+            load_sbf(bf_frame)
+        with pytest.raises(WireFormatError):
+            load_bloom(sbf_frame)
