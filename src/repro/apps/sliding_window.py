@@ -17,6 +17,12 @@ from collections import deque
 from typing import Hashable
 
 from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import dump_sbf, load_sbf, open_frame, seal_frame
+
+#: magic of the sliding-window checkpoint frame
+_MAGIC_WINDOW = b"RSW1"
+#: checkpoint filename inside a durability directory
+CHECKPOINT_NAME = "window.ckpt"
 
 
 class SlidingWindowSBF:
@@ -79,3 +85,66 @@ class SlidingWindowSBF:
     def storage_bits(self) -> int:
         """Model size of the sketch (the buffer is the caller's data)."""
         return self.sbf.storage_bits()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str, *, io=None) -> str:
+        """Atomically persist the window (sketch + buffer) to *directory*.
+
+        The sketch and the buffer must stay mutually consistent (every
+        buffered item is represented in the sketch exactly once), so both
+        travel in a single checksummed frame written via the persist
+        layer's write-temp → fsync → rename dance: a crash mid-checkpoint
+        leaves the previous checkpoint untouched.  Buffer items must be
+        JSON scalars, the persistence layer's key discipline.
+
+        Returns the checkpoint path.
+        """
+        from repro.persist.snapshot import atomic_write_bytes
+        meta = {
+            "window": self.window,
+            "method": self.sbf.method.name,
+            "buffer": list(self._buffer),
+        }
+        frame = seal_frame(_MAGIC_WINDOW, meta, dump_sbf(self.sbf))
+        path = f"{directory}/{CHECKPOINT_NAME}"
+        atomic_write_bytes(path, frame, io=io)
+        return path
+
+    @classmethod
+    def restore(cls, directory: str, *, io=None) -> "SlidingWindowSBF":
+        """Rebuild a window persisted by :meth:`checkpoint`.
+
+        Raises:
+            WireFormatError: if the checkpoint is torn or corrupt.
+            ValueError: if the sketch and buffer are inconsistent (the
+                restored state is audited before it is served from).
+        """
+        from repro.persist.snapshot import read_frame_file
+        path = f"{directory}/{CHECKPOINT_NAME}"
+        meta, payload = read_frame_file(path, _MAGIC_WINDOW, io=io)
+        window = meta.get("window")
+        buffer = meta.get("buffer")
+        if not isinstance(window, int) or window < 1 \
+                or not isinstance(buffer, list):
+            raise ValueError(f"malformed window checkpoint header: {meta!r}")
+        if len(buffer) > window:
+            raise ValueError(
+                f"checkpoint buffer holds {len(buffer)} items but the "
+                f"window is {window}")
+        sbf = load_sbf(payload)
+        issues = sbf.check_integrity()
+        if issues:
+            raise ValueError(
+                "restored window sketch failed its integrity audit: "
+                + "; ".join(issues))
+        if sbf.total_count != len(buffer):
+            raise ValueError(
+                f"checkpoint sketch represents {sbf.total_count} items but "
+                f"the buffer holds {len(buffer)}")
+        restored = cls.__new__(cls)
+        restored.window = window
+        restored.sbf = sbf
+        restored._buffer = deque(buffer)
+        return restored

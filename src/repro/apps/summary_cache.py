@@ -28,10 +28,18 @@ summary and the missed update is recorded in :attr:`Proxy.staleness` —
 [FCAB98]'s staleness tolerance, extended to transport failures.  Received
 frames that decode but fail the structural audit are rejected and counted
 in :attr:`Proxy.summaries_rejected` (never silently trusted).
+
+Crash tolerance: give a proxy a ``summary_dir`` and every accepted peer
+summary is also persisted (atomically, via the persistence layer) so a
+restarted proxy resumes routing from each peer's *last good* summary
+instead of an empty view — the warm-restart behaviour a production cache
+mesh needs.  Persisted frames are re-audited on load; anything torn or
+corrupt on disk is dropped and counted, never trusted.
 """
 
 from __future__ import annotations
 
+import urllib.parse
 import zlib
 from typing import Hashable
 
@@ -59,11 +67,16 @@ class Proxy:
         spectral: publish SBF summaries (with reference counts) instead of
             plain Bloom filters.
         max_retries: per-publish retry budget of the reliable transport.
+        summary_dir: directory in which accepted peer summaries are
+            persisted (atomic writes); on construction, previously
+            persisted summaries are reloaded, re-audited, and installed,
+            so a restarted proxy routes from each peer's last good
+            summary.  ``None`` (default) keeps summaries memory-only.
     """
 
     def __init__(self, name: str, network: Network, *, m: int = 4096,
                  k: int = 4, seed: int = 0, spectral: bool = False,
-                 max_retries: int = 4):
+                 max_retries: int = 4, summary_dir: str | None = None):
         self.name = name
         self.network = network
         self.m = int(m)
@@ -71,6 +84,7 @@ class Proxy:
         self.seed = int(seed)
         self.spectral = bool(spectral)
         self.max_retries = int(max_retries)
+        self.summary_dir = summary_dir
         self.cache: dict[Hashable, int] = {}   # object -> reference count
         self.peers: list["Proxy"] = []
         # Last summary *received* from each peer (name -> filter).
@@ -87,6 +101,11 @@ class Proxy:
         # Receiver side: consecutive missed updates per peer name; reset
         # to 0 when a fresh summary lands.
         self.staleness: dict[str, int] = {}
+        # Warm restart: summaries recovered from disk (peer names), for
+        # diagnostics and tests.
+        self.summaries_recovered: list[str] = []
+        if self.summary_dir is not None:
+            self._load_persisted_summaries()
 
     # ------------------------------------------------------------------
     # local cache behaviour
@@ -141,6 +160,43 @@ class Proxy:
             return summary
         return load_bloom(frame)
 
+    # ------------------------------------------------------------------
+    # summary persistence (warm restarts)
+    # ------------------------------------------------------------------
+    def _summary_path(self, sender: str) -> str:
+        quoted = urllib.parse.quote(sender, safe="")
+        return f"{self.summary_dir}/{quoted}.summary"
+
+    def _persist_summary(self, sender: str, frame: bytes) -> None:
+        """Durably record *sender*'s last good frame (atomic replace)."""
+        from repro.persist.crashsim import FileIO
+        from repro.persist.snapshot import atomic_write_bytes
+        FileIO().makedirs(self.summary_dir)
+        atomic_write_bytes(self._summary_path(sender), frame)
+
+    def _load_persisted_summaries(self) -> None:
+        """Reload, re-audit, and install summaries persisted on disk.
+
+        Frames that fail decoding or the structural audit (torn files, bit
+        rot) are counted in :attr:`summaries_rejected` and skipped — a
+        corrupt on-disk summary degrades to a cold view of that one peer.
+        """
+        import os
+        if not os.path.isdir(self.summary_dir):
+            return
+        for filename in sorted(os.listdir(self.summary_dir)):
+            if not filename.endswith(".summary"):
+                continue
+            sender = urllib.parse.unquote(filename[:-len(".summary")])
+            try:
+                with open(f"{self.summary_dir}/{filename}", "rb") as handle:
+                    summary = self._decode_summary(handle.read())
+            except (OSError, WireFormatError):
+                self.summaries_rejected += 1
+                continue
+            self.peer_summaries[sender] = summary
+            self.summaries_recovered.append(sender)
+
     def publish(self) -> dict:
         """Broadcast the current summary to every peer (accounted).
 
@@ -186,6 +242,8 @@ class Proxy:
             return False
         self.peer_summaries[sender] = summary
         self.staleness[sender] = 0
+        if self.summary_dir is not None:
+            self._persist_summary(sender, bytes(frame))
         return True
 
     def channel_stats(self) -> dict[str, object]:
@@ -236,11 +294,20 @@ class Proxy:
 def build_mesh(names: list[str], *, m: int = 4096, k: int = 4,
                seed: int = 0, spectral: bool = False,
                network: Network | None = None,
-               max_retries: int = 4) -> list[Proxy]:
-    """A fully-connected proxy mesh (every node peers with every other)."""
+               max_retries: int = 4,
+               summary_root: str | None = None) -> list[Proxy]:
+    """A fully-connected proxy mesh (every node peers with every other).
+
+    With *summary_root*, each proxy persists peer summaries under its own
+    subdirectory, so a rebuilt mesh warm-starts from the last good
+    summaries.
+    """
     network = network if network is not None else Network()
     proxies = [Proxy(name, network, m=m, k=k, seed=seed, spectral=spectral,
-                     max_retries=max_retries)
+                     max_retries=max_retries,
+                     summary_dir=(None if summary_root is None else
+                                  f"{summary_root}/"
+                                  f"{urllib.parse.quote(name, safe='')}"))
                for name in names]
     for proxy in proxies:
         proxy.peers = [p for p in proxies if p is not proxy]

@@ -194,7 +194,8 @@ class RecurringMinimum(Method):
         self.secondary = SpectralBloomFilter(
             self.secondary_m, self.secondary_k, method="ms",
             seed=sbf.seed + 0x5B0F, hash_family=type(sbf.family),
-            backend=type(sbf.counters))
+            backend=type(sbf.counters),
+            backend_options=sbf.counters.options())
         if self.use_marker:
             from repro.filters.bloom import BloomFilter
             self.marker = BloomFilter(sbf.m, sbf.k, seed=sbf.seed + 0xB1F,

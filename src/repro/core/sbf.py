@@ -260,10 +260,17 @@ class SpectralBloomFilter:
         return self.multiply(other)
 
     def _spawn_like(self) -> "SpectralBloomFilter":
-        """A fresh empty filter with identical configuration."""
+        """A fresh empty filter with identical configuration.
+
+        The live backend's construction options travel along (via
+        :meth:`CounterBackend.options`), so a union of stream/compact-backed
+        filters keeps the codec and slack tuning instead of silently
+        reverting to backend defaults.
+        """
         return SpectralBloomFilter(
             self.m, self.k, method=type(self.method), seed=self.seed,
             hash_family=type(self.family), backend=type(self.counters),
+            backend_options=self.counters.options(),
             method_options=self.method.options())
 
     # ------------------------------------------------------------------

@@ -142,6 +142,30 @@ def _meta_family(meta: dict) -> str:
     return family
 
 
+def seal_frame(magic: bytes, meta: dict, payload: bytes = b"") -> bytes:
+    """Public frame builder for subsystems layered on the wire format.
+
+    Produces the same ``magic | header_len | header_json | payload | crc32``
+    shape as the filter frames, so persistence checkpoints and app-level
+    snapshots inherit v2's torn/corrupt detection for free.  *magic* must be
+    exactly 4 bytes and not collide with the filter magics.
+    """
+    if len(magic) != 4:
+        raise ValueError(f"frame magic must be 4 bytes, got {magic!r}")
+    if magic in (_MAGIC_BLOOM, _MAGIC_SBF, _MAGIC_BLOOM_V1, _MAGIC_SBF_V1):
+        raise ValueError(f"magic {magic!r} is reserved for filter frames")
+    return _seal(magic, meta, payload)
+
+
+def open_frame(data: bytes, magic: bytes) -> tuple[dict, bytes]:
+    """Validate a frame sealed by :func:`seal_frame`; return (meta, payload).
+
+    Raises:
+        WireFormatError: on any truncation, corruption, or magic mismatch.
+    """
+    return _read_header(data, magic, b"\x00\x00\x00\x00")
+
+
 def _family_name(family) -> str:
     try:
         return _FAMILY_NAMES[type(family)]

@@ -12,6 +12,11 @@ schedule.
 Traffic accounting stays intact: every transmission attempt (including
 duplicate copies) is charged to the ledger, so ``Network.breakdown()``
 still reports what actually crossed the wire.
+
+The filesystem sibling of this module is
+:mod:`repro.persist.crashsim`, which injects torn writes, lost renames,
+and lost fsyncs into the durability layer with the same determinism
+guarantee: one seed/configuration, one reproducible fault schedule.
 """
 
 from __future__ import annotations

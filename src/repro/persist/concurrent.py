@@ -1,0 +1,225 @@
+"""A concurrency-safe serving handle over (durable) spectral filters.
+
+Python's counter backends are not thread-safe: ``add`` is a read-modify-
+write, the String-Array Index shifts neighbouring fields on expansion, and
+``total_count`` is a shared accumulator.  :class:`ConcurrentSBF` makes a
+filter servable from many threads:
+
+- **striped counter locks** — counter index space is partitioned into
+  ``stripes`` lock stripes; an insert/delete/query takes only the stripes
+  its ``k`` counters map to, so operations on disjoint stripes run in
+  parallel.  Stripes are always acquired in ascending order, which makes
+  deadlock impossible by construction (no cycle in the waits-for graph).
+- **a single writer lock** — checkpoints (and other whole-filter moments
+  such as ``set`` and serialisation) additionally take an exclusive lock
+  plus *every* stripe, freezing a consistent cut of the counter vector.
+- **bounded-wait acquisition** — every lock acquire carries a deadline;
+  exceeding it raises :class:`LockTimeout` (a typed ``TimeoutError``)
+  instead of blocking forever, so a stuck peer degrades into a visible,
+  retryable error rather than a deadlocked process.
+
+Striping is only sound for Minimum Selection, whose per-counter updates
+are independent; methods with cross-counter logic (MI reads all minima
+before writing; RM maintains a secondary filter) degrade to a single
+stripe, i.e. one big lock — correct first, parallel where proven.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.persist.durable import DurableSBF
+
+
+class LockTimeout(TimeoutError):
+    """A bounded lock wait expired (the filter stayed consistent)."""
+
+
+class ConcurrentSBF:
+    """Thread-safe facade over a :class:`SpectralBloomFilter` or
+    :class:`DurableSBF`.
+
+    Args:
+        filter: the filter to serve — a plain ``SpectralBloomFilter`` or a
+            ``DurableSBF`` (mutations then go through its write-ahead
+            log, whose own lock linearises record order).
+        stripes: number of lock stripes (>= 1).  Forced to 1 for methods
+            other than Minimum Selection (see module docstring).
+        timeout: default bound, in seconds, on any lock wait.
+    """
+
+    def __init__(self, filter: SpectralBloomFilter | DurableSBF, *,
+                 stripes: int = 16, timeout: float = 5.0):
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self._handle = filter
+        self._sbf: SpectralBloomFilter = (
+            filter.sbf if isinstance(filter, DurableSBF) else filter)
+        if self._sbf.method.name != "ms":
+            stripes = 1
+        self.stripes = stripes
+        self.timeout = float(timeout)
+        self._locks = [threading.Lock() for _ in range(stripes)]
+        self._writer = threading.Lock()
+        self._count_lock = threading.Lock()
+        self.lock_timeouts = 0
+        self.operations = 0
+
+    # -- lock plumbing -----------------------------------------------------
+    def _stripes_for(self, key: object) -> list[int]:
+        return sorted({i % self.stripes for i in self._sbf.indices(key)})
+
+    def _acquire(self, locks: Sequence[threading.Lock],
+                 timeout: float | None) -> list[threading.Lock]:
+        """Take *locks* in order under one deadline; all-or-nothing."""
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        taken: list[threading.Lock] = []
+        for lock in locks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not lock.acquire(timeout=remaining):
+                for held in reversed(taken):
+                    held.release()
+                with self._count_lock:
+                    self.lock_timeouts += 1
+                raise LockTimeout(
+                    f"could not acquire {len(locks)} lock(s) within "
+                    f"{budget:.3f}s (got {len(taken)})")
+            taken.append(lock)
+        return taken
+
+    @staticmethod
+    def _release(taken: list[threading.Lock]) -> None:
+        for lock in reversed(taken):
+            lock.release()
+
+    def _key_locks(self, key: object) -> list[threading.Lock]:
+        return [self._locks[s] for s in self._stripes_for(key)]
+
+    def _all_locks(self) -> list[threading.Lock]:
+        return [self._writer, *self._locks]
+
+    # -- mutations -----------------------------------------------------
+    def insert(self, key: object, count: int = 1, *,
+               timeout: float | None = None) -> None:
+        """Record *count* occurrences of *key* under the key's stripes."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        taken = self._acquire(self._key_locks(key), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                self._handle.wal.log_insert(key, count)
+            self._sbf.method.insert(key, count)
+            # Inside the stripe section so a checkpoint (which holds every
+            # stripe) always sees counters and total_count move together.
+            with self._count_lock:
+                self._sbf.total_count += count
+                self.operations += 1
+        finally:
+            self._release(taken)
+
+    def delete(self, key: object, count: int = 1, *,
+               timeout: float | None = None) -> None:
+        """Remove *count* occurrences of *key* under the key's stripes."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        taken = self._acquire(self._key_locks(key), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                if self._sbf.method.name != "mi" \
+                        and self._sbf.min_counter(key) < count:
+                    raise ValueError(
+                        f"deleting {count} of {key!r} would drive a "
+                        f"counter negative")
+                self._handle.wal.log_delete(key, count)
+            self._sbf.method.delete(key, count)
+            with self._count_lock:
+                self._sbf.total_count -= count
+                self.operations += 1
+        finally:
+            self._release(taken)
+
+    def set(self, key: object, count: int, *,
+            timeout: float | None = None) -> None:
+        """Force ``f_key := count``.
+
+        Unlike inserts/deletes, a set does not commute with concurrent
+        operations on overlapping counters, so it runs under the writer
+        lock plus every stripe — fully serialised, exactly the order the
+        WAL records it.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                self._handle.set(key, count)
+            else:
+                current = self._sbf.query(key)
+                if count > current:
+                    self._sbf.insert(key, count - current)
+                elif count < current:
+                    self._sbf.delete(key, current - count)
+        finally:
+            self._release(taken)
+        with self._count_lock:
+            self.operations += 1
+
+    # -- reads -----------------------------------------------------------
+    def query(self, key: object, *, timeout: float | None = None) -> int:
+        """Frequency estimate under the key's stripes (a consistent read
+        of the key's own counters; unrelated stripes keep moving)."""
+        taken = self._acquire(self._key_locks(key), timeout)
+        try:
+            return self._sbf.query(key)
+        finally:
+            self._release(taken)
+
+    def contains(self, key: object, threshold: int = 1, *,
+                 timeout: float | None = None) -> bool:
+        return self.query(key, timeout=timeout) >= threshold
+
+    @property
+    def total_count(self) -> int:
+        with self._count_lock:
+            return self._sbf.total_count
+
+    # -- whole-filter moments ----------------------------------------------
+    def checkpoint(self, *, timeout: float | None = None):
+        """Freeze a consistent cut and checkpoint it.
+
+        Takes the writer lock plus all stripes (bounded), so the snapshot
+        is a linearisation point: it reflects every operation that
+        completed before it and none that started after.  Durable filters
+        run their WAL-sync → snapshot → log-reset dance; plain filters
+        return a checksummed v2 frame of the frozen state.
+        """
+        from repro.core.serialize import dump_sbf
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                return self._handle.checkpoint()
+            return dump_sbf(self._sbf)
+        finally:
+            self._release(taken)
+
+    def check_integrity(self, *, timeout: float | None = None) -> list[str]:
+        """Run the structural audit on a frozen cut."""
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            return self._sbf.check_integrity()
+        finally:
+            self._release(taken)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ConcurrentSBF({self._sbf!r}, stripes={self.stripes}, "
+                f"timeout={self.timeout})")

@@ -1,0 +1,177 @@
+"""The durable serving handle: WAL-ahead mutations + atomic checkpoints.
+
+:class:`DurableSBF` wraps a :class:`SpectralBloomFilter` so that every
+acknowledged mutation survives a process crash:
+
+- mutations are logged to the WAL *before* they touch the in-memory
+  filter (write-ahead: a logged-but-unapplied operation is redone by
+  replay; the reverse order could acknowledge an operation that no
+  recovery can reconstruct);
+- :meth:`checkpoint` forces the log down, writes an atomic snapshot
+  carrying the last logged sequence number, then resets the log —
+  recovery loads the snapshot and replays only newer records, so a crash
+  anywhere inside the checkpoint dance falls back to the previous
+  snapshot plus the still-intact log;
+- :meth:`open` is the crash-recovery entry point: point it at a
+  directory and it either recovers the persisted state or starts fresh
+  from *factory*.
+
+Keys must be JSON scalars (the WAL's key discipline); reads are plain
+pass-throughs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.persist.crashsim import FileIO
+from repro.persist.recovery import WAL_NAME, RecoveryReport, recover
+from repro.persist.snapshot import SnapshotStore
+from repro.persist.wal import WriteAheadLog
+
+
+class DurableSBF:
+    """A SpectralBloomFilter whose acknowledged mutations survive crashes.
+
+    Build fresh ones around an empty filter, or use :meth:`open` to
+    recover whatever a previous process persisted.
+
+    Args:
+        sbf: the in-memory filter to serve from (must reflect exactly the
+            state persisted under *directory* — :meth:`open` guarantees
+            this).
+        directory: durability directory (WAL + snapshots).
+        fsync: WAL fsync policy — ``"always"`` / int N / ``"checkpoint"``.
+        io: filesystem layer (a :class:`~repro.persist.crashsim.CrashIO`
+            under test).
+        retain: snapshot generations to keep.
+        next_seq: continue WAL numbering from here (recovery wiring).
+    """
+
+    def __init__(self, sbf: SpectralBloomFilter, directory: str, *,
+                 fsync: object = "always", io: FileIO | None = None,
+                 retain: int = 2, next_seq: int | None = None):
+        self.sbf = sbf
+        self.directory = str(directory)
+        self.io = io or FileIO()
+        self.io.makedirs(self.directory)
+        self.snapshots = SnapshotStore(self.directory, io=self.io,
+                                       retain=retain)
+        self.wal = WriteAheadLog(f"{self.directory}/{WAL_NAME}",
+                                 fsync=fsync, io=self.io, next_seq=next_seq)
+        self.last_recovery: RecoveryReport | None = None
+        self.checkpoints = 0
+
+    @classmethod
+    def open(cls, directory: str, *,
+             factory: Callable[[], SpectralBloomFilter] | None = None,
+             fsync: object = "always", io: FileIO | None = None,
+             retain: int = 2, strict: bool = True) -> "DurableSBF":
+        """Recover (or initialise) the filter persisted under *directory*.
+
+        With no persisted state, *factory* builds the initial filter; with
+        persisted state, recovery rebuilds it (and *factory* must describe
+        the same configuration, since WAL replay depends on it).
+        """
+        io = io or FileIO()
+        store = SnapshotStore(directory, io=io, retain=retain)
+        has_state = bool(store.generations()) or io.exists(
+            f"{directory}/{WAL_NAME}")
+        if has_state:
+            sbf, report = recover(directory, factory=factory, io=io,
+                                  strict=strict)
+            handle = cls(sbf, directory, fsync=fsync, io=io, retain=retain,
+                         next_seq=report.last_seq + 1)
+            handle.last_recovery = report
+            return handle
+        if factory is None:
+            raise ValueError(
+                f"{directory!r} holds no persisted filter and no factory "
+                f"was given to create one")
+        return cls(factory(), directory, fsync=fsync, io=io, retain=retain)
+
+    # -- mutations (write-ahead) ----------------------------------------
+    def insert(self, key: object, count: int = 1) -> int:
+        """Durably record *count* occurrences of *key*; returns the WAL seq."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return self.wal.last_seq
+        seq = self.wal.log_insert(key, count)
+        self.sbf.insert(key, count)
+        return seq
+
+    def delete(self, key: object, count: int = 1) -> int:
+        """Durably remove *count* occurrences of *key*; returns the WAL seq.
+
+        Raises:
+            ValueError: if the deletion would drive a counter negative —
+                checked *before* logging, so an invalid delete never
+                poisons the log with a record replay cannot apply.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return self.wal.last_seq
+        if self.sbf.method.name != "mi" and self.sbf.min_counter(key) < count:
+            raise ValueError(
+                f"deleting {count} of {key!r} would drive a counter "
+                f"negative (estimate {self.sbf.min_counter(key)})")
+        seq = self.wal.log_delete(key, count)
+        self.sbf.delete(key, count)
+        return seq
+
+    def set(self, key: object, count: int) -> int:
+        """Durably force ``f_key := count``; returns the WAL seq.
+
+        Logged as a ``set`` record and applied as the insert/delete delta
+        against the current estimate — replay performs the identical
+        reduction, so recovered state matches served state.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        seq = self.wal.log_set(key, count)
+        current = self.sbf.query(key)
+        if count > current:
+            self.sbf.insert(key, count - current)
+        elif count < current:
+            self.sbf.delete(key, current - count)
+        return seq
+
+    # -- reads -----------------------------------------------------------
+    def query(self, key: object) -> int:
+        return self.sbf.query(key)
+
+    def contains(self, key: object, threshold: int = 1) -> bool:
+        return self.sbf.contains(key, threshold)
+
+    # -- durability points -------------------------------------------------
+    def checkpoint(self) -> str:
+        """Write an atomic snapshot and reset the log; returns its path.
+
+        Also the fsync point of the ``"checkpoint"`` WAL policy.  Crash
+        ordering: the log is synced *before* the snapshot (so the snapshot
+        never reflects an operation the log could lose), and reset *after*
+        the rename (a crash in between leaves old records the snapshot
+        already covers — replay skips them by sequence number).
+        """
+        self.wal.sync()
+        path = self.snapshots.save(self.sbf, self.wal.last_seq)
+        self.wal.reset()
+        self.checkpoints += 1
+        return path
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableSBF":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DurableSBF({self.sbf!r}, dir={self.directory!r}, "
+                f"last_seq={self.wal.last_seq})")

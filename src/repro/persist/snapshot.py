@@ -1,0 +1,174 @@
+"""Atomic, generation-numbered filter checkpoints.
+
+A snapshot is the serialize-v2 SBF frame wrapped in an outer
+:func:`~repro.core.serialize.seal_frame` carrying the WAL sequence number
+it reflects.  Writing follows the classic crash-safe dance::
+
+    write snap-<gen>.tmp  →  fsync(file)  →  rename to snap-<gen>-<seq>.sbf
+                                           →  fsync(directory)
+
+``os.replace`` is atomic on POSIX, so at every instant the directory holds
+only complete snapshot files plus (possibly) one ignorable ``.tmp``; a
+crash anywhere in the dance leaves either the old state or the new state,
+never a half state.  Generations increase monotonically, and the store
+retains the previous good generation when writing a new one, so recovery
+can fall back a generation if the newest file fails its checksum (e.g.
+silent media corruption after the write).
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import (
+    WireFormatError,
+    dump_sbf,
+    load_sbf,
+    open_frame,
+    seal_frame,
+)
+from repro.persist.crashsim import FileIO
+
+_MAGIC = b"RSN1"
+_NAME = re.compile(r"^snap-(\d{8})-(\d+)\.sbf$")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is missing, corrupt, or inconsistent."""
+
+
+def atomic_write_bytes(path: str, data: bytes, *,
+                       io: FileIO | None = None) -> None:
+    """Write *data* to *path* via write-temp → fsync → atomic rename.
+
+    The building block shared by the snapshot store and the app-layer
+    checkpoints (sliding window, summary cache): readers never observe a
+    half-written *path*.
+    """
+    io = io or FileIO()
+    tmp = path + ".tmp"
+    with io.open(tmp, "wb") as handle:
+        handle.write(data)
+        io.fsync(handle)
+    io.replace(tmp, path)
+
+
+def read_frame_file(path: str, magic: bytes, *,
+                    io: FileIO | None = None) -> tuple[dict, bytes]:
+    """Load and validate a sealed frame written by :func:`atomic_write_bytes`.
+
+    Raises:
+        WireFormatError: if the file is torn or corrupt.
+    """
+    io = io or FileIO()
+    with io.open(path, "rb") as handle:
+        return open_frame(handle.read(), magic)
+
+
+class SnapshotStore:
+    """Directory of generation-numbered snapshots of one filter.
+
+    Args:
+        directory: where snapshot files live (created if missing).
+        io: filesystem layer (a :class:`~repro.persist.crashsim.CrashIO`
+            under test).
+        retain: how many good generations to keep (>= 1; default 2 — the
+            current one plus the fallback).
+    """
+
+    def __init__(self, directory: str, *, io: FileIO | None = None,
+                 retain: int = 2):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.directory = str(directory)
+        self.io = io or FileIO()
+        self.retain = int(retain)
+        self.io.makedirs(self.directory)
+
+    # -- naming ------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        return f"{self.directory}/{name}"
+
+    def generations(self) -> list[tuple[int, int, str]]:
+        """All complete snapshot files as sorted ``(gen, seq, name)``."""
+        found = []
+        for name in self.io.listdir(self.directory):
+            match = _NAME.match(name)
+            if match:
+                found.append((int(match.group(1)), int(match.group(2)),
+                              name))
+        found.sort()
+        return found
+
+    # -- writing -------------------------------------------------------
+    def save(self, sbf: SpectralBloomFilter, seq: int) -> str:
+        """Checkpoint *sbf* as the next generation, reflecting WAL *seq*.
+
+        Returns the final snapshot path.  The temp file is fsynced before
+        the atomic rename and the directory is fsynced after it, so once
+        ``save`` returns the snapshot survives power loss; if the process
+        dies mid-save the previous generation is untouched.
+        """
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}")
+        existing = self.generations()
+        generation = (existing[-1][0] + 1) if existing else 1
+        frame = seal_frame(_MAGIC, {"generation": generation, "seq": seq},
+                           struct.pack("<Q", seq) + dump_sbf(sbf))
+        name = f"snap-{generation:08d}-{seq}.sbf"
+        tmp = self._path(f"snap-{generation:08d}.tmp")
+        with self.io.open(tmp, "wb") as handle:
+            handle.write(frame)
+            self.io.fsync(handle)
+        self.io.replace(tmp, self._path(name))
+        self.io.fsync_dir(self.directory)
+        self._prune(keep_from=generation)
+        return self._path(name)
+
+    def _prune(self, keep_from: int) -> None:
+        """Drop generations older than the retained window."""
+        survivors = self.generations()
+        excess = len(survivors) - self.retain
+        for gen, _seq, name in survivors:
+            if excess <= 0 or gen >= keep_from:
+                break
+            self.io.remove(self._path(name))
+            excess -= 1
+
+    # -- reading -------------------------------------------------------
+    def _decode(self, name: str, gen: int, seq: int) -> SpectralBloomFilter:
+        with self.io.open(self._path(name), "rb") as handle:
+            data = handle.read()
+        meta, payload = open_frame(data, _MAGIC)
+        if meta.get("generation") != gen or meta.get("seq") != seq:
+            raise SnapshotError(
+                f"snapshot {name} header says generation "
+                f"{meta.get('generation')} / seq {meta.get('seq')} — the "
+                f"file was renamed or tampered with")
+        if len(payload) < 8:
+            raise SnapshotError(f"snapshot {name} payload is truncated")
+        (embedded_seq,) = struct.unpack_from("<Q", payload)
+        if embedded_seq != seq:
+            raise SnapshotError(
+                f"snapshot {name} embeds seq {embedded_seq}, expected {seq}")
+        return load_sbf(payload[8:])
+
+    def load_latest(self) -> tuple[SpectralBloomFilter, int, int,
+                                   list[str]] | None:
+        """Newest decodable snapshot, falling back a generation on damage.
+
+        Returns ``(filter, seq, generation, rejected)`` where *rejected*
+        lists the names of newer snapshots that failed validation, or
+        ``None`` when no usable snapshot exists.
+        """
+        rejected: list[str] = []
+        for gen, seq, name in reversed(self.generations()):
+            try:
+                sbf = self._decode(name, gen, seq)
+            except (WireFormatError, SnapshotError):
+                rejected.append(name)
+                continue
+            return sbf, seq, gen, rejected
+        return None

@@ -1,0 +1,316 @@
+"""Append-only write-ahead log of filter operations.
+
+Record layout (little-endian)::
+
+    record := length:u32 | seq:u64 | op:u8 | body | crc32:u32
+
+``length`` counts everything after itself (``seq`` through ``crc32``), so
+a reader can skip records without parsing bodies; the CRC covers ``seq``
+through ``body``.  Sequence numbers are assigned by the log, start at 1,
+and increase strictly — across checkpoint resets too — so a snapshot
+taken at sequence ``S`` tells recovery exactly which records to replay
+(``seq > S``).
+
+Torn-write discipline: a crash can leave at most a *suffix* of the file
+damaged.  :func:`replay` therefore stops at the first record that is
+incomplete, fails its CRC, or breaks sequence monotonicity, and reports
+the byte offset of the last good record so the caller can truncate the
+tail.  A corrupt record is **never** yielded; everything before it is
+provably intact.
+
+Fsync policy (the classic durability/throughput dial):
+
+- ``"always"`` — fsync after every append; an acknowledged operation is
+  durable even through an immediate power cut.
+- ``N`` (int) — fsync every *N* appends; bounds loss to the last ``N-1``
+  acknowledged operations.
+- ``"checkpoint"`` — fsync only at checkpoints (and explicit
+  :meth:`sync` calls); fastest, loses up to a whole checkpoint interval.
+
+Bodies are JSON, so logged keys must be JSON scalars (``str``/``int``/
+``float``/``bool``/``None``) — the natural key types of a serving system;
+:meth:`log_insert` rejects anything else up front rather than letting a
+non-round-tripping key poison replay.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.persist.crashsim import FileIO
+
+#: operation codes stored in WAL records
+OP_INSERT = 1
+OP_DELETE = 2
+OP_SET = 3
+
+OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_SET: "set"}
+
+_LEN = struct.Struct("<I")
+_SEQ_OP = struct.Struct("<QB")
+_CRC = struct.Struct("<I")
+#: bytes of a record that are not body: seq(8) + op(1) + crc(4)
+_OVERHEAD = _SEQ_OP.size + _CRC.size
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class WALError(ValueError):
+    """A write-ahead log file is structurally unusable (not merely torn)."""
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded log record."""
+
+    seq: int
+    op: int
+    key: object
+    count: int
+    #: byte offset of the record's start in the file
+    offset: int
+    #: total encoded size in bytes
+    size: int
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES.get(self.op, f"op{self.op}")
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of walking a WAL file from the front.
+
+    ``good_end`` is the offset one past the last intact record; anything
+    beyond it is a torn or corrupt tail (``reason`` says why it stopped,
+    ``None`` for a clean end-of-file).
+    """
+
+    last_seq: int
+    records: int
+    good_end: int
+    reason: str | None
+
+
+def _encode(seq: int, op: int, key: object, count: int) -> bytes:
+    body = json.dumps([key, count], sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    inner = _SEQ_OP.pack(seq, op) + body
+    crc = zlib.crc32(inner) & 0xFFFFFFFF
+    return _LEN.pack(len(inner) + _CRC.size) + inner + _CRC.pack(crc)
+
+
+def _iter_records(data: bytes) -> Iterator[WALRecord]:
+    """Yield intact records; raise ``_Stop`` at the first damaged one."""
+    offset = 0
+    prev_seq = 0
+    total = len(data)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise _Stop(offset, "torn length prefix")
+        (length,) = _LEN.unpack_from(data, offset)
+        if length < _OVERHEAD:
+            raise _Stop(offset, f"record length {length} below minimum")
+        end = offset + _LEN.size + length
+        if end > total:
+            raise _Stop(offset, f"torn record body ({end - total} bytes "
+                                 f"missing)")
+        inner = data[offset + _LEN.size:end - _CRC.size]
+        (stored_crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        if stored_crc != (zlib.crc32(inner) & 0xFFFFFFFF):
+            raise _Stop(offset, "checksum mismatch")
+        seq, op = _SEQ_OP.unpack_from(inner)
+        if seq <= prev_seq:
+            raise _Stop(offset, f"sequence regression ({seq} after "
+                                 f"{prev_seq})")
+        if op not in OP_NAMES:
+            raise _Stop(offset, f"unknown op code {op}")
+        try:
+            body = json.loads(inner[_SEQ_OP.size:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _Stop(offset, f"corrupt body: {exc}")
+        if (not isinstance(body, list) or len(body) != 2
+                or not isinstance(body[1], int)
+                or isinstance(body[1], bool)):
+            raise _Stop(offset, f"malformed body {body!r}")
+        yield WALRecord(seq=seq, op=op, key=body[0], count=body[1],
+                        offset=offset, size=end - offset)
+        prev_seq = seq
+        offset = end
+
+
+class _Stop(Exception):
+    """Internal: scanning hit the damaged tail at ``offset``."""
+
+    def __init__(self, offset: int, reason: str):
+        super().__init__(reason)
+        self.offset = offset
+        self.reason = reason
+
+
+def replay(path: str, *, io: FileIO | None = None,
+           after_seq: int = 0) -> tuple[list[WALRecord], ScanResult]:
+    """Read every intact record with ``seq > after_seq``.
+
+    Returns the records plus a :class:`ScanResult` describing where the
+    intact prefix ends.  Corrupt or torn records are never returned, and
+    nothing after the first damaged byte is trusted (a later record with
+    a valid CRC could be a stale leftover from a recycled file).
+    """
+    io = io or FileIO()
+    if not io.exists(path):
+        return [], ScanResult(last_seq=after_seq, records=0, good_end=0,
+                              reason=None)
+    with io.open(path, "rb") as handle:
+        data = handle.read()
+    records: list[WALRecord] = []
+    last_seq = 0
+    good_end = 0
+    reason = None
+    try:
+        for record in _iter_records(data):
+            last_seq = record.seq
+            good_end = record.offset + record.size
+            if record.seq > after_seq:
+                records.append(record)
+    except _Stop as stop:
+        good_end = stop.offset
+        reason = stop.reason
+    return records, ScanResult(last_seq=max(last_seq, after_seq),
+                               records=len(records), good_end=good_end,
+                               reason=reason)
+
+
+class WriteAheadLog:
+    """Appender half of the log (reading is :func:`replay`'s job).
+
+    Opening an existing file scans it, truncates any torn tail (the file
+    may be the survivor of a crash), and continues the sequence numbering
+    after the last intact record.  Appends are thread-safe: a lock orders
+    concurrent writers, so the on-disk record order is a linearisation of
+    the acknowledged operations.
+
+    Args:
+        path: log file location.
+        fsync: ``"always"`` (default), an int *N* for every-N-appends, or
+            ``"checkpoint"`` — see the module docstring for the trade-off.
+        io: filesystem layer (a :class:`~repro.persist.crashsim.CrashIO`
+            under test).
+        next_seq: first sequence number to assign; defaults to one past
+            whatever the existing file ends with.  Pass a value after an
+            external recovery decided the true horizon (e.g. a snapshot
+            newer than the log).
+    """
+
+    def __init__(self, path: str, *, fsync: object = "always",
+                 io: FileIO | None = None, next_seq: int | None = None):
+        self.path = str(path)
+        self.io = io or FileIO()
+        self._policy_every = self._parse_policy(fsync)
+        self.fsync_policy = fsync
+        self._lock = threading.Lock()
+        self._since_sync = 0
+        self.appends = 0
+        _, scan = replay(self.path, io=self.io)
+        if scan.reason is not None or (
+                self.io.exists(self.path)
+                and self.io.file_size(self.path) > scan.good_end):
+            self.io.truncate(self.path, scan.good_end)
+        seq = scan.last_seq + 1
+        if next_seq is not None:
+            if next_seq <= scan.last_seq:
+                raise WALError(
+                    f"next_seq {next_seq} would reuse sequence numbers "
+                    f"(log already ends at {scan.last_seq})")
+            seq = next_seq
+        self.next_seq = seq
+        self._file = self.io.open(self.path, "ab")
+
+    @staticmethod
+    def _parse_policy(fsync: object) -> int:
+        """Normalise the policy to 'fsync every N appends' (0 = never)."""
+        if fsync == "always":
+            return 1
+        if fsync == "checkpoint":
+            return 0
+        if isinstance(fsync, int) and not isinstance(fsync, bool) \
+                and fsync >= 1:
+            return fsync
+        raise ValueError(
+            f"fsync policy must be 'always', 'checkpoint', or a positive "
+            f"int, got {fsync!r}")
+
+    # -- appending -------------------------------------------------------
+    def _append(self, op: int, key: object, count: int) -> int:
+        if not isinstance(key, _SCALAR_TYPES):
+            raise TypeError(
+                f"WAL keys must be JSON scalars (str/int/float/bool/None), "
+                f"got {type(key).__name__}")
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise TypeError(f"count must be an int, got {count!r}")
+        with self._lock:
+            seq = self.next_seq
+            self._file.write(_encode(seq, op, key, count))
+            self.next_seq = seq + 1
+            self.appends += 1
+            self._since_sync += 1
+            if self._policy_every and self._since_sync >= self._policy_every:
+                self.io.fsync(self._file)
+                self._since_sync = 0
+        return seq
+
+    def log_insert(self, key: object, count: int = 1) -> int:
+        """Append an insert record; returns its sequence number."""
+        return self._append(OP_INSERT, key, count)
+
+    def log_delete(self, key: object, count: int = 1) -> int:
+        """Append a delete record; returns its sequence number."""
+        return self._append(OP_DELETE, key, count)
+
+    def log_set(self, key: object, count: int) -> int:
+        """Append a set-frequency record (``f_key := count``)."""
+        if count < 0:
+            raise ValueError(f"set count must be >= 0, got {count}")
+        return self._append(OP_SET, key, count)
+
+    # -- durability points -------------------------------------------------
+    def sync(self) -> None:
+        """Force everything appended so far to disk, whatever the policy."""
+        with self._lock:
+            self.io.fsync(self._file)
+            self._since_sync = 0
+
+    def reset(self) -> None:
+        """Discard all records (their effects are in a durable snapshot).
+
+        Sequence numbering continues — snapshots reference absolute
+        sequence numbers, so they must never be reused.
+        """
+        with self._lock:
+            self._file.close()
+            with self.io.open(self.path, "wb") as handle:
+                self.io.fsync(handle)
+            self._file = self.io.open(self.path, "ab")
+            self._since_sync = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.io.fsync(self._file)
+            self._file.close()
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self.next_seq - 1
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -67,12 +67,27 @@ class CounterBackend(ABC):
 
         Used by Minimal Increase deletions, which the paper shows produce
         false negatives — clamping keeps the structure well-defined anyway.
+
+        This base implementation is a generic ``get`` + ``set`` round trip;
+        backends whose element access is expensive (a locate in the
+        String-Array Index, a subgroup decode in the coded stream) override
+        it with a single-touch version.
         """
         value = self.get(i) + delta
         if value < 0:
             value = 0
         self.set(i, value)
         return value
+
+    def options(self) -> dict:
+        """Constructor options needed to rebuild an equivalent backend.
+
+        Used by :meth:`SpectralBloomFilter._spawn_like` (and hence
+        ``union``) so a derived filter preserves the live backend's
+        configuration — codec choice, slack tuning, chunk sizes — instead
+        of silently falling back to the defaults.
+        """
+        return {}
 
 
 class ArrayBackend(CounterBackend):
@@ -100,6 +115,13 @@ class ArrayBackend(CounterBackend):
             raise ValueError(f"counter values must be >= 0, got {value}")
         self._counts[i] = value
 
+    def add_clamped(self, i: int, delta: int) -> int:
+        value = self._counts[i] + delta
+        if value < 0:
+            value = 0
+        self._counts[i] = value
+        return value
+
     def __len__(self) -> int:
         return len(self._counts)
 
@@ -119,6 +141,7 @@ class CompactBackend(CounterBackend):
     def __init__(self, m: int, **sai_options):
         if m <= 0:
             raise ValueError(f"m must be positive, got {m}")
+        self._options = dict(sai_options)
         self.index = StringArrayIndex([0] * m, **sai_options)
 
     def get(self, i: int) -> int:
@@ -129,6 +152,12 @@ class CompactBackend(CounterBackend):
 
     def set(self, i: int, value: int) -> None:
         self.index.set(i, value)
+
+    def add_clamped(self, i: int, delta: int) -> int:
+        return self.index.increment_clamped(i, delta)
+
+    def options(self) -> dict:
+        return dict(self._options)
 
     def __len__(self) -> int:
         return len(self.index)
@@ -149,6 +178,7 @@ class StreamBackend(CounterBackend):
     def __init__(self, m: int, codec: object = "elias", **stream_options):
         if m <= 0:
             raise ValueError(f"m must be positive, got {m}")
+        self._options = {"codec": codec, **stream_options}
         self.stream = CompactCounterStream([0] * m, codec=codec,
                                            **stream_options)
 
@@ -160,6 +190,12 @@ class StreamBackend(CounterBackend):
 
     def set(self, i: int, value: int) -> None:
         self.stream.set(i, value)
+
+    def add_clamped(self, i: int, delta: int) -> int:
+        return self.stream.increment_clamped(i, delta)
+
+    def options(self) -> dict:
+        return dict(self._options)
 
     def __len__(self) -> int:
         return len(self.stream)

@@ -128,6 +128,24 @@ class CompactCounterStream:
         """Subtract *delta* from counter *i*; return the new value."""
         return self.increment(i, -delta)
 
+    def increment_clamped(self, i: int, delta: int) -> int:
+        """Add *delta* to counter *i*, flooring at zero; return new value.
+
+        Single-touch: the subgroup is decoded once and re-encoded once,
+        where a ``get`` + ``set`` pair would decode it twice.
+        """
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for {self._m} counters")
+        chunk = self._chunks[i // self._chunk_items]
+        values = self._decode_chunk(chunk)
+        j = i % self._chunk_items
+        value = values[j] + delta
+        if value < 0:
+            value = 0
+        values[j] = value
+        self._encode_chunk(chunk, values)
+        return value
+
     def __getitem__(self, i: int) -> int:
         return self.get(i)
 

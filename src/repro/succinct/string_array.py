@@ -340,6 +340,30 @@ class StringArrayIndex:
         """Subtract *delta* from counter *i*; return the new value."""
         return self.increment(i, -delta)
 
+    def increment_clamped(self, i: int, delta: int) -> int:
+        """Add *delta* to counter *i*, flooring at zero; return new value.
+
+        Single-touch: one ``_locate`` serves both the read and the write,
+        instead of the separate locates a ``get`` + ``set`` pair performs.
+        Shrinks stay in place (deletions keep the field width, §4.4); the
+        rare growth case falls back to :meth:`set`'s expansion machinery.
+        """
+        _group, _c, _j, pos = self._locate(i)
+        old_width = self._widths[i]
+        value = self._base.read(pos, old_width) + delta
+        if value < 0:
+            value = 0
+        new_width = _width_of(value)
+        if new_width <= old_width:
+            self._base.write(pos, old_width, value)
+            if new_width < old_width:
+                self._deleted_bits += old_width - new_width
+                if self._deleted_bits * 4 > max(64, self._total_capacity):
+                    self.rebuild()
+            return value
+        self.set(i, value)
+        return value
+
     # ------------------------------------------------------------------
     # expansion machinery (§4.4)
     # ------------------------------------------------------------------

@@ -1,0 +1,481 @@
+"""Unit tests for the crash-consistent persistence layer.
+
+The exhaustive crash-schedule matrices live in ``test_crash.py`` (marker
+``crash``); this file covers the building blocks: WAL record discipline,
+fsync policies, atomic snapshots with generation fallback, recovery
+plumbing, the durable handle, and the app-layer wiring.
+"""
+
+import os
+
+import pytest
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import WireFormatError, open_frame, seal_frame
+from repro.apps.sliding_window import SlidingWindowSBF
+from repro.apps.summary_cache import build_mesh
+from repro.persist import (
+    CrashIO,
+    DurableSBF,
+    FileIO,
+    RecoveryError,
+    SimulatedCrash,
+    SnapshotStore,
+    WALError,
+    WriteAheadLog,
+    atomic_write_bytes,
+    flip_bit,
+    recover,
+    replay,
+    torn_write,
+)
+
+
+def factory():
+    return SpectralBloomFilter(128, 4, seed=7)
+
+
+# ----------------------------------------------------------------------
+# write-ahead log
+# ----------------------------------------------------------------------
+class TestWAL:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            assert wal.log_insert("a", 3) == 1
+            assert wal.log_delete("a", 1) == 2
+            assert wal.log_set("b", 5) == 3
+        records, scan = replay(path)
+        assert [(r.op_name, r.key, r.count) for r in records] == [
+            ("insert", "a", 3), ("delete", "a", 1), ("set", "b", 5)]
+        assert scan.last_seq == 3 and scan.reason is None
+        assert scan.good_end == os.path.getsize(path)
+
+    def test_key_types_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        keys = ["text", 42, -7, 3.5, True, None]
+        with WriteAheadLog(path) as wal:
+            for key in keys:
+                wal.log_insert(key)
+        records, _ = replay(path)
+        assert [r.key for r in records] == keys
+
+    def test_non_scalar_key_rejected_before_logging(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            with pytest.raises(TypeError):
+                wal.log_insert(("tuple", "key"))
+        records, scan = replay(path)
+        assert records == [] and scan.reason is None
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.log_insert("a")
+            wal.log_insert("b")
+        with WriteAheadLog(path) as wal:
+            assert wal.log_insert("c") == 3
+        records, _ = replay(path)
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_next_seq_cannot_reuse(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.log_insert("a")
+            wal.log_insert("b")
+        with pytest.raises(WALError):
+            WriteAheadLog(path, next_seq=2)
+
+    def test_torn_tail_is_detected_and_truncated_on_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.log_insert("a", 3)
+            wal.log_insert("b", 2)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        records, scan = replay(path)
+        assert [r.key for r in records] == ["a"]
+        assert scan.reason is not None
+        # Reopening heals the file and reuses nothing.
+        with WriteAheadLog(path) as wal:
+            assert wal.log_insert("c") == 2
+        records, scan = replay(path)
+        assert [r.key for r in records] == ["a", "c"]
+        assert scan.reason is None
+
+    def test_bit_flip_stops_replay_before_corrupt_record(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.log_insert("a", 1)
+            second_start = os.path.getsize(path)
+            wal.log_insert("b", 1)
+            wal.log_insert("c", 1)
+        flip_bit(path, (second_start + 6) * 8)
+        records, scan = replay(path)
+        # The corrupt record and everything after it are never yielded.
+        assert [r.key for r in records] == ["a"]
+        assert scan.good_end == second_start
+        assert "checksum" in scan.reason or "sequence" in scan.reason \
+            or "corrupt" in scan.reason or "length" in scan.reason \
+            or "torn" in scan.reason or "unknown" in scan.reason \
+            or "malformed" in scan.reason
+
+    def test_fsync_policies(self, tmp_path):
+        io_always = FileIO()
+        wal = WriteAheadLog(str(tmp_path / "a.log"), fsync="always",
+                            io=io_always)
+        for i in range(4):
+            wal.log_insert(i)
+        wal.close()
+        assert io_always.fsync_calls >= 4
+
+        io_n = FileIO()
+        wal = WriteAheadLog(str(tmp_path / "n.log"), fsync=4, io=io_n)
+        for i in range(8):
+            wal.log_insert(i)
+        appends_synced = io_n.fsync_calls
+        wal.close()
+        assert appends_synced == 2  # every 4 appends
+
+        io_ckpt = FileIO()
+        wal = WriteAheadLog(str(tmp_path / "c.log"), fsync="checkpoint",
+                            io=io_ckpt)
+        for i in range(8):
+            wal.log_insert(i)
+        assert io_ckpt.fsync_calls == 0
+        wal.sync()
+        assert io_ckpt.fsync_calls == 1
+        wal.close()
+
+    def test_bad_policy_rejected(self, tmp_path):
+        for bad in ("sometimes", 0, -2, True, 1.5):
+            with pytest.raises(ValueError):
+                WriteAheadLog(str(tmp_path / "x.log"), fsync=bad)
+
+    def test_reset_keeps_sequence_monotonic(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.log_insert("a")
+            wal.log_insert("b")
+            wal.reset()
+            assert wal.log_insert("c") == 3
+        records, _ = replay(path)
+        assert [(r.seq, r.key) for r in records] == [(3, "c")]
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+class TestSnapshots:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        sbf = factory()
+        sbf.insert("a", 3)
+        sbf.insert("b", 1)
+        store.save(sbf, seq=17)
+        loaded, seq, gen, rejected = store.load_latest()
+        assert (seq, gen, rejected) == (17, 1, [])
+        assert loaded.counters.to_list() == sbf.counters.to_list()
+        assert loaded.query("a") == 3
+
+    def test_generations_increase_and_prune(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), retain=2)
+        sbf = factory()
+        for seq in (1, 2, 3, 4):
+            sbf.insert(f"k{seq}")
+            store.save(sbf, seq=seq)
+        gens = store.generations()
+        assert [g for g, _, _ in gens] == [3, 4]
+
+    def test_corrupt_newest_falls_back_a_generation(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        sbf = factory()
+        sbf.insert("a", 2)
+        store.save(sbf, seq=1)
+        sbf.insert("b", 5)
+        path2 = store.save(sbf, seq=2)
+        flip_bit(path2, 123)
+        loaded, seq, gen, rejected = store.load_latest()
+        assert gen == 1 and seq == 1
+        assert rejected == [os.path.basename(path2)]
+        assert loaded.query("a") == 2 and loaded.query("b") == 0
+
+    def test_all_generations_corrupt_returns_none(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        sbf = factory()
+        path = store.save(sbf, seq=1)
+        flip_bit(path, 99)
+        assert store.load_latest() is None
+
+    def test_renamed_snapshot_is_rejected(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        sbf = factory()
+        path = store.save(sbf, seq=5)
+        # An operator "helpfully" renames the file to a different seq.
+        os.rename(path, str(tmp_path / "snap-00000001-9.sbf"))
+        assert store.load_latest() is None
+
+    def test_tmp_leftover_is_ignored(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        sbf = factory()
+        sbf.insert("a")
+        store.save(sbf, seq=1)
+        (tmp_path / "snap-00000002.tmp").write_bytes(b"half a snapsho")
+        loaded, seq, gen, _ = store.load_latest()
+        assert (seq, gen) == (1, 1)
+
+    def test_atomic_write_crash_before_replace_leaves_target_intact(
+            self, tmp_path):
+        path = str(tmp_path / "state.bin")
+        atomic_write_bytes(path, b"generation one")
+        io = CrashIO(crash_before_replace=1)
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(path, b"generation two", io=io)
+        assert open(path, "rb").read() == b"generation one"
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_wal_only_recovery(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.log_insert("a", 3)
+        wal.log_insert("b", 1)
+        wal.log_delete("a", 1)
+        wal.log_set("c", 4)
+        wal.close()
+        sbf, report = recover(str(tmp_path), factory=factory)
+        assert (sbf.query("a"), sbf.query("b"), sbf.query("c")) == (2, 1, 4)
+        assert not report.used_snapshot
+        assert report.records_replayed == 4
+        assert report.integrity_issues == []
+
+    def test_snapshot_plus_wal_suffix(self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        handle.insert("a", 3)
+        handle.checkpoint()
+        handle.insert("b", 2)
+        handle.close()
+        sbf, report = recover(str(tmp_path), factory=factory)
+        assert report.used_snapshot and report.snapshot_seq == 1
+        assert report.records_replayed == 1
+        assert sbf.query("a") == 3 and sbf.query("b") == 2
+
+    def test_no_state_and_no_factory_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            recover(str(tmp_path))
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(wal_path)
+        wal.log_insert("a", 1)
+        wal.log_insert("b", 1)
+        wal.close()
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as f:
+            f.truncate(size - 2)
+        sbf, report = recover(str(tmp_path), factory=factory)
+        assert sbf.query("a") == 1 and sbf.query("b") == 0
+        assert report.torn_tail is not None
+        assert os.path.getsize(wal_path) == report.truncated_at
+
+    def test_set_records_replay_to_live_state(self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        handle.insert("x", 10)
+        handle.set("x", 4)
+        handle.set("y", 7)
+        handle.set("x", 0)
+        live = handle.sbf.counters.to_list()
+        handle.close()
+        sbf, _ = recover(str(tmp_path), factory=factory)
+        assert sbf.counters.to_list() == live
+
+    def test_recovery_audits_integrity(self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        handle.insert("a", 3)
+        path = handle.checkpoint()
+        handle.close()
+        assert recover(str(tmp_path), factory=factory)[1].integrity_issues \
+            == []
+
+
+# ----------------------------------------------------------------------
+# the durable handle
+# ----------------------------------------------------------------------
+class TestDurableSBF:
+    def test_acknowledged_ops_survive_restart(self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        handle.insert("a", 3)
+        handle.insert("b")
+        handle.delete("a")
+        handle.close()
+        reopened = DurableSBF.open(str(tmp_path), factory=factory)
+        assert reopened.query("a") == 2 and reopened.query("b") == 1
+        assert reopened.last_recovery.records_replayed == 3
+        # Sequence numbering continues where the log left off.
+        assert reopened.insert("c") == 4
+
+    def test_checkpoint_resets_wal_and_recovery_prefers_snapshot(
+            self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        for i in range(10):
+            handle.insert(f"k{i}")
+        handle.checkpoint()
+        assert os.path.getsize(str(tmp_path / "wal.log")) == 0
+        handle.insert("tail")
+        handle.close()
+        reopened = DurableSBF.open(str(tmp_path), factory=factory)
+        assert reopened.last_recovery.snapshot_seq == 10
+        assert reopened.last_recovery.records_replayed == 1
+        assert reopened.query("tail") == 1
+
+    def test_invalid_delete_never_poisons_the_log(self, tmp_path):
+        handle = DurableSBF.open(str(tmp_path), factory=factory)
+        handle.insert("a", 1)
+        with pytest.raises(ValueError):
+            handle.delete("a", 5)
+        handle.close()
+        sbf, report = recover(str(tmp_path), factory=factory)
+        assert sbf.query("a") == 1
+        assert report.records_replayed == 1
+
+    def test_open_without_state_requires_factory(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableSBF.open(str(tmp_path))
+
+    def test_rm_method_round_trips(self, tmp_path):
+        def rm_factory():
+            return SpectralBloomFilter(128, 4, seed=3, method="rm")
+        handle = DurableSBF.open(str(tmp_path), factory=rm_factory)
+        for key, count in [("a", 5), ("b", 2), ("c", 1)]:
+            handle.insert(key, count)
+        handle.delete("a", 2)
+        handle.checkpoint()
+        handle.insert("d", 7)
+        live = {key: handle.query(key) for key in "abcd"}
+        handle.close()
+        reopened = DurableSBF.open(str(tmp_path), factory=rm_factory)
+        assert {key: reopened.query(key) for key in "abcd"} == live
+        assert reopened.sbf.check_integrity() == []
+
+
+# ----------------------------------------------------------------------
+# frame helpers
+# ----------------------------------------------------------------------
+class TestFrameHelpers:
+    def test_seal_open_round_trip(self):
+        frame = seal_frame(b"RXT1", {"x": 1}, b"payload")
+        meta, payload = open_frame(frame, b"RXT1")
+        assert meta == {"x": 1} and payload == b"payload"
+
+    def test_reserved_magics_rejected(self):
+        for magic in (b"RSB2", b"RBF2", b"RSB1", b"RBF1"):
+            with pytest.raises(ValueError):
+                seal_frame(magic, {}, b"")
+        with pytest.raises(ValueError):
+            seal_frame(b"LONGMAGIC", {}, b"")
+
+    def test_open_frame_detects_corruption(self):
+        frame = bytearray(seal_frame(b"RXT1", {"x": 1}, b"payload"))
+        frame[-6] ^= 0x40
+        with pytest.raises(WireFormatError):
+            open_frame(bytes(frame), b"RXT1")
+
+
+# ----------------------------------------------------------------------
+# app wiring: sliding window
+# ----------------------------------------------------------------------
+class TestDurableSlidingWindow:
+    def test_checkpoint_restore_round_trip(self, tmp_path):
+        window = SlidingWindowSBF(5, 256, 4, method="rm", seed=3)
+        window.extend(["a", "b", "a", "c", "d", "e", "a"])
+        window.checkpoint(str(tmp_path))
+        restored = SlidingWindowSBF.restore(str(tmp_path))
+        assert restored.window == window.window
+        assert len(restored) == len(window)
+        for key in "abcdef":
+            assert restored.query(key) == window.query(key)
+        # The restored window keeps sliding correctly.
+        evicted = restored.push("f")
+        assert evicted == "a"  # the oldest buffered item, restored in order
+        assert restored.query("f") >= 1
+        assert restored.true_count("a") == 1
+
+    def test_restore_rejects_torn_checkpoint(self, tmp_path):
+        window = SlidingWindowSBF(3, 128, 4, seed=1)
+        window.extend(["x", "y"])
+        path = window.checkpoint(str(tmp_path))
+        data = open(path, "rb").read()
+        torn_write(path, data, len(data) // 2)
+        with pytest.raises(WireFormatError):
+            SlidingWindowSBF.restore(str(tmp_path))
+
+    def test_restore_rejects_inconsistent_buffer(self, tmp_path):
+        window = SlidingWindowSBF(3, 128, 4, seed=1)
+        window.extend(["x", "y"])
+        from repro.core.serialize import dump_sbf
+        frame = seal_frame(b"RSW1", {"window": 3, "method": "rm",
+                                     "buffer": ["x", "y", "z"]},
+                           dump_sbf(window.sbf))
+        atomic_write_bytes(str(tmp_path / "window.ckpt"), frame)
+        with pytest.raises(ValueError):
+            SlidingWindowSBF.restore(str(tmp_path))
+
+    def test_crash_mid_checkpoint_keeps_previous_checkpoint(self, tmp_path):
+        window = SlidingWindowSBF(4, 128, 4, seed=2)
+        window.extend(["a", "b"])
+        window.checkpoint(str(tmp_path))
+        window.extend(["c", "d"])
+        io = CrashIO(crash_before_replace=1)
+        with pytest.raises(SimulatedCrash):
+            window.checkpoint(str(tmp_path), io=io)
+        restored = SlidingWindowSBF.restore(str(tmp_path))
+        assert list(restored._buffer) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# app wiring: summary cache warm restarts
+# ----------------------------------------------------------------------
+class TestSummaryPersistence:
+    def _mesh(self, root):
+        return build_mesh(["p1", "p2", "p3"], m=512, k=3, spectral=True,
+                          summary_root=root)
+
+    def test_summaries_survive_restart(self, tmp_path):
+        mesh = self._mesh(str(tmp_path))
+        mesh[0].store("obj-x")
+        mesh[0].store("obj-x")
+        mesh[1].store("obj-y")
+        for proxy in mesh:
+            proxy.publish()
+        assert mesh[2].lookup("obj-x")[0] == "p1"
+
+        # Restart: fresh proxies, same directories, no publishes yet.
+        reborn = self._mesh(str(tmp_path))
+        reborn[0].store("obj-x")
+        reborn[0].store("obj-x")
+        reborn[1].store("obj-y")
+        assert sorted(reborn[2].summaries_recovered) == ["p1", "p2"]
+        assert reborn[2].lookup("obj-x")[0] == "p1"
+        assert reborn[2].summaries_rejected == 0
+
+    def test_corrupt_persisted_summary_is_rejected_not_trusted(
+            self, tmp_path):
+        mesh = self._mesh(str(tmp_path))
+        mesh[0].store("obj-x")
+        for proxy in mesh:
+            proxy.publish()
+        victim = str(tmp_path / "p3" / "p1.summary")
+        flip_bit(victim, 64)
+        reborn = self._mesh(str(tmp_path))
+        assert "p1" not in reborn[2].peer_summaries
+        assert reborn[2].summaries_rejected >= 1
+
+    def test_memory_only_by_default(self, tmp_path):
+        mesh = build_mesh(["a", "b"], m=256, k=3)
+        mesh[0].store("o")
+        for proxy in mesh:
+            proxy.publish()
+        assert mesh[1].peer_summaries  # works without any directory
