@@ -97,11 +97,24 @@ class SlidingWindowSBF:
         travel in a single checksummed frame written via the persist
         layer's write-temp → fsync → rename dance: a crash mid-checkpoint
         leaves the previous checkpoint untouched.  Buffer items must be
-        JSON scalars, the persistence layer's key discipline.
+        JSON scalars, the persistence layer's key discipline — enforced
+        here with the WAL's own whitelist, because a non-scalar item
+        (e.g. a tuple) would serialize to a JSON list, restore without
+        error, and only blow up later when the window evicts it.
 
         Returns the checkpoint path.
+
+        Raises:
+            TypeError: if any buffered item is not a JSON scalar.
         """
         from repro.persist.snapshot import atomic_write_bytes
+        from repro.persist.wal import SCALAR_KEY_TYPES
+        for item in self._buffer:
+            if not isinstance(item, SCALAR_KEY_TYPES):
+                raise TypeError(
+                    f"window checkpoint items must be JSON scalars "
+                    f"(str/int/float/bool/None), got "
+                    f"{type(item).__name__}: {item!r}")
         meta = {
             "window": self.window,
             "method": self.sbf.method.name,

@@ -18,10 +18,18 @@ filter servable from many threads:
   instead of blocking forever, so a stuck peer degrades into a visible,
   retryable error rather than a deadlocked process.
 
-Striping is only sound for Minimum Selection, whose per-counter updates
-are independent; methods with cross-counter logic (MI reads all minima
-before writing; RM maintains a secondary filter) degrade to a single
-stripe, i.e. one big lock — correct first, parallel where proven.
+Striping is only sound for Minimum Selection over the plain array
+backend, where a counter update touches that counter's word and nothing
+else.  Everything else degrades to a single stripe, i.e. one big lock —
+correct first, parallel where proven:
+
+- methods with cross-counter logic (MI reads all minima before writing;
+  RM maintains a secondary filter) couple counters across stripes; and
+- compact backends mutate shared structure on *any* write: a
+  String-Array Index expansion shifts neighbouring fields (and can
+  rebuild the whole index), and a coded-stream update re-encodes a chunk
+  holding other counters — so two threads holding disjoint stripes could
+  still corrupt counters neither of them locked.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from typing import Sequence
 
 from repro.core.sbf import SpectralBloomFilter
 from repro.persist.durable import DurableSBF
+from repro.storage.backends import ArrayBackend
 
 
 class LockTimeout(TimeoutError):
@@ -46,8 +55,10 @@ class ConcurrentSBF:
         filter: the filter to serve — a plain ``SpectralBloomFilter`` or a
             ``DurableSBF`` (mutations then go through its write-ahead
             log, whose own lock linearises record order).
-        stripes: number of lock stripes (>= 1).  Forced to 1 for methods
-            other than Minimum Selection (see module docstring).
+        stripes: number of lock stripes (>= 1).  Forced to 1 unless the
+            filter is Minimum Selection over the array backend (see
+            module docstring — other method/backend combinations couple
+            counters across stripe boundaries).
         timeout: default bound, in seconds, on any lock wait.
     """
 
@@ -60,7 +71,8 @@ class ConcurrentSBF:
         self._handle = filter
         self._sbf: SpectralBloomFilter = (
             filter.sbf if isinstance(filter, DurableSBF) else filter)
-        if self._sbf.method.name != "ms":
+        if self._sbf.method.name != "ms" \
+                or not isinstance(self._sbf.counters, ArrayBackend):
             stripes = 1
         self.stripes = stripes
         self.timeout = float(timeout)

@@ -18,6 +18,7 @@ silent media corruption after the write).
 
 from __future__ import annotations
 
+import os.path
 import re
 import struct
 
@@ -45,7 +46,9 @@ def atomic_write_bytes(path: str, data: bytes, *,
 
     The building block shared by the snapshot store and the app-layer
     checkpoints (sliding window, summary cache): readers never observe a
-    half-written *path*.
+    half-written *path*.  The directory is fsynced after the rename so
+    the new entry itself survives power loss — without it a checkpoint
+    could silently roll back to the previous version.
     """
     io = io or FileIO()
     tmp = path + ".tmp"
@@ -53,6 +56,7 @@ def atomic_write_bytes(path: str, data: bytes, *,
         handle.write(data)
         io.fsync(handle)
     io.replace(tmp, path)
+    io.fsync_dir(os.path.dirname(path) or ".")
 
 
 def read_frame_file(path: str, magic: bytes, *,
@@ -124,18 +128,42 @@ class SnapshotStore:
             self.io.fsync(handle)
         self.io.replace(tmp, self._path(name))
         self.io.fsync_dir(self.directory)
-        self._prune(keep_from=generation)
+        self._prune()
         return self._path(name)
 
-    def _prune(self, keep_from: int) -> None:
-        """Drop generations older than the retained window."""
+    def _frame_ok(self, name: str, gen: int, seq: int) -> bool:
+        """Cheap validity probe for pruning: the frame checksum and header
+        must pass the same checks :meth:`load_latest` applies, minus
+        actually rebuilding the filter."""
+        try:
+            with self.io.open(self._path(name), "rb") as handle:
+                data = handle.read()
+            meta, payload = open_frame(data, _MAGIC)
+        except (OSError, WireFormatError):
+            return False
+        return (meta.get("generation") == gen and meta.get("seq") == seq
+                and len(payload) >= 8
+                and struct.unpack_from("<Q", payload)[0] == seq)
+
+    def _prune(self) -> None:
+        """Drop generations older than the newest ``retain`` *valid* ones.
+
+        Corrupt files never count toward the retained window: with
+        generations [good, corrupt], saving a new snapshot must keep the
+        older good generation — it is the fallback that
+        :meth:`load_latest`'s generation walk depends on.  If fewer than
+        ``retain`` valid generations exist, nothing is deleted.
+        """
         survivors = self.generations()
-        excess = len(survivors) - self.retain
-        for gen, _seq, name in survivors:
-            if excess <= 0 or gen >= keep_from:
-                break
-            self.io.remove(self._path(name))
-            excess -= 1
+        kept = 0
+        for idx in range(len(survivors) - 1, -1, -1):
+            gen, seq, name = survivors[idx]
+            if self._frame_ok(name, gen, seq):
+                kept += 1
+                if kept == self.retain:
+                    for _gen, _seq, old_name in survivors[:idx]:
+                        self.io.remove(self._path(old_name))
+                    return
 
     # -- reading -------------------------------------------------------
     def _decode(self, name: str, gen: int, seq: int) -> SpectralBloomFilter:

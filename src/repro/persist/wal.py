@@ -36,6 +36,7 @@ non-round-tripping key poison replay.
 from __future__ import annotations
 
 import json
+import os.path
 import struct
 import threading
 import zlib
@@ -57,7 +58,9 @@ _CRC = struct.Struct("<I")
 #: bytes of a record that are not body: seq(8) + op(1) + crc(4)
 _OVERHEAD = _SEQ_OP.size + _CRC.size
 
-_SCALAR_TYPES = (str, int, float, bool, type(None))
+#: key types that round-trip through JSON bodies unchanged; shared with
+#: the app-layer checkpoints (e.g. the sliding window's buffer items)
+SCALAR_KEY_TYPES = (str, int, float, bool, type(None))
 
 
 class WALError(ValueError):
@@ -216,6 +219,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._since_sync = 0
         self.appends = 0
+        existed = self.io.exists(self.path)
         _, scan = replay(self.path, io=self.io)
         if scan.reason is not None or (
                 self.io.exists(self.path)
@@ -230,6 +234,11 @@ class WriteAheadLog:
             seq = next_seq
         self.next_seq = seq
         self._file = self.io.open(self.path, "ab")
+        if not existed:
+            # A freshly created file is only durable once its directory
+            # entry is — otherwise a power cut can drop the whole file,
+            # losing appends already acknowledged under fsync="always".
+            self.io.fsync_dir(os.path.dirname(self.path) or ".")
 
     @staticmethod
     def _parse_policy(fsync: object) -> int:
@@ -247,7 +256,7 @@ class WriteAheadLog:
 
     # -- appending -------------------------------------------------------
     def _append(self, op: int, key: object, count: int) -> int:
-        if not isinstance(key, _SCALAR_TYPES):
+        if not isinstance(key, SCALAR_KEY_TYPES):
             raise TypeError(
                 f"WAL keys must be JSON scalars (str/int/float/bool/None), "
                 f"got {type(key).__name__}")

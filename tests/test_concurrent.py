@@ -206,6 +206,31 @@ class TestMethodDegradation:
         assert handle.total_count == THREADS * ROUNDS
         assert handle.check_integrity() == []
 
+    def test_compact_backends_serialise_on_one_stripe(self):
+        # A String-Array Index expansion shifts neighbouring fields (and
+        # can rebuild the whole index) and a coded-stream update
+        # re-encodes a chunk holding other counters, so two threads on
+        # disjoint stripes could corrupt counters neither locked —
+        # striping is unsafe for any non-array backend, even with MS.
+        for backend in ("compact", "stream"):
+            handle = ConcurrentSBF(
+                SpectralBloomFilter(256, 4, seed=9, backend=backend),
+                stripes=16)
+            assert handle.stripes == 1
+        # ... while MS over the array backend keeps its stripes.
+        assert ConcurrentSBF(SpectralBloomFilter(256, 4, seed=9),
+                             stripes=16).stripes == 16
+
+    def test_compact_backend_mixed_traffic_exact_final_state(self):
+        handle = ConcurrentSBF(
+            SpectralBloomFilter(1024, 4, seed=9, backend="compact"),
+            stripes=16, timeout=30.0)
+        _run_threads(_mixed_workload,
+                     lambda i, errors, barrier: (handle, i, errors, barrier))
+        assert handle.total_count == THREADS * ROUNDS
+        assert handle.lock_timeouts == 0
+        assert handle.check_integrity() == []
+
     def test_bad_construction_arguments(self):
         sbf = SpectralBloomFilter(64, 2, seed=0)
         with pytest.raises(ValueError):

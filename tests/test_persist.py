@@ -35,6 +35,18 @@ def factory():
     return SpectralBloomFilter(128, 4, seed=7)
 
 
+class RecordingIO(FileIO):
+    """A FileIO that records which directories were fsynced."""
+
+    def __init__(self):
+        super().__init__()
+        self.dir_fsyncs: list[str] = []
+
+    def fsync_dir(self, path: str) -> None:
+        self.dir_fsyncs.append(path)
+        super().fsync_dir(path)
+
+
 # ----------------------------------------------------------------------
 # write-ahead log
 # ----------------------------------------------------------------------
@@ -148,6 +160,19 @@ class TestWAL:
         assert io_ckpt.fsync_calls == 1
         wal.close()
 
+    def test_new_log_fsyncs_its_directory_entry(self, tmp_path):
+        # Without the directory fsync, a power cut can drop the freshly
+        # created file — losing appends acknowledged under fsync="always".
+        io = RecordingIO()
+        with WriteAheadLog(str(tmp_path / "wal.log"), io=io):
+            pass
+        assert io.dir_fsyncs == [str(tmp_path)]
+        # Reopening an existing log needs no new directory entry.
+        reopen_io = RecordingIO()
+        with WriteAheadLog(str(tmp_path / "wal.log"), io=reopen_io):
+            pass
+        assert reopen_io.dir_fsyncs == []
+
     def test_bad_policy_rejected(self, tmp_path):
         for bad in ("sometimes", 0, -2, True, 1.5):
             with pytest.raises(ValueError):
@@ -187,6 +212,31 @@ class TestSnapshots:
             store.save(sbf, seq=seq)
         gens = store.generations()
         assert [g for g, _, _ in gens] == [3, 4]
+
+    def test_prune_never_counts_corrupt_generations(self, tmp_path):
+        # With generations [1=good, 2=corrupt], saving generation 3 must
+        # not delete gen 1: it is the only decodable fallback, and the
+        # retain=2 window is "current plus fallback" in *valid* snapshots.
+        store = SnapshotStore(str(tmp_path), retain=2)
+        sbf = factory()
+        sbf.insert("a", 2)
+        store.save(sbf, seq=1)
+        path2 = store.save(sbf, seq=2)
+        flip_bit(path2, 200)
+        sbf.insert("b")
+        path3 = store.save(sbf, seq=3)
+        assert [g for g, _, _ in store.generations()] == [1, 2, 3]
+        # If gen 3 then rots too, recovery still reaches the good gen 1.
+        flip_bit(path3, 200)
+        loaded, seq, gen, rejected = store.load_latest()
+        assert (seq, gen) == (1, 1)
+        assert len(rejected) == 2
+        assert loaded.query("a") == 2
+
+    def test_atomic_write_fsyncs_directory_after_rename(self, tmp_path):
+        io = RecordingIO()
+        atomic_write_bytes(str(tmp_path / "state.bin"), b"payload", io=io)
+        assert io.dir_fsyncs == [str(tmp_path)]
 
     def test_corrupt_newest_falls_back_a_generation(self, tmp_path):
         store = SnapshotStore(str(tmp_path))
@@ -402,6 +452,16 @@ class TestDurableSlidingWindow:
         assert evicted == "a"  # the oldest buffered item, restored in order
         assert restored.query("f") >= 1
         assert restored.true_count("a") == 1
+
+    def test_checkpoint_rejects_non_scalar_buffer_items(self, tmp_path):
+        # A tuple is hashable (the window accepts it) but serializes to a
+        # JSON list, so a checkpoint would restore into a window that
+        # later crashes at eviction — reject it before writing the frame.
+        window = SlidingWindowSBF(4, 128, 4)
+        window.push(("a", 1))
+        with pytest.raises(TypeError, match="JSON scalars"):
+            window.checkpoint(str(tmp_path))
+        assert list(tmp_path.iterdir()) == []
 
     def test_restore_rejects_torn_checkpoint(self, tmp_path):
         window = SlidingWindowSBF(3, 128, 4, seed=1)
