@@ -1,12 +1,18 @@
 """Standalone experiment driver: regenerate every table and figure.
 
 Usage:
-    python benchmarks/run_all.py [pattern ...]
+    python benchmarks/run_all.py [pattern ...] [--only SUBSTRING]
+                                 [--json-out PATH]
 
 Runs the experiment body of each ``bench_*.py`` module directly (without
 pytest's benchmark machinery), writes the rendered tables to
-``benchmarks/results/`` and prints them.  Optional patterns filter by
-substring, e.g. ``python benchmarks/run_all.py fig06 table1``.
+``benchmarks/results/`` and prints them.  Positional patterns and
+``--only`` both filter by filename substring, e.g.
+``python benchmarks/run_all.py fig06 table1`` or
+``python benchmarks/run_all.py --only serving``.  With ``--json-out`` the
+raw result of every entry point (keyed ``module::entry``, plus elapsed
+seconds) is additionally dumped as one JSON document — the
+machine-readable artifact CI uploads.
 
 The pytest entry point (``pytest benchmarks/ --benchmark-only``) runs the
 same experiments *plus* the shape assertions and timing statistics; this
@@ -16,6 +22,7 @@ driver is the quick look-at-the-numbers path.
 from __future__ import annotations
 
 import importlib.util
+import json
 import os
 import sys
 import time
@@ -46,16 +53,40 @@ EXPERIMENTS: dict[str, list[str]] = {
     "bench_fig14_sai_breakdown.py": ["run_figure14"],
     "bench_fig15_storage_vs_hashtable.py": ["run_figure15"],
     "bench_bloomjoin_traffic.py": ["run_traffic"],
+    "bench_serving_throughput.py": ["run_serving_throughput"],
     "bench_ablations.py": ["run_rm_variants", "run_hash_families",
                            "run_blocked_hashing", "run_storage_reduction",
                            "run_mi_vs_conservative_cm"],
 }
 
 
+def _parse_args(argv: list[str]) -> tuple[list[str], str | None]:
+    """Split *argv* into filename patterns and an optional JSON path."""
+    patterns: list[str] = []
+    json_out: str | None = None
+    it = iter(argv)
+    for arg in it:
+        if arg in ("--only", "--json-out"):
+            value = next(it, None)
+            if value is None:
+                raise SystemExit(f"{arg} needs a value")
+            if arg == "--only":
+                patterns.append(value)
+            else:
+                json_out = value
+        elif arg.startswith("-"):
+            raise SystemExit(f"unknown flag {arg!r} "
+                             "(use --only SUBSTRING / --json-out PATH)")
+        else:
+            patterns.append(arg)
+    return patterns, json_out
+
+
 def main(argv: list[str]) -> int:
     here = os.path.dirname(os.path.abspath(__file__))
-    patterns = [arg for arg in argv if not arg.startswith("-")]
+    patterns, json_out = _parse_args(argv)
     total = 0
+    collected: dict[str, dict] = {}
     for filename, entry_points in EXPERIMENTS.items():
         if patterns and not any(p in filename for p in patterns):
             continue
@@ -70,6 +101,15 @@ def main(argv: list[str]) -> int:
             print(f"== {filename}::{entry}  ({elapsed:.1f}s)")
             _print_result(result)
             print()
+            collected[f"{filename}::{entry}"] = {
+                "elapsed_s": round(elapsed, 3),
+                "result": result,
+            }
+    if json_out is not None:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(collected, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"wrote {json_out}")
     print(f"{total} experiments run; tables in benchmarks/results/")
     return 0
 

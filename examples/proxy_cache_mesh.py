@@ -15,6 +15,7 @@ import random
 from repro.apps.summary_cache import build_mesh
 from repro.data.zipf import ZipfDistribution
 from repro.db.site import Network
+from repro.serve.metrics import ChannelStats, MetricsRegistry
 
 
 def main() -> None:
@@ -69,7 +70,23 @@ def main() -> None:
     print("spectral summaries carry reference counts:")
     print(f"  {popular} is cached at s2 (1 ref) and s3 (25 refs)")
     print(f"  s1 routes the request to: {source}  "
-          f"(plain Bloom summaries cannot make this distinction)")
+          f"(plain Bloom summaries cannot make this distinction)\n")
+
+    # Transport health, scraped without touching private attributes: every
+    # proxy channel's ChannelStats attaches to one metrics registry, and
+    # the fleet total is a plain merge of as_dict()-able stats objects.
+    registry = MetricsRegistry()
+    fleet = ChannelStats()
+    for proxy in list(proxies) + list(spectral):
+        for peer, stats in proxy.channel_stats().items():
+            registry.attach_channel(f"{proxy.name}->{peer}", stats)
+            fleet.merge(stats)
+    channels = registry.snapshot()["channels"]
+    print(f"mesh transport health ({len(channels)} channels):")
+    totals = fleet.as_dict()
+    print(f"  frames attempted: {totals['attempts']}, "
+          f"delivered: {totals['delivered']}, "
+          f"retries: {totals['retries']}, gave up: {totals['gave_up']}")
 
 
 if __name__ == "__main__":

@@ -166,6 +166,51 @@ def open_frame(data: bytes, magic: bytes) -> tuple[dict, bytes]:
     return _read_header(data, magic, b"\x00\x00\x00\x00")
 
 
+def seal_sections(magic: bytes, meta: dict,
+                  sections: list[bytes]) -> bytes:
+    """Seal a frame whose payload is a list of variable-length sections.
+
+    The section lengths are recorded in the header (field ``"sections"``),
+    so :func:`open_sections` can split the payload back without any
+    in-band delimiters.  Used by composite frames that embed other frames
+    — e.g. the serving layer's shard manifest, whose sections are
+    themselves :func:`dump_sbf` frames.  *meta* must not already carry a
+    ``"sections"`` field.
+    """
+    if "sections" in meta:
+        raise ValueError("meta must not define 'sections'; it is reserved "
+                         "for the section-length table")
+    meta = dict(meta, sections=[len(s) for s in sections])
+    return seal_frame(magic, meta, b"".join(bytes(s) for s in sections))
+
+
+def open_sections(data: bytes, magic: bytes) -> tuple[dict, list[bytes]]:
+    """Open a frame sealed by :func:`seal_sections`; return (meta, sections).
+
+    Raises:
+        WireFormatError: on any truncation, corruption, magic mismatch, or
+            a section table inconsistent with the payload size.
+    """
+    meta, payload = open_frame(data, magic)
+    _check("sections" in meta, "header is missing required field 'sections'")
+    table = meta["sections"]
+    _check(isinstance(table, list), f"'sections' must be a list, got "
+                                    f"{table!r}")
+    for length in table:
+        _check(isinstance(length, int) and not isinstance(length, bool)
+               and length >= 0,
+               f"section lengths must be non-negative integers, "
+               f"got {length!r}")
+    _check(sum(table) == len(payload),
+           f"section lengths {table} sum to {sum(table)} but the payload "
+           f"is {len(payload)} bytes")
+    sections, cursor = [], 0
+    for length in table:
+        sections.append(payload[cursor:cursor + length])
+        cursor += length
+    return meta, sections
+
+
 def _family_name(family) -> str:
     try:
         return _FAMILY_NAMES[type(family)]

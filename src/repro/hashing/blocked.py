@@ -63,6 +63,17 @@ class BlockedHashFamily(HashFamily):
         start, width = self._block_span(block)
         return tuple(start + (i % width) for i in self._inner.indices(key))
 
+    def block_of(self, key: object) -> int:
+        """The block owning *key* — every probe of *key* lands inside it.
+
+        This makes the block the natural sharding unit: a fleet that
+        routes keys by ``block_of(key) % n_shards`` partitions the
+        *counter space* along with the keyspace, so per-shard counters are
+        exactly the slices of the one big filter (see
+        :mod:`repro.serve.router`).
+        """
+        return self._selector.indices(key)[0]
+
     def blocks_touched(self, key: object) -> int:
         """Blocks a lookup for *key* reads — always 1 by construction."""
         return 1

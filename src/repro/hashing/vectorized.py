@@ -75,10 +75,22 @@ def canonical_keys_array(keys: np.ndarray) -> np.ndarray:
 def indices_matrix(family: HashFamily, keys: np.ndarray) -> np.ndarray:
     """``(n, k)`` counter positions for an integer key array.
 
-    Supports :class:`ModuloMultiplyFamily` and
-    :class:`MultiplyShiftFamily`; other families raise ``TypeError`` (use
-    the scalar path for them).
+    Supports :class:`ModuloMultiplyFamily`, :class:`MultiplyShiftFamily`,
+    and :class:`~repro.hashing.blocked.BlockedHashFamily` (whose selector
+    and inner families are both multiply-shift); other families raise
+    ``TypeError`` (use the scalar path for them).
     """
+    from repro.hashing.blocked import BlockedHashFamily
+
+    if isinstance(family, BlockedHashFamily):
+        # Two vectorised passes mirror the scalar two-level scheme
+        # exactly: block selection, then within-block probes.
+        blocks = indices_matrix(family._selector, keys)[:, 0]
+        start = blocks * family.m // family.n_blocks
+        end = (blocks + 1) * family.m // family.n_blocks
+        width = np.maximum(1, end - start)
+        inner = indices_matrix(family._inner, keys)
+        return (start[:, None] + inner % width[:, None]).astype(np.int64)
     hashed = canonical_keys_array(keys)
     m = family.m
     out = np.empty((len(hashed), family.k), dtype=np.int64)

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.core.sbf import SpectralBloomFilter
 from repro.persist.durable import DurableSBF
@@ -205,7 +206,49 @@ class ConcurrentSBF:
         with self._count_lock:
             return self._sbf.total_count
 
+    @property
+    def raw(self) -> SpectralBloomFilter | DurableSBF:
+        """The wrapped handle (unlocked — combine with :meth:`exclusive`)."""
+        return self._handle
+
+    @property
+    def sbf(self) -> SpectralBloomFilter:
+        """The underlying in-memory filter (unlocked — see :meth:`exclusive`)."""
+        return self._sbf
+
+    def add_operations(self, n: int) -> None:
+        """Credit *n* externally-applied operations to the ops counter.
+
+        Batch executors apply many operations under one :meth:`exclusive`
+        section; this keeps :attr:`operations` honest for them.
+        """
+        with self._count_lock:
+            self.operations += n
+
     # -- whole-filter moments ----------------------------------------------
+    @contextmanager
+    def exclusive(self, timeout: float | None = None,
+                  ) -> Iterator[SpectralBloomFilter | DurableSBF]:
+        """Freeze the filter and yield the wrapped handle.
+
+        Takes the writer lock plus every stripe (bounded by *timeout*), so
+        the caller sees — and may mutate — a consistent cut with no other
+        thread in flight.  This is the one-lock-acquisition-per-batch
+        primitive used by the serving layer's batch executor and by
+        snapshot-consistent resharding: while the section is open the
+        caller operates on the raw :class:`SpectralBloomFilter` /
+        :class:`DurableSBF` directly, paying the locking cost once instead
+        of once per operation.
+
+        Raises:
+            LockTimeout: if the locks cannot all be had within *timeout*.
+        """
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            yield self._handle
+        finally:
+            self._release(taken)
+
     def checkpoint(self, *, timeout: float | None = None):
         """Freeze a consistent cut and checkpoint it.
 

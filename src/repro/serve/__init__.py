@@ -1,0 +1,67 @@
+"""The serving engine: sharded filters behind one admission-controlled door.
+
+Turns the durable, concurrency-safe filters of :mod:`repro.persist` and
+the reliable transport of :mod:`repro.db` into a request-serving system:
+
+- :mod:`repro.serve.router` — :class:`ShardedSBF`, hash-partitioned
+  shards with deterministic assignment, per-shard error accounting,
+  snapshot-consistent union-based resharding, and a wire manifest;
+- :mod:`repro.serve.batch` — :class:`ShardBatcher`, one lock acquisition
+  per shard per batch plus vectorised multi-query/multi-insert paths;
+- :mod:`repro.serve.engine` — :class:`ServingEngine`, bounded queues,
+  typed :class:`Overloaded` admission control with pluggable shedding
+  policies, and graceful drain/close that checkpoints durable shards;
+- :mod:`repro.serve.metrics` — :class:`MetricsRegistry`, the one scrape
+  surface (counters/gauges/latency buckets + attached
+  :class:`~repro.db.transport.ChannelStats`);
+- :mod:`repro.serve.remote` — :class:`RemoteShard` / :class:`ShardServer`,
+  a shard served over :class:`~repro.db.transport.ReliableChannel` frames
+  with :class:`~repro.db.transport.DeliveryFailed` degradation.
+"""
+
+from repro.serve.batch import ShardBatcher
+from repro.serve.engine import (
+    ACCEPT,
+    REJECT,
+    SHED_OLDEST,
+    Overloaded,
+    ServingEngine,
+    reject_new,
+    run_requests,
+    shed_oldest,
+)
+from repro.serve.metrics import (
+    ChannelStats,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.remote import (
+    RemoteShard,
+    RemoteShardError,
+    ShardServer,
+)
+from repro.serve.router import MANIFEST_MAGIC, ShardedSBF
+
+__all__ = [
+    "ShardBatcher",
+    "ACCEPT",
+    "REJECT",
+    "SHED_OLDEST",
+    "Overloaded",
+    "ServingEngine",
+    "reject_new",
+    "run_requests",
+    "shed_oldest",
+    "ChannelStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RemoteShard",
+    "RemoteShardError",
+    "ShardServer",
+    "MANIFEST_MAGIC",
+    "ShardedSBF",
+]

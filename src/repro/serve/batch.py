@@ -1,0 +1,248 @@
+"""Request batching: one lock acquisition per shard per batch.
+
+The naive serving path pays, per operation, a canonical-key hash, a
+striped-lock acquire/release, ``k`` Python-level hash evaluations, and a
+metrics update.  Under a query stream those fixed costs dominate the
+actual counter work.  :class:`ShardBatcher` amortises them:
+
+- **coalescing** — a batch of point operations is grouped by owner shard;
+  each shard's group runs inside a single
+  :meth:`~repro.persist.ConcurrentSBF.exclusive` section, so the locking
+  cost is paid once per shard per batch instead of once per operation;
+- **vectorised multi-query / multi-insert** — for Minimum Selection over
+  the array backend with a vectorisable hash family, integer-keyed
+  batches go through :func:`repro.hashing.vectorized.indices_matrix`: one
+  numpy pass computes every key's ``k`` counter positions, and the
+  estimates (or increments) come from array gathers (scatters) instead of
+  per-key Python loops.  Anything else falls back to the per-key path —
+  same results, less speed (the equivalence the tests pin down);
+- **isolation of failures** — a failing operation (e.g. a delete that
+  would drive a counter negative, or a remote shard whose channel gave
+  up) is captured *in its result slot* as the exception instance; the
+  rest of the batch still executes.  The engine maps these onto the
+  per-request futures.
+
+Results are always returned in submission order, regardless of how the
+batch was partitioned across shards.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.methods import MinimumSelection
+from repro.hashing.blocked import BlockedHashFamily
+from repro.hashing.families import ModuloMultiplyFamily, MultiplyShiftFamily
+from repro.hashing.vectorized import indices_matrix
+from repro.persist.durable import DurableSBF
+from repro.serve.metrics import MetricsRegistry
+from repro.storage.backends import ArrayBackend
+
+#: operation verbs accepted by :meth:`ShardBatcher.execute`
+VERBS = frozenset({"insert", "delete", "set", "query", "contains"})
+
+#: keys eligible for the vectorised path: machine-word unsigned ints
+#: (canonical_key treats plain ints as 64-bit words; bools hash the same
+#: but are excluded to keep the eligibility check trivial)
+_VECTOR_KEY_MAX = (1 << 63) - 1
+
+
+def _vectorizable(sbf) -> bool:
+    """True when *sbf* supports the numpy path (MS + array + mul family)."""
+    return (isinstance(sbf.method, MinimumSelection)
+            and isinstance(sbf.counters, ArrayBackend)
+            and isinstance(sbf.family,
+                           (ModuloMultiplyFamily, MultiplyShiftFamily,
+                            BlockedHashFamily)))
+
+
+def _int_keys(keys: Sequence[object]) -> bool:
+    return all(type(key) is int and 0 <= key <= _VECTOR_KEY_MAX
+               for key in keys)
+
+
+class ShardBatcher:
+    """Batch executor over a :class:`~repro.serve.router.ShardedSBF`.
+
+    Args:
+        router: the sharded fleet to execute against.
+        metrics: registry to report through (defaults to the router's).
+    """
+
+    def __init__(self, router, *,
+                 metrics: MetricsRegistry | None = None):
+        self.router = router
+        self.metrics = metrics or router.metrics
+
+    # -- generic mixed batches --------------------------------------------
+    def execute(self, ops: Sequence[tuple], *,
+                timeout: float | None = None) -> list:
+        """Run a batch of point operations; results in submission order.
+
+        Each op is a tuple ``(verb, key[, count_or_threshold])`` with verb
+        one of ``insert`` / ``delete`` / ``set`` / ``query`` /
+        ``contains``.  Query-family ops produce their value in the result
+        slot, mutations produce ``None``, and a failing op produces its
+        exception *instance* (the batch continues — callers decide whether
+        a slot failed with ``isinstance(result, Exception)``).
+        """
+        results: list = [None] * len(ops)
+        for idx, op in enumerate(ops):
+            if not op or op[0] not in VERBS:
+                raise ValueError(f"op {idx} must start with one of "
+                                 f"{sorted(VERBS)}, got {op!r}")
+        by_shard: dict[int, list[int]] = {}
+        owners = self.router.shard_of_many([op[1] for op in ops])
+        for idx, owner in enumerate(owners):
+            by_shard.setdefault(owner, []).append(idx)
+        for shard_id in sorted(by_shard):
+            group = by_shard[shard_id]
+            shard = self.router.shards[shard_id]
+            with shard.exclusive(timeout) as raw:
+                for idx in group:
+                    try:
+                        results[idx] = _apply(raw, ops[idx])
+                    except Exception as exc:
+                        results[idx] = exc
+            if hasattr(shard, "add_operations"):
+                shard.add_operations(len(group))
+            self.router.note_shard_ops(shard_id, len(group))
+        self.metrics.counter("batch.ops").inc(len(ops))
+        self.metrics.counter("batch.shard_batches").inc(len(by_shard))
+        self.metrics.histogram("batch.size", (1, 4, 16, 64, 256, 1024)
+                               ).observe(len(ops))
+        return results
+
+    # -- vectorised homogeneous batches -----------------------------------
+    def query_many(self, keys: Sequence[object], *,
+                   timeout: float | None = None) -> list[int]:
+        """Frequency estimates for *keys*, in order (vectorised when
+        possible, per-key otherwise — identical results either way)."""
+        results: list = [0] * len(keys)
+        for shard_id, shard, indices in self._grouped(keys):
+            with shard.exclusive(timeout) as raw:
+                sbf = getattr(shard, "sbf", None)
+                group_keys = [keys[i] for i in indices]
+                if sbf is not None and _vectorizable(sbf) \
+                        and _int_keys(group_keys):
+                    matrix = indices_matrix(
+                        sbf.family, np.asarray(group_keys, dtype=np.uint64))
+                    estimates = _gather_min(sbf.counters._counts, matrix)
+                    for slot, estimate in zip(indices, estimates):
+                        results[slot] = int(estimate)
+                    self.metrics.counter("batch.vectorized").inc(
+                        len(group_keys))
+                else:
+                    handle = raw if sbf is None else sbf
+                    for slot, key in zip(indices, group_keys):
+                        results[slot] = handle.query(key)
+            self._account(shard, shard_id, len(indices))
+        self.metrics.counter("batch.ops").inc(len(keys))
+        return results
+
+    def insert_many(self, keys: Sequence[object], *,
+                    timeout: float | None = None) -> None:
+        """Insert every key once (vectorised scatter when possible).
+
+        Durable shards always take the per-key path — each mutation must
+        reach the write-ahead log individually, or recovery could not
+        reconstruct the acknowledged batch.
+        """
+        for shard_id, shard, indices in self._grouped(keys):
+            with shard.exclusive(timeout) as raw:
+                sbf = getattr(shard, "sbf", None)
+                group_keys = [keys[i] for i in indices]
+                if sbf is not None and not isinstance(raw, DurableSBF) \
+                        and _vectorizable(sbf) and _int_keys(group_keys):
+                    matrix = indices_matrix(
+                        sbf.family, np.asarray(group_keys, dtype=np.uint64))
+                    store = sbf.counters._counts
+                    deltas = np.zeros(sbf.m, dtype=np.int64)
+                    np.add.at(deltas, matrix.ravel(), 1)
+                    for i in np.nonzero(deltas)[0]:
+                        store[i] += int(deltas[i])
+                    sbf.total_count += len(group_keys)
+                    self.metrics.counter("batch.vectorized").inc(
+                        len(group_keys))
+                else:
+                    for key in group_keys:
+                        raw.insert(key, 1)
+            self._account(shard, shard_id, len(indices))
+        self.metrics.counter("batch.ops").inc(len(keys))
+
+    # -- plumbing ----------------------------------------------------------
+    def _grouped(self, keys: Sequence[object]):
+        by_shard: dict[int, list[int]] = {}
+        for idx, owner in enumerate(self.router.shard_of_many(keys)):
+            by_shard.setdefault(owner, []).append(idx)
+        self.metrics.counter("batch.shard_batches").inc(len(by_shard))
+        for shard_id in sorted(by_shard):
+            yield shard_id, self.router.shards[shard_id], by_shard[shard_id]
+
+    def _account(self, shard, shard_id: int, n: int) -> None:
+        if hasattr(shard, "add_operations"):
+            shard.add_operations(n)
+        self.router.note_shard_ops(shard_id, n)
+
+
+def _gather_min(store: list[int], matrix: np.ndarray) -> np.ndarray | list:
+    """Minimum counter per row of *matrix* over the array backend's store.
+
+    Two regimes: for large batches the O(m) conversion of the store into a
+    numpy array is amortised by pure-array gathers; for small batches a
+    per-row Python min over the list is cheaper than touching all ``m``
+    counters.
+    """
+    if matrix.size >= len(store) // 4:
+        return np.asarray(store)[matrix].min(axis=1)
+    return [min(store[i] for i in row) for row in matrix.tolist()]
+
+
+def _apply(raw, op: tuple):
+    """Apply one op tuple to an unlocked handle; returns the op's value."""
+    verb, key = op[0], op[1]
+    if verb == "insert":
+        raw.insert(key, op[2] if len(op) > 2 else 1)
+        return None
+    if verb == "delete":
+        count = op[2] if len(op) > 2 else 1
+        _check_deletable(raw, key, count)
+        raw.delete(key, count)
+        return None
+    if verb == "set":
+        if len(op) < 3:
+            raise ValueError(f"set op needs a count: {op!r}")
+        return _apply_set(raw, key, op[2])
+    if verb == "query":
+        return raw.query(key)
+    if verb == "contains":
+        return raw.contains(key, op[2] if len(op) > 2 else 1)
+    raise ValueError(f"unknown verb {verb!r}")  # pragma: no cover
+
+
+def _check_deletable(raw, key: object, count: int) -> None:
+    """Mirror ConcurrentSBF's guard: an in-memory MS/RM delete below zero
+    must fail cleanly *before* touching counters (DurableSBF checks this
+    itself before logging)."""
+    if isinstance(raw, DurableSBF) or not hasattr(raw, "method"):
+        return  # DurableSBF / remote shards run this guard themselves
+    if count > 0 and raw.method.name != "mi" \
+            and raw.min_counter(key) < count:
+        raise ValueError(
+            f"deleting {count} of {key!r} would drive a counter negative")
+
+
+def _apply_set(raw, key: object, count: int):
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(raw, DurableSBF) or hasattr(raw, "set"):
+        raw.set(key, count)
+        return None
+    current = raw.query(key)
+    if count > current:
+        raw.insert(key, count - current)
+    elif count < current:
+        raw.delete(key, current - count)
+    return None

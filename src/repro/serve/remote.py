@@ -1,0 +1,256 @@
+"""Serving a shard across the wire: request/response over ReliableChannel.
+
+A fleet need not be co-located: :class:`RemoteShard` is a drop-in shard
+adapter that forwards operations to a :class:`ShardServer` through the
+PR-1 transport stack — every request and response travels as a
+checksummed :func:`~repro.core.serialize.seal_frame` frame inside a
+:class:`~repro.db.transport.ReliableChannel` envelope, so dropped,
+duplicated, reordered, and bit-flipped frames are retried and detected
+exactly as filter summaries are.
+
+Degradation follows the existing contract: when either leg exhausts its
+retry budget, the channel's :class:`~repro.db.transport.DeliveryFailed`
+propagates out of the operation.  Inside a
+:class:`~repro.serve.engine.ServingEngine` that failure lands in the one
+affected request's future (the batcher isolates per-op failures), so an
+unreachable shard degrades that shard's keys — the rest of the fleet
+keeps serving.
+
+Keys must be JSON scalars (the WAL's :data:`~repro.persist.wal.SCALAR_KEY_TYPES`
+discipline — the request header is JSON, so richer keys would not
+round-trip faithfully).
+
+Both channels' :class:`~repro.db.transport.ChannelStats` are attached to
+the metrics registry, so transport health is visible in the same
+``snapshot()`` as serving throughput.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.serialize import WireFormatError, open_frame, seal_frame
+from repro.db.site import Network
+from repro.db.transport import ReliableChannel
+from repro.persist.wal import SCALAR_KEY_TYPES
+from repro.serve.metrics import MetricsRegistry
+
+#: remote-shard frame magics ("Repro Shard reQuest / resPonse v1")
+REQUEST_MAGIC = b"RSQ1"
+RESPONSE_MAGIC = b"RSP1"
+
+#: verbs a shard server answers
+_SERVER_VERBS = frozenset({"insert", "delete", "set", "query", "contains",
+                           "total_count", "params", "checkpoint"})
+
+
+class RemoteShardError(RuntimeError):
+    """The server reported a failure the client cannot type more precisely."""
+
+
+def _validate_request(payload: bytes) -> None:
+    open_frame(payload, REQUEST_MAGIC)
+
+
+def _validate_response(payload: bytes) -> None:
+    open_frame(payload, RESPONSE_MAGIC)
+
+
+class ShardServer:
+    """Server side: owns a shard handle and answers one request frame.
+
+    *handle* is any local serving handle — a
+    :class:`~repro.persist.ConcurrentSBF` (typical: it brings its own
+    locking) or a bare :class:`~repro.persist.DurableSBF` /
+    :class:`~repro.core.sbf.SpectralBloomFilter`.
+    """
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        """Execute one request frame; returns the response frame.
+
+        Server-side failures never crash the server: they come back as
+        ``ok=false`` responses carrying the exception kind and message, so
+        the client re-raises a faithful local exception.
+        """
+        try:
+            meta, _ = open_frame(frame, REQUEST_MAGIC)
+            result = self._dispatch(meta)
+        except Exception as exc:
+            self.requests_failed += 1
+            return seal_frame(RESPONSE_MAGIC,
+                              {"ok": False, "kind": type(exc).__name__,
+                               "error": str(exc)})
+        self.requests_served += 1
+        return seal_frame(RESPONSE_MAGIC, {"ok": True, "result": result})
+
+    def _dispatch(self, meta: dict):
+        op = meta.get("op")
+        if op not in _SERVER_VERBS:
+            raise WireFormatError(f"unknown remote-shard op {op!r}")
+        handle = self.handle
+        if op == "total_count":
+            return handle.total_count
+        if op == "params":
+            sbf = getattr(handle, "sbf", handle)
+            return {"m": sbf.m, "k": sbf.k, "seed": sbf.seed,
+                    "method": sbf.method.name}
+        if op == "checkpoint":
+            result = handle.checkpoint()
+            return result if isinstance(result, str) else None
+        key = meta.get("key")
+        if not isinstance(key, SCALAR_KEY_TYPES):
+            raise WireFormatError(
+                f"remote-shard keys must be JSON scalars, got "
+                f"{type(key).__name__}")
+        if op == "query":
+            return handle.query(key)
+        if op == "contains":
+            return handle.contains(key, int(meta.get("threshold", 1)))
+        count = meta.get("count", 1)
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise WireFormatError(f"count must be an integer, got {count!r}")
+        if op == "insert":
+            handle.insert(key, count)
+        elif op == "delete":
+            handle.delete(key, count)
+        else:  # set
+            _set_on(handle, key, count)
+        return None
+
+
+def _set_on(handle, key, count: int) -> None:
+    if hasattr(handle, "set"):
+        handle.set(key, count)
+        return
+    current = handle.query(key)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count > current:
+        handle.insert(key, count - current)
+    elif count < current:
+        handle.delete(key, current - count)
+
+
+class RemoteShard:
+    """Client side: the shard surface, served over two reliable channels.
+
+    Fits anywhere a local shard does — in a
+    :class:`~repro.serve.router.ShardedSBF` shard list, under the
+    batcher — with :meth:`exclusive` degenerating to a no-op (the server
+    side holds the real locks; remote ops are one round trip each).
+
+    Args:
+        server: the :class:`ShardServer` reachable through *network* (the
+            simulation keeps it in-process; the frames still cross the
+            faulty wire both ways).
+        network: transmission substrate, possibly a
+            :class:`~repro.db.faults.FaultyNetwork`.
+        client / server_name: endpoint names for traffic accounting.
+        channel_options: forwarded to both :class:`ReliableChannel` legs
+            (retry budget, backoff, jitter).
+        metrics: registry the channel stats are attached to.
+    """
+
+    def __init__(self, server: ShardServer, network: Network,
+                 client: str, server_name: str, *,
+                 channel_options: dict | None = None,
+                 metrics: MetricsRegistry | None = None):
+        options = dict(channel_options or {})
+        options.setdefault("seed", zlib.crc32(
+            f"{client}->{server_name}".encode("utf-8")))
+        self.server = server
+        self.client = client
+        self.server_name = server_name
+        self.requests = ReliableChannel(network, client, server_name,
+                                        validator=_validate_request,
+                                        **options)
+        options["seed"] = zlib.crc32(
+            f"{server_name}->{client}".encode("utf-8"))
+        self.responses = ReliableChannel(network, server_name, client,
+                                         validator=_validate_response,
+                                         **options)
+        self.metrics = metrics or MetricsRegistry()
+        self.metrics.attach_channel(f"remote.{server_name}.requests",
+                                    self.requests.stats)
+        self.metrics.attach_channel(f"remote.{server_name}.responses",
+                                    self.responses.stats)
+
+    # -- the wire ----------------------------------------------------------
+    def _call(self, op: str, **fields):
+        """One request/response round trip.
+
+        Raises:
+            DeliveryFailed: a leg exhausted its retry budget — the caller
+                (router/batcher/engine) degrades per the PR-1 contract.
+            ValueError: the server rejected the operation (re-raised with
+                its original type where the client can reconstruct it).
+        """
+        frame = seal_frame(REQUEST_MAGIC, {"op": op, **fields})
+        delivered = self.requests.send(f"shard-{op}", frame)
+        response = self.server.handle_frame(delivered)
+        answer = self.responses.send(f"shard-{op}-reply", response)
+        meta, _ = open_frame(answer, RESPONSE_MAGIC)
+        if meta.get("ok"):
+            return meta.get("result")
+        kind, error = meta.get("kind"), meta.get("error", "remote failure")
+        if kind in ("ValueError", "WireFormatError"):
+            raise ValueError(f"{self.server_name}: {error}")
+        if kind == "LockTimeout":
+            from repro.persist import LockTimeout
+            raise LockTimeout(f"{self.server_name}: {error}")
+        raise RemoteShardError(f"{self.server_name}: {kind}: {error}")
+
+    @staticmethod
+    def _scalar(key: object) -> object:
+        if not isinstance(key, SCALAR_KEY_TYPES):
+            raise TypeError(
+                f"remote-shard keys must be JSON scalars "
+                f"(str/int/float/bool/None), got {type(key).__name__}")
+        return key
+
+    # -- the shard surface -------------------------------------------------
+    def insert(self, key: object, count: int = 1) -> None:
+        self._call("insert", key=self._scalar(key), count=count)
+
+    def delete(self, key: object, count: int = 1) -> None:
+        self._call("delete", key=self._scalar(key), count=count)
+
+    def set(self, key: object, count: int) -> None:
+        self._call("set", key=self._scalar(key), count=count)
+
+    def query(self, key: object) -> int:
+        return self._call("query", key=self._scalar(key))
+
+    def contains(self, key: object, threshold: int = 1) -> bool:
+        return bool(self._call("contains", key=self._scalar(key),
+                               threshold=threshold))
+
+    @property
+    def total_count(self) -> int:
+        return self._call("total_count")
+
+    def params(self) -> dict:
+        """The remote filter's (m, k, seed, method) — compatibility info."""
+        return self._call("params")
+
+    def checkpoint(self):
+        return self._call("checkpoint")
+
+    @contextmanager
+    def exclusive(self, timeout: float | None = None) -> Iterator["RemoteShard"]:
+        """Batching hook: yields self — remote ops are each one round
+        trip, serialised server-side, so there is nothing to hold here."""
+        yield self
+
+    def add_operations(self, n: int) -> None:
+        """Batching hook: server-side accounting happens per request."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteShard({self.client!r} -> {self.server_name!r})"

@@ -1,0 +1,386 @@
+"""Hash-partitioned shard routing for spectral filters (Bloofi's lesson).
+
+Scaling Bloom-filter serving past one filter is a routing problem in its
+own right (Crainiceanu & Lemire's *Bloofi* solves it with a filter tree).
+For spectral filters we use the flat variant production key-value systems
+converged on: **hash partitioning with pre-split shards** — made exact by
+the paper's own blocked hashing (§1.1.3 / [MW94]).
+
+- with the default :class:`~repro.hashing.blocked.BlockedHashFamily`,
+  every probe of a key lands inside one block, and the router assigns
+  ``shard_of(key) = block_of(key) % n_shards``.  Keys and the counters
+  they touch shard *together*: a shard's counter vector is exactly the
+  slice of the one big filter covering its blocks, so a routed query
+  reads the identical counters an unsharded deployment would — sharding
+  is **transparent**, answer for answer, at any load (the seeded
+  equivalence tests pin this down);
+- with an unblocked family (``hash_family="modmul"`` etc.) the router
+  falls back to ``canonical_key(key) % n_shards``.  Still deterministic
+  and union-exact, but each shard then hashes its keys over all ``m``
+  counters — per-shard estimates carry *less* collision noise than one
+  big filter, so answers are one-sided-correct yet not bit-identical;
+- each shard is an independently lockable serving handle — a
+  :class:`~repro.persist.ConcurrentSBF` over a plain or
+  :class:`~repro.persist.DurableSBF` filter — so disjoint-shard traffic
+  never contends;
+- all shards share one parameter set ``(m, k, seed, family)``, which
+  makes them *unionable*: the multiset union of all shards is exactly the
+  filter an unsharded deployment would have built (counter for counter),
+  the property resharding and the manifest exploit.
+
+Resharding follows the pre-split discipline: a counter vector can be
+**unioned but never split** (the keys are gone), so capacity planning
+starts with more shards than needed and :meth:`ShardedSBF.reshard`
+coalesces — ``new_n`` must divide ``n_shards``, and new shard ``j`` is the
+union of old shards ``{i : i % new_n == j}``.  Because assignment is
+``h % n``, every key routed to old shard ``i`` routes to new shard
+``i % new_n``: the union *is* the reshard.  The rebuild happens under
+every shard's exclusive lock simultaneously, so it is a snapshot-consistent
+cut of the whole fleet.
+
+The shard **manifest** (:meth:`dump_manifest` / :func:`load_manifest`)
+frames the fleet for the wire: one :func:`~repro.core.serialize.seal_sections`
+frame whose sections are the shards' v2 filter frames, carrying the shard
+count so a receiver rebuilds an identical router.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import ExitStack
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.params import bloom_error
+from repro.core.sbf import SpectralBloomFilter
+from repro.core.serialize import (
+    dump_sbf,
+    load_sbf,
+    open_sections,
+    seal_sections,
+)
+from repro.hashing.blocked import BlockedHashFamily
+from repro.hashing.keys import canonical_key
+from repro.hashing.vectorized import indices_matrix
+from repro.persist import ConcurrentSBF, DurableSBF
+from repro.serve.metrics import MetricsRegistry
+
+#: shard-manifest frame magic ("Repro Shard Manifest v1")
+MANIFEST_MAGIC = b"RSM1"
+
+
+class ShardedSBF:
+    """A hash-partitioned fleet of spectral-filter shards.
+
+    Args:
+        shards: the serving handles, one per shard.  Anything with the
+            shard surface works (``insert`` / ``delete`` / ``set`` /
+            ``query`` / ``contains`` / ``total_count``) — in practice
+            :class:`~repro.persist.ConcurrentSBF` handles locally and
+            :class:`~repro.serve.remote.RemoteShard` adapters for shards
+            living behind a :class:`~repro.db.transport.ReliableChannel`.
+        metrics: registry to report through (one is created if omitted).
+    """
+
+    def __init__(self, shards: Sequence[object], *,
+                 metrics: MetricsRegistry | None = None):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a ShardedSBF needs at least one shard")
+        self._shards = shards
+        self.metrics = metrics or MetricsRegistry()
+        self._ops_lock = threading.Lock()
+        self._shard_ops = [0] * len(shards)
+        self.metrics.gauge("router.shards").set(len(shards))
+        self._check_compatible()
+        # Routing family: the first local shard's (remote-only fleets fall
+        # back to canonical-key assignment, which the data plane must have
+        # used to place the keys in the first place).
+        local = [s.sbf for s in shards if hasattr(s, "sbf")]
+        family = local[0].family if local else None
+        self._family = family if isinstance(family, BlockedHashFamily) \
+            else None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(cls, n_shards: int, m: int, k: int, *, seed: int = 0,
+               method: object = "ms", backend: object = "array",
+               hash_family: object = "blocked",
+               stripes: int = 16, timeout: float = 5.0,
+               durable_root: str | None = None, fsync: object = "always",
+               metrics: MetricsRegistry | None = None) -> "ShardedSBF":
+        """Build a fresh fleet of *n_shards* identically-parameterised shards.
+
+        The default ``hash_family="blocked"`` gives transparent sharding
+        (see module docstring); pass another family name to trade that
+        for its hashing characteristics.  With *durable_root*, shard *i*
+        persists under ``<durable_root>/shard-<i>`` (recovering whatever
+        a previous process left there); without it, shards are in-memory
+        filters.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        shards = []
+        for i in range(n_shards):
+            factory = _shard_factory(m, k, seed, method, backend,
+                                     hash_family)
+            if durable_root is not None:
+                handle = DurableSBF.open(f"{durable_root}/shard-{i}",
+                                         factory=factory, fsync=fsync)
+            else:
+                handle = factory()
+            shards.append(ConcurrentSBF(handle, stripes=stripes,
+                                        timeout=timeout))
+        return cls(shards, metrics=metrics)
+
+    def _check_compatible(self) -> None:
+        """All local shards must share (m, k, seed, family) — the property
+        that makes union, reshard, and the manifest meaningful."""
+        local = [s.sbf for s in self._shards if hasattr(s, "sbf")]
+        for other in local[1:]:
+            if not local[0].is_compatible(other):
+                raise ValueError(
+                    "shards must share parameters and hash functions "
+                    f"(m, k, seed, family); got {local[0].family!r} vs "
+                    f"{other.family!r}")
+
+    # -- routing -----------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple:
+        """The shard handles, indexed by shard id (read-only view)."""
+        return tuple(self._shards)
+
+    def shard_of(self, key: object) -> int:
+        """Deterministic owner shard of *key* (stable across processes).
+
+        Blocked fleets route by owning block, so a key and its counters
+        live on the same shard; unblocked fleets route by canonical key.
+        """
+        if self._family is not None:
+            return self._family.block_of(key) % len(self._shards)
+        return canonical_key(key) % len(self._shards)
+
+    def shard_of_many(self, keys: Sequence[object]) -> list[int]:
+        """Owner shards for a key batch (vectorised for integer keys on a
+        blocked fleet; elementwise :meth:`shard_of` otherwise)."""
+        if self._family is not None and keys and all(
+                type(key) is int and 0 <= key < (1 << 63) for key in keys):
+            blocks = indices_matrix(self._family._selector,
+                                    np.asarray(keys, dtype=np.uint64))[:, 0]
+            return (blocks % len(self._shards)).tolist()
+        return [self.shard_of(key) for key in keys]
+
+    def _route(self, key: object) -> tuple[int, object]:
+        shard_id = self.shard_of(key)
+        self.note_shard_ops(shard_id, 1)
+        return shard_id, self._shards[shard_id]
+
+    def note_shard_ops(self, shard_id: int, n: int) -> None:
+        """Credit *n* operations to shard *shard_id*'s accounting (used by
+        the batch executor, which bypasses :meth:`_route`)."""
+        with self._ops_lock:
+            self._shard_ops[shard_id] += n
+
+    # -- the serving surface ----------------------------------------------
+    def insert(self, key: object, count: int = 1) -> None:
+        _, shard = self._route(key)
+        shard.insert(key, count)
+        self.metrics.counter("router.inserts").inc()
+
+    def delete(self, key: object, count: int = 1) -> None:
+        _, shard = self._route(key)
+        shard.delete(key, count)
+        self.metrics.counter("router.deletes").inc()
+
+    def set(self, key: object, count: int) -> None:
+        _, shard = self._route(key)
+        shard.set(key, count)
+        self.metrics.counter("router.sets").inc()
+
+    def query(self, key: object) -> int:
+        _, shard = self._route(key)
+        self.metrics.counter("router.queries").inc()
+        return shard.query(key)
+
+    def contains(self, key: object, threshold: int = 1) -> bool:
+        return self.query(key) >= threshold
+
+    @property
+    def total_count(self) -> int:
+        return sum(shard.total_count for shard in self._shards)
+
+    # -- accounting --------------------------------------------------------
+    def shard_report(self) -> list[dict]:
+        """Per-shard parameters and error accounting, one dict per shard.
+
+        ``distinct_estimate`` inverts the expected fill ratio
+        (``n̂ = -(m/k) · ln(1 - fill)``, the standard Bloom occupancy
+        estimator) and ``expected_error`` is the Bloom error ``E_b`` at
+        that load — so overload shows up *per shard*, not averaged away
+        across the fleet.
+        """
+        report = []
+        for i, shard in enumerate(self._shards):
+            entry = {"shard": i, "ops": self._shard_ops[i],
+                     "total_count": shard.total_count}
+            sbf = getattr(shard, "sbf", None)
+            if sbf is not None:
+                fill = sbf.fill_ratio()
+                if fill >= 1.0:
+                    distinct = float("inf")
+                elif fill <= 0.0:
+                    distinct = 0.0
+                else:
+                    distinct = -(sbf.m / sbf.k) * math.log(1.0 - fill)
+                entry.update({
+                    "m": sbf.m, "k": sbf.k, "method": sbf.method.name,
+                    "fill_ratio": fill,
+                    "distinct_estimate": distinct,
+                    "expected_error": bloom_error(
+                        max(1, int(round(distinct))), sbf.k, sbf.m),
+                })
+            report.append(entry)
+        return report
+
+    # -- whole-fleet moments ----------------------------------------------
+    def _local_shards(self, operation: str) -> list[ConcurrentSBF]:
+        for shard in self._shards:
+            if not (hasattr(shard, "exclusive") and hasattr(shard, "sbf")):
+                raise ValueError(
+                    f"{operation} requires local (lockable) shards; shard "
+                    f"{self._shards.index(shard)} is {type(shard).__name__}")
+        return list(self._shards)
+
+    def _frozen(self, operation: str, stack: ExitStack,
+                timeout: float | None) -> list[ConcurrentSBF]:
+        """Enter every shard's exclusive section (in shard order, so two
+        concurrent fleet-wide moments cannot deadlock) and return the
+        shards; the caller's ExitStack releases them."""
+        shards = self._local_shards(operation)
+        for shard in shards:
+            stack.enter_context(shard.exclusive(timeout))
+        return shards
+
+    def checkpoint(self) -> list:
+        """Checkpoint every shard; returns the per-shard results
+        (snapshot paths for durable shards, v2 frames for memory shards)."""
+        results = [shard.checkpoint() for shard in self._shards]
+        self.metrics.counter("router.checkpoints").inc()
+        return results
+
+    def reshard(self, new_n: int, *, stripes: int | None = None,
+                timeout: float | None = None) -> "ShardedSBF":
+        """Coalesce the fleet to *new_n* shards via per-shard union.
+
+        *new_n* must divide :attr:`n_shards` (counters can be unioned, not
+        split — the pre-split discipline).  All shards are frozen
+        simultaneously, so the rebuild is a snapshot-consistent cut: new
+        shard ``j`` is exactly the union of old shards ``i ≡ j (mod
+        new_n)``, and every key keeps its owner because ``h % new_n ==
+        (h % n) % new_n``.  The router is rewired in place (and returned
+        for chaining).  Durable shards are refused: their on-disk lineage
+        cannot be silently merged — checkpoint and rebuild via the
+        manifest instead.
+        """
+        if new_n < 1:
+            raise ValueError(f"new_n must be >= 1, got {new_n}")
+        if self.n_shards % new_n != 0:
+            raise ValueError(
+                f"cannot reshard {self.n_shards} -> {new_n}: counter "
+                f"vectors can be unioned but not split, so new_n must "
+                f"divide the current shard count (pre-split the fleet "
+                f"larger next time)")
+        for shard in self._local_shards("reshard"):
+            if isinstance(shard.raw, DurableSBF):
+                raise ValueError(
+                    "reshard of durable shards would orphan their WAL/"
+                    "snapshot lineage; checkpoint, then rebuild via "
+                    "dump_manifest()/load_manifest()")
+        with ExitStack() as stack:
+            old = self._frozen("reshard", stack, timeout)
+            groups: list[list[SpectralBloomFilter]] = [
+                [] for _ in range(new_n)]
+            ops = [0] * new_n
+            for i, shard in enumerate(old):
+                groups[i % new_n].append(shard.sbf)
+                ops[i % new_n] += self._shard_ops[i]
+            merged = []
+            for group in groups:
+                union = group[0]
+                for sbf in group[1:]:
+                    union = union.union(sbf)
+                merged.append(union)
+            stripes = stripes if stripes is not None else old[0].stripes
+            lock_timeout = old[0].timeout
+            # Swap inside the frozen section: no operation can interleave
+            # between the cut and the new fleet taking over.
+            self._shards = [ConcurrentSBF(sbf, stripes=stripes,
+                                          timeout=lock_timeout)
+                            for sbf in merged]
+            with self._ops_lock:
+                self._shard_ops = ops
+            family = merged[0].family
+            self._family = family \
+                if isinstance(family, BlockedHashFamily) else None
+        self.metrics.counter("router.reshards").inc()
+        self.metrics.gauge("router.shards").set(new_n)
+        return self
+
+    # -- the shard manifest ------------------------------------------------
+    def dump_manifest(self, *, timeout: float | None = None) -> bytes:
+        """Serialise the fleet to one checksummed manifest frame.
+
+        All shards are frozen simultaneously (the manifest is a consistent
+        cut) and each shard travels as its own embedded
+        :func:`~repro.core.serialize.dump_sbf` frame.
+        """
+        with ExitStack() as stack:
+            shards = self._frozen("dump_manifest", stack, timeout)
+            sections = [dump_sbf(shard.sbf) for shard in shards]
+        meta = {"version": 1, "n_shards": len(sections)}
+        return seal_sections(MANIFEST_MAGIC, meta, sections)
+
+    @classmethod
+    def load_manifest(cls, data: bytes, *, stripes: int = 16,
+                      timeout: float = 5.0,
+                      metrics: MetricsRegistry | None = None,
+                      ) -> "ShardedSBF":
+        """Rebuild a fleet from a :meth:`dump_manifest` frame.
+
+        Raises:
+            WireFormatError: on any truncation, corruption, or a shard
+                count inconsistent with the section table.
+        """
+        from repro.core.serialize import WireFormatError
+        meta, sections = open_sections(data, MANIFEST_MAGIC)
+        n = meta.get("n_shards")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise WireFormatError(
+                f"manifest field 'n_shards' must be a positive integer, "
+                f"got {n!r}")
+        if n != len(sections):
+            raise WireFormatError(
+                f"manifest declares {n} shard(s) but carries "
+                f"{len(sections)} section(s)")
+        shards = [ConcurrentSBF(load_sbf(frame), stripes=stripes,
+                                timeout=timeout) for frame in sections]
+        return cls(shards, metrics=metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedSBF(n_shards={self.n_shards}, "
+                f"N={self.total_count})")
+
+
+def _shard_factory(m: int, k: int, seed: int, method: object,
+                   backend: object, hash_family: object,
+                   ) -> Callable[[], SpectralBloomFilter]:
+    def factory() -> SpectralBloomFilter:
+        return SpectralBloomFilter(m, k, seed=seed, method=method,
+                                   backend=backend, hash_family=hash_family)
+    return factory

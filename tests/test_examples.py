@@ -19,6 +19,7 @@ CASES = [
     ("elevation_range_index.py", "point query"),
     ("proxy_cache_mesh.py", "spectral summaries"),
     ("search_engine_hotlist.py", "differential file"),
+    ("serving_engine.py", "admission control"),
 ]
 
 

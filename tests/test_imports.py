@@ -1,0 +1,59 @@
+"""Import-surface tests: the public API is what the __init__s say it is.
+
+Downstream code (examples, benchmarks, the CI smoke jobs) imports from
+the package roots — ``repro``, ``repro.persist``, ``repro.serve`` — not
+from private modules.  These tests pin that surface: every advertised
+name resolves, nothing is advertised twice, and the serving/persistence
+types the examples rely on stay exported.
+"""
+
+import pytest
+
+import repro
+import repro.persist
+import repro.serve
+
+
+@pytest.mark.parametrize("module", [repro, repro.persist, repro.serve],
+                         ids=lambda m: m.__name__)
+def test_every_advertised_name_resolves(module):
+    assert module.__all__, f"{module.__name__} advertises nothing"
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, \
+            f"{module.__name__}.__all__ lists {name!r} but it is missing"
+
+
+@pytest.mark.parametrize("module", [repro, repro.persist, repro.serve],
+                         ids=lambda m: m.__name__)
+def test_no_duplicate_exports(module):
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_persist_public_surface():
+    expected = {
+        "ConcurrentSBF", "DurableSBF", "LockTimeout",
+        "WriteAheadLog", "WALRecord", "replay",
+        "SnapshotStore", "recover", "RecoveryReport",
+        "CrashIO", "SimulatedCrash",
+    }
+    assert expected <= set(repro.persist.__all__)
+
+
+def test_serve_public_surface():
+    expected = {
+        "ShardedSBF", "ShardBatcher", "ServingEngine",
+        "Overloaded", "reject_new", "shed_oldest", "run_requests",
+        "MetricsRegistry", "Counter", "Gauge", "Histogram",
+        "ChannelStats", "RemoteShard", "RemoteShardError", "ShardServer",
+        "MANIFEST_MAGIC",
+    }
+    assert expected <= set(repro.serve.__all__)
+
+
+def test_channel_stats_is_the_transport_one():
+    from repro.db.transport import ChannelStats
+    assert repro.serve.ChannelStats is ChannelStats
+    stats = ChannelStats()
+    snapshot = stats.as_dict()
+    assert snapshot["attempts"] == 0
+    assert set(snapshot) == set(ChannelStats.__slots__)

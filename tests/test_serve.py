@@ -1,0 +1,230 @@
+"""ShardedSBF router: transparent sharding, reshard, manifest.
+
+The central claim (DESIGN.md §7): with the default blocked hash family,
+hash partitioning is *invisible* — a routed query returns the identical
+estimate an unsharded filter would, for any shard count, batched or not,
+because keys and the counters they touch shard together.  These tests pin
+that equivalence down with seeded workloads, then exercise the pre-split
+resharding discipline and the wire manifest.
+"""
+
+import random
+
+import pytest
+
+from repro.core.serialize import WireFormatError
+from repro.core.sbf import SpectralBloomFilter
+from repro.persist import ConcurrentSBF
+from repro.serve import MetricsRegistry, ShardBatcher, ShardedSBF
+
+M, K, SEED = 4096, 4, 7
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+def make_reference() -> SpectralBloomFilter:
+    return SpectralBloomFilter(M, K, seed=SEED, method="ms",
+                               backend="array", hash_family="blocked")
+
+
+def make_router(n_shards: int) -> ShardedSBF:
+    return ShardedSBF.create(n_shards, M, K, seed=SEED, method="ms",
+                             backend="array", hash_family="blocked")
+
+
+def workload(n: int = 800) -> list:
+    """Mixed int/str keys with skewed multiplicities."""
+    rng = random.Random(SEED)
+    keys = []
+    for i in range(n):
+        if i % 5 == 0:
+            keys.append(f"user:{i % 97}")
+        else:
+            keys.append(rng.randrange(1 << 40))
+    return keys
+
+
+def probes(keys: list) -> list:
+    """The inserted keys plus guaranteed-distinct miss probes."""
+    return list(dict.fromkeys(keys)) \
+        + [f"miss:{i}" for i in range(50)] \
+        + [-(i + 1) for i in range(50)]
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_routed_query_equals_unsharded(n_shards):
+    router, reference = make_router(n_shards), make_reference()
+    keys = workload()
+    for key in keys:
+        router.insert(key)
+        reference.insert(key)
+    assert router.total_count == reference.total_count
+    for key in probes(keys):
+        assert router.query(key) == reference.query(key)
+        assert router.contains(key, 2) == reference.contains(key, 2)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_batched_paths_equal_unsharded(n_shards):
+    router, reference = make_router(n_shards), make_reference()
+    batcher = ShardBatcher(router)
+    int_keys = [key for key in workload() if isinstance(key, int)]
+    batcher.insert_many(int_keys)          # vectorised scatter path
+    for key in int_keys:
+        reference.insert(key)
+    targets = list(dict.fromkeys(int_keys)) + list(range(100))
+    assert batcher.query_many(targets) \
+        == [reference.query(key) for key in targets]
+    # Mixed-verb batch against the same sequential reference.
+    ops = [("query", key) for key in targets[:40]] \
+        + [("contains", key, 2) for key in targets[:40]]
+    expected = [reference.query(key) for key in targets[:40]] \
+        + [reference.contains(key, 2) for key in targets[:40]]
+    assert batcher.execute(ops) == expected
+
+
+def test_mutating_batch_matches_scalar_path():
+    router, reference = make_router(4), make_router(4)
+    batcher = ShardBatcher(router)
+    keys = workload(300)
+    batcher.execute([("insert", key) for key in keys])
+    batcher.execute([("delete", keys[0]), ("set", keys[1], 9)])
+    for key in keys:
+        reference.insert(key)
+    reference.delete(keys[0])
+    reference.set(keys[1], 9)
+    for key in probes(keys):
+        assert router.query(key) == reference.query(key)
+
+
+def test_failed_op_lands_in_its_slot_and_batch_continues():
+    batcher = ShardBatcher(make_router(4))
+    results = batcher.execute([
+        ("insert", "a"),
+        ("delete", "never-inserted", 5),   # would drive counters negative
+        ("query", "a"),
+    ])
+    assert results[0] is None
+    assert isinstance(results[1], ValueError)
+    assert results[2] >= 1
+    with pytest.raises(ValueError, match="must start with"):
+        batcher.execute([("frobnicate", "a")])
+
+
+def test_shard_assignment_is_deterministic():
+    first, second = make_router(8), make_router(8)
+    keys = workload(200)
+    assignments = [first.shard_of(key) for key in keys]
+    assert assignments == [second.shard_of(key) for key in keys]
+    assert assignments == first.shard_of_many(keys)
+    int_keys = [key for key in keys if isinstance(key, int)]
+    assert first.shard_of_many(int_keys) \
+        == [first.shard_of(key) for key in int_keys]
+    assert all(0 <= shard < 8 for shard in assignments)
+    assert len(set(assignments)) > 1      # the workload actually spreads
+
+
+def test_reshard_round_trip_is_counter_exact():
+    router, reference = make_router(8), make_reference()
+    keys = workload()
+    for key in keys:
+        router.insert(key)
+        reference.insert(key)
+    before = {key: router.query(key) for key in probes(keys)}
+    for new_n in (4, 2, 1):
+        assert router.reshard(new_n) is router
+        assert router.n_shards == new_n
+        assert router.total_count == reference.total_count
+        for key, estimate in before.items():
+            assert router.query(key) == estimate
+    # Coalesced all the way down, the single shard IS the unsharded
+    # filter, counter for counter.
+    merged = router.shards[0].sbf
+    assert list(merged.counters) == list(reference.counters)
+
+
+def test_reshard_requires_a_divisor_of_the_shard_count():
+    router = make_router(8)
+    with pytest.raises(ValueError, match="divide"):
+        router.reshard(3)
+    with pytest.raises(ValueError, match=">= 1"):
+        router.reshard(0)
+    assert router.n_shards == 8           # refused reshard changed nothing
+
+
+def test_reshard_refuses_durable_shards(tmp_path):
+    router = ShardedSBF.create(2, M, K, seed=SEED,
+                               durable_root=str(tmp_path))
+    try:
+        with pytest.raises(ValueError, match="manifest"):
+            router.reshard(1)
+    finally:
+        for shard in router.shards:
+            shard.raw.close()
+
+
+def test_manifest_round_trip():
+    router = make_router(4)
+    keys = workload(400)
+    for key in keys:
+        router.insert(key)
+    data = router.dump_manifest()
+    clone = ShardedSBF.load_manifest(data)
+    assert clone.n_shards == 4
+    assert clone.total_count == router.total_count
+    for key in probes(keys):
+        assert clone.query(key) == router.query(key)
+    assert [clone.shard_of(key) for key in keys] \
+        == [router.shard_of(key) for key in keys]
+
+
+def test_manifest_rejects_corruption():
+    data = make_router(2).dump_manifest()
+    with pytest.raises(WireFormatError):
+        ShardedSBF.load_manifest(data[:-5])
+    flipped = bytearray(data)
+    flipped[len(flipped) // 2] ^= 0x40
+    with pytest.raises(WireFormatError):
+        ShardedSBF.load_manifest(bytes(flipped))
+
+
+def test_shard_report_accounts_per_shard():
+    router = make_router(4)
+    keys = workload(400)
+    for key in keys:
+        router.insert(key)
+    report = router.shard_report()
+    assert [entry["shard"] for entry in report] == [0, 1, 2, 3]
+    assert sum(entry["ops"] for entry in report) == len(keys)
+    assert sum(entry["total_count"] for entry in report) == len(keys)
+    distinct = len(set(keys))
+    for entry in report:
+        assert entry["m"] == M and entry["k"] == K
+        assert 0.0 < entry["fill_ratio"] < 1.0
+        assert 0.0 <= entry["expected_error"] <= 1.0
+    # The occupancy estimator should land near the true distinct count.
+    total_estimate = sum(e["distinct_estimate"] for e in report)
+    assert total_estimate == pytest.approx(distinct, rel=0.35)
+
+
+def test_incompatible_shards_are_rejected():
+    a = ConcurrentSBF(SpectralBloomFilter(256, 4, seed=1))
+    b = ConcurrentSBF(SpectralBloomFilter(256, 4, seed=2))
+    with pytest.raises(ValueError, match="share parameters"):
+        ShardedSBF([a, b])
+    with pytest.raises(ValueError, match="at least one shard"):
+        ShardedSBF([])
+    with pytest.raises(ValueError, match=">= 1"):
+        ShardedSBF.create(0, M, K)
+
+
+def test_router_metrics_flow_through_registry():
+    registry = MetricsRegistry()
+    router = ShardedSBF.create(2, M, K, seed=SEED, metrics=registry)
+    for key in range(20):
+        router.insert(key)
+    for key in range(10):
+        router.query(key)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["router.inserts"] == 20
+    assert snapshot["counters"]["router.queries"] == 10
+    assert snapshot["gauges"]["router.shards"] == 2

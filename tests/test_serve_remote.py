@@ -1,0 +1,165 @@
+"""RemoteShard / ShardServer: serving across the faulty wire.
+
+Chaos tests are seeded (policies and channels share fixed seeds), so the
+fault schedules — and therefore every retry, duplicate, and checksum
+rejection — replay identically on every run.
+"""
+
+import pytest
+
+from repro.core.serialize import open_frame
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import DeliveryFailed
+from repro.persist import ConcurrentSBF
+from repro.serve import (
+    MetricsRegistry,
+    ServingEngine,
+    ShardBatcher,
+    ShardedSBF,
+    ShardServer,
+    RemoteShard,
+    run_requests,
+)
+from repro.serve.remote import RESPONSE_MAGIC
+
+M, K, SEED = 1024, 4, 5
+
+
+def make_handle() -> ConcurrentSBF:
+    return ConcurrentSBF(SpectralBloomFilter(
+        M, K, seed=SEED, method="ms", backend="array",
+        hash_family="blocked"))
+
+
+def make_remote(policy=None, *, max_retries: int = 6,
+                metrics: MetricsRegistry | None = None,
+                ) -> tuple[RemoteShard, FaultyNetwork]:
+    network = FaultyNetwork(policy)
+    server = ShardServer(make_handle())
+    remote = RemoteShard(server, network, "client", "shard0",
+                         channel_options={"max_retries": max_retries},
+                         metrics=metrics)
+    return remote, network
+
+
+def test_remote_matches_local_on_a_clean_wire():
+    remote, _ = make_remote()
+    local = make_handle()
+    keys = [f"key:{i % 37}" for i in range(200)] + list(range(100))
+    for key in keys:
+        remote.insert(key)
+        local.insert(key)
+    for key in keys + ["miss", -1]:
+        assert remote.query(key) == local.query(key)
+        assert remote.contains(key, 2) == local.contains(key, 2)
+    assert remote.total_count == local.total_count
+    remote.delete(keys[0])
+    local.delete(keys[0])
+    remote.set("key:0", 3)
+    local.set("key:0", 3)
+    assert remote.query(keys[0]) == local.query(keys[0])
+    assert remote.query("key:0") == 3
+    assert remote.params() == {"m": M, "k": K, "seed": SEED, "method": "ms"}
+
+
+@pytest.mark.chaos
+def test_remote_matches_local_under_seeded_chaos():
+    registry = MetricsRegistry()
+    remote, _ = make_remote(
+        FaultPolicy(drop=0.2, duplicate=0.1, corrupt=0.15, seed=23),
+        max_retries=12, metrics=registry)
+    local = make_handle()
+    keys = list(range(120)) + [f"s:{i}" for i in range(30)]
+    for key in keys:
+        remote.insert(key)
+        local.insert(key)
+    for key in keys:
+        assert remote.query(key) == local.query(key)
+    stats = remote.requests.stats
+    assert stats.gave_up == 0               # the budget absorbed the chaos
+    assert stats.retries > 0                # ...which was real
+    assert stats.attempts > stats.delivered
+    # Both legs' delivery metrics are scraped from the one registry.
+    channels = registry.snapshot()["channels"]
+    assert channels["remote.shard0.requests"]["delivered"] > 0
+    assert channels["remote.shard0.responses"]["delivered"] > 0
+    assert channels["remote.shard0.requests"]["corrupt_detected"] \
+        + channels["remote.shard0.responses"]["corrupt_detected"] > 0
+
+
+@pytest.mark.chaos
+def test_exhausted_budget_raises_delivery_failed():
+    remote, _ = make_remote(FaultPolicy(drop=1.0, seed=3), max_retries=2)
+    with pytest.raises(DeliveryFailed):
+        remote.insert("key")
+    assert remote.requests.stats.gave_up == 1
+
+
+def _mixed_fleet() -> tuple[ShardedSBF, FaultyNetwork]:
+    """Shard 0 local, shard 1 behind the wire — same filter parameters."""
+    network = FaultyNetwork()
+    remote = RemoteShard(ShardServer(make_handle()), network,
+                         "router", "shard1",
+                         channel_options={"max_retries": 2})
+    return ShardedSBF([make_handle(), remote]), network
+
+
+@pytest.mark.chaos
+def test_unreachable_shard_degrades_only_its_keys():
+    fleet, network = _mixed_fleet()
+    keys = list(range(40))
+    for key in keys:
+        fleet.insert(key)
+    local_keys = [key for key in keys if fleet.shard_of(key) == 0]
+    remote_keys = [key for key in keys if fleet.shard_of(key) == 1]
+    assert local_keys and remote_keys
+    before = {key: fleet.query(key) for key in keys}
+    # Partition shard 1 away (both legs dead).
+    network.set_policy("router", "shard1", FaultPolicy(drop=1.0, seed=7))
+    network.set_policy("shard1", "router", FaultPolicy(drop=1.0, seed=8))
+    for key in local_keys:
+        assert fleet.query(key) == before[key]      # rest of fleet serves
+    with pytest.raises(DeliveryFailed):
+        fleet.query(remote_keys[0])
+    # The batcher isolates the failure per result slot.
+    results = ShardBatcher(fleet).execute([("query", key) for key in keys])
+    for key, result in zip(keys, results):
+        if key in set(local_keys):
+            assert result == before[key]
+        else:
+            assert isinstance(result, DeliveryFailed)
+    # ...and the engine maps those slots onto the affected futures only.
+    engine = ServingEngine(fleet, max_queue=256)
+    outcomes = run_requests(engine, [("query", key) for key in keys])
+    for key, outcome in zip(keys, outcomes):
+        if key in set(local_keys):
+            assert outcome == before[key]
+        else:
+            assert isinstance(outcome, DeliveryFailed)
+    # Healing the partition restores the whole keyspace.
+    network.set_policy("router", "shard1", None)
+    network.set_policy("shard1", "router", None)
+    for key in keys:
+        assert fleet.query(key) == before[key]
+
+
+def test_server_side_errors_return_typed_failures():
+    remote, _ = make_remote()
+    with pytest.raises(ValueError, match="negative"):
+        remote.delete("never-inserted", 5)
+    with pytest.raises(TypeError, match="JSON scalars"):
+        remote.insert((1, 2))
+    assert remote.server.requests_failed == 1   # the tuple never left home
+    # A garbage frame produces an ok=false response, not a server crash.
+    response = remote.server.handle_frame(b"not a frame")
+    meta, _ = open_frame(response, RESPONSE_MAGIC)
+    assert meta["ok"] is False
+    assert meta["kind"] == "WireFormatError"
+
+
+def test_remote_checkpoint_round_trip():
+    remote, _ = make_remote()
+    remote.insert("x", 3)
+    assert remote.checkpoint() is None      # memory shard: frame, no path
+    assert remote.query("x") == 3
