@@ -1,0 +1,194 @@
+"""Bulk-operation kernels — vectorised insert/query vs the scalar loop.
+
+The core claim of the bulk API (DESIGN.md §8): ``insert_many`` /
+``query_many`` on the numpy backend are bit-identical to the scalar
+``for key: sbf.insert(key)`` path while replacing its per-key Python
+costs (canonical hash, ``k`` hash evaluations, counter round-trips) with
+a handful of whole-batch array passes.  This benchmark measures the gap
+for all three paper methods on two workloads:
+
+- **histogram** — distinct keys with per-key counts, the paper's
+  build-from-multiset scenario (``from_counts``); conflict-free for MI,
+  so every method runs at full vector speed;
+- **stream** — a duplicate-heavy key stream (5x average multiplicity);
+  Minimal Increase pays for its conflict-free segmentation here and
+  Recurring Minimum for its sequential-observation replay, so this is
+  the adversarial end of the speedup range.
+
+Scalar baselines are measured on a fixed-size sample of the stream and
+extrapolated linearly (the scalar path is O(n) in Python operations, so
+the extrapolation is faithful; running 10^6 scalar inserts for three
+methods would dominate the suite's wall-clock for no extra information).
+
+Shape claims asserted:
+- bulk query estimates are identical to scalar queries on the same
+  filter (exactness spot check; the full differential sweep lives in
+  ``tests/test_bulk.py``);
+- bulk insert and query beat the scalar loop by at least 2x even in
+  quick mode (measured gaps on an idle machine: 10-25x for MS/MI
+  inserts at 10^6 keys, recorded in ``results/bulk_kernels.json``).
+
+CLI:
+    PYTHONPATH=src python benchmarks/bench_bulk_kernels.py \
+        [--quick] [--json-out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+
+K = 4
+SEED = 17
+#: scalar-loop sample size the O(n) baseline is extrapolated from
+SCALAR_SAMPLE = 40_000
+METHODS = ("ms", "mi", "rm")
+
+
+def _workloads(n: int, seed: int = SEED) -> dict[str, tuple[list, list]]:
+    rng = np.random.default_rng(seed)
+    distinct = (np.arange(n, dtype=np.int64) * 7919 + 13).tolist()
+    counts = rng.integers(1, 16, size=n).tolist()
+    stream = rng.integers(0, max(1, n // 5), size=n).tolist()
+    return {
+        "histogram": (distinct, counts),
+        "stream": (stream, [1] * n),
+    }
+
+
+def _scalar_insert_time(make_sbf, keys: list, counts: list,
+                        n: int) -> float:
+    """Best-of-2 scalar sample, extrapolated to *n* operations.
+
+    The sample is two orders of magnitude shorter than the bulk run, so
+    a single scheduler hiccup can swing it; taking the best of two fresh
+    filters keeps the baseline from flattering the speedup.
+    """
+    sample = min(SCALAR_SAMPLE, n)
+    best = float("inf")
+    for _ in range(2):
+        sbf = make_sbf()
+        t0 = time.perf_counter()
+        for key, count in zip(keys[:sample], counts[:sample]):
+            sbf.insert(key, count)
+        best = min(best, time.perf_counter() - t0)
+    return best * (n / sample)
+
+
+def _scalar_query_time(sbf: SpectralBloomFilter, keys: list,
+                       n: int) -> tuple[float, list[int]]:
+    sample = min(SCALAR_SAMPLE, n)
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        estimates = [sbf.query(key) for key in keys[:sample]]
+        best = min(best, time.perf_counter() - t0)
+    return best * (n / sample), estimates
+
+
+def run_bulk_kernels(quick: bool = False) -> dict:
+    n = 100_000 if quick else 1_000_000
+    m = 4 * n
+    result: dict = {
+        "n": n, "m": m, "k": K, "quick": quick,
+        "backend": "numpy",
+        "scalar_sample": min(SCALAR_SAMPLE, n),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    rows = []
+    for workload, (keys, counts) in _workloads(n).items():
+        for method in METHODS:
+            make_sbf = lambda: SpectralBloomFilter(
+                m, K, method=method, backend="numpy", seed=SEED)
+            bulk = make_sbf()
+            scalar_insert = _scalar_insert_time(make_sbf, keys, counts, n)
+            t0 = time.perf_counter()
+            bulk.insert_many(keys, counts)
+            bulk_insert = time.perf_counter() - t0
+
+            scalar_query, expected = _scalar_query_time(bulk, keys, n)
+            bulk_query = float("inf")
+            for _ in range(2):
+                t0 = time.perf_counter()
+                estimates = bulk.query_many(keys)
+                bulk_query = min(bulk_query, time.perf_counter() - t0)
+            sample = len(expected)
+            if estimates[:sample].tolist() != expected:
+                raise AssertionError(
+                    f"bulk and scalar queries disagree "
+                    f"({workload}/{method})")
+
+            entry = {
+                "scalar_insert_s": round(scalar_insert, 3),
+                "bulk_insert_s": round(bulk_insert, 3),
+                "insert_speedup": round(scalar_insert / bulk_insert, 1),
+                "scalar_query_s": round(scalar_query, 3),
+                "bulk_query_s": round(bulk_query, 3),
+                "query_speedup": round(scalar_query / bulk_query, 1),
+            }
+            result[f"{workload}.{method}"] = entry
+            rows.append((workload, method,
+                         f"{entry['bulk_insert_s']:.2f}s",
+                         f"{entry['insert_speedup']:.1f}x",
+                         f"{entry['bulk_query_s']:.2f}s",
+                         f"{entry['query_speedup']:.1f}x"))
+    table = format_table(
+        ["workload", "method", "bulk insert", "speedup",
+         "bulk query", "speedup"], rows,
+        title=(f"Bulk kernels vs scalar loop (n={n:,}, m={m:,}, k={K}, "
+               f"numpy backend; scalar extrapolated from "
+               f"{result['scalar_sample']:,} ops)"))
+    write_results("bulk_kernels", table)
+    print(table)
+    return result
+
+
+def _meets_bar(result: dict, bar: float) -> list[str]:
+    """Entries below *bar* x speedup (histogram workload, MS/MI)."""
+    failures = []
+    for method in ("ms", "mi"):
+        entry = result[f"histogram.{method}"]
+        for phase in ("insert", "query"):
+            if entry[f"{phase}_speedup"] < bar:
+                failures.append(f"histogram.{method}.{phase}: "
+                                f"{entry[f'{phase}_speedup']}x < {bar}x")
+    return failures
+
+
+def test_bulk_kernels(run_once):
+    result = run_once(run_bulk_kernels, quick=True)
+    # The acceptance bar at full scale is 10x for MS/MI (see the
+    # committed results/bulk_kernels.json baseline); under pytest we run
+    # quick mode and only require 2x so loaded CI boxes stay green.
+    assert not _meets_bar(result, 2.0), result
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    json_out = None
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
+    result = run_bulk_kernels(quick=quick)
+    failures = _meets_bar(result, 2.0 if quick else 10.0)
+    result["pass"] = not failures
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -11,8 +11,10 @@ pytest's benchmark machinery), writes the rendered tables to
 ``python benchmarks/run_all.py fig06 table1`` or
 ``python benchmarks/run_all.py --only serving``.  With ``--json-out`` the
 raw result of every entry point (keyed ``module::entry``, plus elapsed
-seconds) is additionally dumped as one JSON document — the
-machine-readable artifact CI uploads.
+seconds) is additionally dumped as one JSON document under
+``"experiments"``, stamped with a ``"meta"`` block (git commit,
+UTC timestamp, python/numpy versions, platform) so the artifact CI
+uploads can be compared against a baseline.
 
 The pytest entry point (``pytest benchmarks/ --benchmark-only``) runs the
 same experiments *plus* the shape assertions and timing statistics; this
@@ -21,9 +23,12 @@ driver is the quick look-at-the-numbers path.
 
 from __future__ import annotations
 
+import datetime
 import importlib.util
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 
@@ -54,6 +59,7 @@ EXPERIMENTS: dict[str, list[str]] = {
     "bench_fig15_storage_vs_hashtable.py": ["run_figure15"],
     "bench_bloomjoin_traffic.py": ["run_traffic"],
     "bench_serving_throughput.py": ["run_serving_throughput"],
+    "bench_bulk_kernels.py": ["run_bulk_kernels"],
     "bench_ablations.py": ["run_rm_variants", "run_hash_families",
                            "run_blocked_hashing", "run_storage_reduction",
                            "run_mi_vs_conservative_cm"],
@@ -106,12 +112,43 @@ def main(argv: list[str]) -> int:
                 "result": result,
             }
     if json_out is not None:
+        document = {"meta": _provenance(), "experiments": collected}
         with open(json_out, "w", encoding="utf-8") as fh:
-            json.dump(collected, fh, indent=2, sort_keys=True, default=str)
+            json.dump(document, fh, indent=2, sort_keys=True, default=str)
             fh.write("\n")
         print(f"wrote {json_out}")
     print(f"{total} experiments run; tables in benchmarks/results/")
     return 0
+
+
+def _provenance() -> dict:
+    """Stamp a result document with what produced it.
+
+    Without the commit and library versions a saved JSON is just numbers;
+    with them it can be compared against a baseline (did the code change,
+    or the machine?).
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except OSError:
+        sha = None
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "git_sha": sha,
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+    }
 
 
 def _print_result(result) -> None:

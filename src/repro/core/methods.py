@@ -10,6 +10,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
+from repro.core import kernels
+
+
+def _as_key_list(keys) -> list:
+    """Batch keys as plain Python objects (numpy ints would not hash)."""
+    if isinstance(keys, np.ndarray):
+        return keys.tolist()
+    return list(keys)
+
 
 class Method(ABC):
     """Strategy interface for SBF maintenance and lookup."""
@@ -33,6 +44,33 @@ class Method(ABC):
     @abstractmethod
     def estimate(self, key: object) -> int:
         """Frequency estimate for *key*."""
+
+    # -- bulk operations ------------------------------------------------
+    # The filter hands every batch to the method together with the
+    # already-computed canonical values and primary position matrix, so
+    # methods never re-hash.  The base implementations fall back to the
+    # scalar loop — exact by construction — and each paper method
+    # overrides them with the vectorised kernel proven equivalent in
+    # :mod:`repro.core.kernels`.
+
+    def insert_many(self, keys, counts: np.ndarray, canon: np.ndarray,
+                    matrix: np.ndarray) -> None:
+        """Record ``counts[j]`` occurrences of ``keys[j]`` for every j."""
+        for key, count in zip(_as_key_list(keys), counts.tolist()):
+            self.insert(key, int(count))
+
+    def delete_many(self, keys, counts: np.ndarray, canon: np.ndarray,
+                    matrix: np.ndarray) -> None:
+        """Remove ``counts[j]`` occurrences of ``keys[j]`` for every j."""
+        for key, count in zip(_as_key_list(keys), counts.tolist()):
+            self.delete(key, int(count))
+
+    def estimate_many(self, keys, canon: np.ndarray,
+                      matrix: np.ndarray) -> np.ndarray:
+        """Frequency estimates for a key batch, as an int64 array."""
+        key_list = _as_key_list(keys)
+        return np.fromiter((self.estimate(key) for key in key_list),
+                           dtype=np.int64, count=len(key_list))
 
     def storage_bits(self) -> int:
         """Extra bits beyond the primary counter vector (default none)."""
@@ -84,6 +122,15 @@ class MinimumSelection(Method):
     def estimate(self, key: object) -> int:
         return self.sbf.min_counter(key)
 
+    def insert_many(self, keys, counts, canon, matrix) -> None:
+        kernels.ms_add_kernel(self.sbf.counters, matrix, counts)
+
+    def delete_many(self, keys, counts, canon, matrix) -> None:
+        kernels.ms_add_kernel(self.sbf.counters, matrix, counts, sign=-1)
+
+    def estimate_many(self, keys, canon, matrix) -> np.ndarray:
+        return kernels.row_minima(self.sbf.counters, matrix)
+
     def integrity_issues(self) -> list[str]:
         # MS adds every insert/delete to all k counters, so the counter sum
         # is exactly k * N — except for join products, whose total_count is
@@ -133,6 +180,30 @@ class MinimalIncrease(Method):
 
     def estimate(self, key: object) -> int:
         return self.sbf.min_counter(key)
+
+    def insert_many(self, keys, counts, canon, matrix) -> None:
+        # Conservative update is order-dependent, so the kernel processes
+        # conflict-free segments (see repro.core.kernels); it needs fast
+        # gathers/scatters to win, so the succinct backends keep the
+        # matrix-driven scalar loop instead.
+        from repro.storage.backends import ArrayBackend, NumpyBackend
+        counters = self.sbf.counters
+        if isinstance(counters, (ArrayBackend, NumpyBackend)):
+            kernels.mi_insert_kernel(counters, matrix, counts)
+            return
+        get, set_ = counters.get, counters.set
+        for row, count in zip(matrix.tolist(), counts.tolist()):
+            values = [get(i) for i in row]
+            target = min(values) + count
+            for i, value in zip(row, values):
+                if value < target:
+                    set_(i, target)
+
+    def delete_many(self, keys, counts, canon, matrix) -> None:
+        kernels.mi_delete_kernel(self.sbf.counters, matrix, counts)
+
+    def estimate_many(self, keys, canon, matrix) -> np.ndarray:
+        return kernels.row_minima(self.sbf.counters, matrix)
 
     def integrity_issues(self) -> list[str]:
         # An MI insert of r raises each counter by at most r, so the sum
@@ -296,6 +367,107 @@ class RecurringMinimum(Method):
             # that choice.
             return min(shadow, lowest)
         return lowest
+
+    # -- bulk operations ------------------------------------------------
+    def insert_many(self, keys, counts, canon, matrix) -> None:
+        if (self.marker is None
+                or type(self)._on_moved_to_secondary
+                is not RecurringMinimum._on_moved_to_secondary):
+            # Without the marker the §3.3 text criterion reads the
+            # secondary mid-stream, and a move hook (Trapping) needs the
+            # per-key sequence — both keep the exact scalar order.
+            Method.insert_many(self, keys, counts, canon, matrix)
+            return
+        from repro.hashing.vectorized import matrix_for
+        counters = self.sbf.counters
+        n, k = matrix.shape
+        flat = matrix.ravel()
+        deltas = np.repeat(counts.astype(np.int64), k)
+        start = counters.get_many(flat)
+        kernels.ms_add_kernel(counters, matrix, counts)
+        # The values each scalar add() would have returned, in stream
+        # order — the inputs to the recurring-minimum test.
+        observed = kernels.sequential_observed(flat, deltas, start, n, k)
+        lowest = observed.min(axis=1)
+        recurring = (observed == lowest[:, None]).sum(axis=1) >= 2
+        # Marker membership *at each key's turn*: batch-start bits plus
+        # the earliest earlier key that covered each bit.  Only
+        # non-recurring keys matter as coverers — a moved key sets its
+        # bits, and a key already in the marker has them set anyway, so
+        # including it never changes any bit's cover time.
+        marker = self.marker
+        mrows = matrix_for(marker.family, canon)
+        start_set = kernels.bits_array(marker.bits, marker.m)
+        first_cover = np.where(start_set, np.int64(-1), np.int64(n))
+        adders = np.flatnonzero(~recurring)
+        if adders.size:
+            np.minimum.at(first_cover, mrows[adders].ravel(),
+                          np.repeat(adders, mrows.shape[1]))
+        in_marker = first_cover[mrows].max(axis=1) < np.arange(n)
+        moved = ~in_marker & ~recurring
+        # Secondary updates are MS adds with already-fixed values (count
+        # for shadow-following keys, the observed minimum for moves), so
+        # they commute and apply as one bulk pass; the scalar path never
+        # reads the secondary during marker-mode inserts.
+        shadowed = in_marker | moved
+        if shadowed.any():
+            values = np.where(in_marker, counts, lowest)[shadowed]
+            smatrix = matrix_for(self.secondary.family, canon[shadowed])
+            kernels.ms_add_kernel(self.secondary.counters, smatrix, values)
+            self.secondary.total_count += int(values.sum())
+        if moved.any():
+            kernels.set_bits(marker.bits, mrows[moved].ravel())
+            marker.n_added += int(moved.sum())
+
+    def delete_many(self, keys, counts, canon, matrix) -> None:
+        from repro.hashing.vectorized import matrix_for
+        counters = self.sbf.counters
+        n, k = matrix.shape
+        flat = matrix.ravel()
+        deltas = np.repeat(-counts.astype(np.int64), k)
+        start = counters.get_many(flat)
+        kernels.ms_add_kernel(counters, matrix, counts, sign=-1)
+        observed = kernels.sequential_observed(flat, deltas, start, n, k)
+        if self.marker is not None:
+            # Deletes never change the marker, so one batch-start gather
+            # answers every membership test.
+            mrows = matrix_for(self.marker.family, canon)
+            bits = kernels.bits_array(self.marker.bits, self.marker.m)
+            in_secondary = bits[mrows].all(axis=1)
+        else:
+            lowest = observed.min(axis=1)
+            in_secondary = (observed == lowest[:, None]).sum(axis=1) < 2
+        # The "unless a shadow counter is 0" guard reads values earlier
+        # deletes may have lowered, so shadow updates replay in stream
+        # order — they are the rare fraction; the primary scatter above
+        # carries the batch.
+        secondary = self.secondary
+        for j in np.flatnonzero(in_secondary).tolist():
+            srow = secondary.family.indices_hashed(int(canon[j]))
+            count = int(counts[j])
+            values = [secondary.counters.get(i) for i in srow]
+            if all(v >= count for v in values):
+                for i in srow:
+                    secondary.counters.add(i, -count)
+                secondary.total_count -= count
+
+    def estimate_many(self, keys, canon, matrix) -> np.ndarray:
+        from repro.hashing.vectorized import matrix_for
+        values = kernels.gather_rows(self.sbf.counters, matrix)
+        lowest = values.min(axis=1)
+        consult = (values == lowest[:, None]).sum(axis=1) < 2
+        if self.marker is not None and consult.any():
+            mrows = matrix_for(self.marker.family, canon)
+            bits = kernels.bits_array(self.marker.bits, self.marker.m)
+            consult &= bits[mrows].all(axis=1)
+        out = lowest.astype(np.int64)
+        if consult.any():
+            smatrix = matrix_for(self.secondary.family, canon[consult])
+            shadow = kernels.row_minima(self.secondary.counters, smatrix)
+            primary = lowest[consult]
+            out[consult] = np.where(shadow > 0,
+                                    np.minimum(shadow, primary), primary)
+        return out
 
     def storage_bits(self) -> int:
         bits = self.secondary.storage_bits()

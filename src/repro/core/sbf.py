@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.core.params import bloom_error, optimal_k, optimal_m
 from repro.hashing.families import HashFamily, make_family
 from repro.storage.backends import CounterBackend, make_backend
@@ -51,8 +53,10 @@ class SpectralBloomFilter:
         hash_family: ``"modmul"`` (the paper's scheme, default),
             ``"multiply-shift"``, ``"tabulation"``, ``"double"`` or a
             :class:`~repro.hashing.families.HashFamily` instance.
-        backend: counter storage — ``"array"`` (default), ``"compact"``
-            (String-Array Index, §4) or ``"stream"`` (§4.5).
+        backend: counter storage — ``"array"`` (default), ``"numpy"``
+            (vectorised counters, the bulk-operation backend),
+            ``"compact"`` (String-Array Index, §4) or ``"stream"``
+            (§4.5).
         backend_options: extra keyword arguments for the backend.
         method_options: extra keyword arguments for the method (e.g.
             ``secondary_m`` / ``use_marker`` for Recurring Minimum).
@@ -135,13 +139,115 @@ class SpectralBloomFilter:
         self.total_count -= count
 
     def update(self, items: Mapping[object, int] | Iterable) -> None:
-        """Bulk insert: a ``{key: count}`` mapping or an iterable of keys."""
+        """Bulk insert: a ``{key: count}`` mapping or an iterable of keys.
+
+        Routed through :meth:`insert_many`, so dict/stream construction
+        gets the vectorised kernels for free.
+        """
         if isinstance(items, Mapping):
-            for key, count in items.items():
-                self.insert(key, count)
+            self.insert_many(list(items.keys()), list(items.values()))
+        elif isinstance(items, (list, tuple, np.ndarray)):
+            self.insert_many(items)
         else:
-            for key in items:
-                self.insert(key)
+            self.insert_many(list(items))
+
+    # ------------------------------------------------------------------
+    # bulk operations
+    # ------------------------------------------------------------------
+    def _prepare_batch(self, keys, counts):
+        """Normalise a key/count batch: counts array, zero filtering.
+
+        Returns ``(keys, counts, n)`` with ``counts`` an int64 array and
+        zero-count entries dropped (the scalar path skips them before the
+        method sees them — for RM a zero insert must not touch the
+        secondary).  Raises on negative counts, like the scalar path.
+        """
+        if isinstance(keys, np.ndarray):
+            n = int(keys.shape[0])
+        else:
+            if not isinstance(keys, (list, tuple)):
+                keys = list(keys)
+            n = len(keys)
+        if counts is None:
+            counts = np.ones(n, dtype=np.int64)
+        elif isinstance(counts, int):
+            if counts < 0:
+                raise ValueError(f"count must be >= 0, got {counts}")
+            counts = np.full(n, counts, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (n,):
+                raise ValueError(
+                    f"expected {n} counts, got shape {counts.shape}")
+            if counts.size and int(counts.min()) < 0:
+                raise ValueError(
+                    f"count must be >= 0, got {int(counts.min())}")
+        if counts.size and int(counts.min()) == 0:
+            keep = counts > 0
+            counts = counts[keep]
+            if isinstance(keys, np.ndarray):
+                keys = keys[keep]
+            else:
+                keys = [key for key, flag in zip(keys, keep.tolist())
+                        if flag]
+            n = int(counts.size)
+        return keys, counts, n
+
+    def insert_many(self, keys, counts=None) -> None:
+        """Record a whole batch: ``counts[j]`` occurrences of ``keys[j]``.
+
+        Equivalent to ``for key, c in zip(keys, counts): insert(key, c)``
+        — the bulk kernels are proven bit-identical per method (see
+        :mod:`repro.core.kernels`) — but vectorised: one hashing pass and
+        aggregated counter scatters instead of per-key Python calls.
+
+        Args:
+            keys: a sequence (or numpy array) of keys.
+            counts: per-key multiplicities — ``None`` (one each), a single
+                int applied to every key, or a sequence aligned with
+                *keys*.  Zero counts are skipped; negatives raise.
+        """
+        from repro.hashing.vectorized import canonicalize_many, matrix_for
+        keys, counts, n = self._prepare_batch(keys, counts)
+        if n == 0:
+            return
+        canon = canonicalize_many(keys)
+        matrix = matrix_for(self.family, canon)
+        self.method.insert_many(keys, counts, canon, matrix)
+        self.total_count += int(counts.sum())
+
+    def delete_many(self, keys, counts=None) -> None:
+        """Remove a batch of occurrences (each key assumed present, §2.2).
+
+        Bit-identical to the scalar delete loop on success.  If the batch
+        would drive a counter negative, array-shaped backends raise
+        *before* applying anything (the scalar loop would also have
+        raised, but after partially applying — the all-or-nothing bulk
+        behaviour is strictly safer); loop-fallback backends mirror the
+        scalar partial-application failure mode.
+        """
+        from repro.hashing.vectorized import canonicalize_many, matrix_for
+        keys, counts, n = self._prepare_batch(keys, counts)
+        if n == 0:
+            return
+        canon = canonicalize_many(keys)
+        matrix = matrix_for(self.family, canon)
+        self.method.delete_many(keys, counts, canon, matrix)
+        self.total_count -= int(counts.sum())
+
+    def query_many(self, keys) -> np.ndarray:
+        """Frequency estimates for a key batch, as an int64 array.
+
+        ``query_many(keys)[j] == query(keys[j])`` for every j and method.
+        """
+        from repro.hashing.vectorized import canonicalize_many, matrix_for
+        if not isinstance(keys, (list, tuple, np.ndarray)):
+            keys = list(keys)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        canon = canonicalize_many(keys)
+        matrix = matrix_for(self.family, canon)
+        return self.method.estimate_many(keys, canon, matrix)
 
     def query(self, key: object) -> int:
         """Frequency estimate ``f̂_x`` for *key* (method-dependent).

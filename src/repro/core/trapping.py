@@ -30,7 +30,7 @@ smaller average error.
 
 from __future__ import annotations
 
-from repro.core.methods import RecurringMinimum
+from repro.core.methods import Method, RecurringMinimum
 
 
 class _Trap:
@@ -102,6 +102,16 @@ class TrappingRecurringMinimum(RecurringMinimum):
         dead = [i for i, t in self._traps.items() if t.owner == key]
         for i in dead:
             del self._traps[i]
+
+    # Traps fire (and are set/cleared) per key in stream order; the RM
+    # bulk kernels cannot replay that, so TRM keeps the exact scalar
+    # sequence for mutations.  Lookups have no trap interaction, so the
+    # inherited vectorised estimate_many stays valid.
+    def insert_many(self, keys, counts, canon, matrix) -> None:
+        Method.insert_many(self, keys, counts, canon, matrix)
+
+    def delete_many(self, keys, counts, canon, matrix) -> None:
+        Method.delete_many(self, keys, counts, canon, matrix)
 
     def storage_bits(self) -> int:
         bits = super().storage_bits()

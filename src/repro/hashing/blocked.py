@@ -58,10 +58,11 @@ class BlockedHashFamily(HashFamily):
         end = (block + 1) * self.m // self.n_blocks
         return start, max(1, end - start)
 
-    def indices(self, key: object) -> tuple[int, ...]:
-        block = self._selector.indices(key)[0]
+    def indices_hashed(self, hashed: int) -> tuple[int, ...]:
+        block = self._selector.indices_hashed(hashed)[0]
         start, width = self._block_span(block)
-        return tuple(start + (i % width) for i in self._inner.indices(key))
+        return tuple(start + (i % width)
+                     for i in self._inner.indices_hashed(hashed))
 
     def block_of(self, key: object) -> int:
         """The block owning *key* — every probe of *key* lands inside it.

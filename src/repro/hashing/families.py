@@ -38,8 +38,19 @@ class HashFamily(ABC):
         self.seed = int(seed)
 
     @abstractmethod
+    def indices_hashed(self, hashed: int) -> Sequence[int]:
+        """Positions for an already-canonicalised 64-bit key value.
+
+        Splitting canonicalisation (:func:`canonical_key`) from position
+        computation lets bulk kernels canonicalise a whole batch once —
+        vectorised for ints, per-key BLAKE2b for strings — and then feed
+        the same values to any family, including ones whose position
+        arithmetic is not vectorisable (tabulation, double hashing).
+        """
+
     def indices(self, key: object) -> Sequence[int]:
         """Return the ``k`` positions for *key*, each in ``[0, m)``."""
+        return self.indices_hashed(canonical_key(key))
 
     def is_compatible(self, other: "HashFamily") -> bool:
         """True if *other* hashes every key to the same positions.
@@ -91,10 +102,10 @@ class ModuloMultiplyFamily(HashFamily):
         self._multipliers = tuple(rng.randrange(1 << 63, 1 << 64) | 1
                                   for _ in range(k))
 
-    def indices(self, key: object) -> tuple[int, ...]:
-        v = canonical_key(key)
+    def indices_hashed(self, hashed: int) -> tuple[int, ...]:
         m = self.m
-        return tuple((m * ((a * v) & _MASK64)) >> 64 for a in self._multipliers)
+        return tuple((m * ((a * hashed) & _MASK64)) >> 64
+                     for a in self._multipliers)
 
 
 class MultiplyShiftFamily(HashFamily):
@@ -112,10 +123,9 @@ class MultiplyShiftFamily(HashFamily):
             for _ in range(k)
         )
 
-    def indices(self, key: object) -> tuple[int, ...]:
-        v = canonical_key(key)
+    def indices_hashed(self, hashed: int) -> tuple[int, ...]:
         m = self.m
-        return tuple((m * ((a * v + b) & _MASK64)) >> 64
+        return tuple((m * ((a * hashed + b) & _MASK64)) >> 64
                      for a, b in self._params)
 
 
@@ -135,9 +145,8 @@ class TabulationFamily(HashFamily):
             for _ in range(k)
         ]
 
-    def indices(self, key: object) -> tuple[int, ...]:
-        v = canonical_key(key)
-        key_bytes = [(v >> (8 * byte)) & 0xFF for byte in range(8)]
+    def indices_hashed(self, hashed: int) -> tuple[int, ...]:
+        key_bytes = [(hashed >> (8 * byte)) & 0xFF for byte in range(8)]
         out = []
         m = self.m
         for tables in self._tables:
@@ -164,11 +173,10 @@ class DoubleHashingFamily(HashFamily):
         self._a2 = rng.randrange(1 << 63, 1 << 64) | 1
         self._b2 = rng.randrange(1 << 64)
 
-    def indices(self, key: object) -> tuple[int, ...]:
-        v = canonical_key(key)
+    def indices_hashed(self, hashed: int) -> tuple[int, ...]:
         m = self.m
-        h1 = (m * ((self._a1 * v + self._b1) & _MASK64)) >> 64
-        h2 = (m * ((self._a2 * v + self._b2) & _MASK64)) >> 64
+        h1 = (m * ((self._a1 * hashed + self._b1) & _MASK64)) >> 64
+        h2 = (m * ((self._a2 * hashed + self._b2) & _MASK64)) >> 64
         # Force the stride to be nonzero so the k probes stay distinct
         # whenever m > 1.
         if h2 == 0:

@@ -2,9 +2,20 @@
 
 The experiments and any production use of the SBF ingest long streams of
 keys; hashing them one Python call at a time dominates the cost.  This
-module vectorises the two multiplication-based families over numpy arrays
-of integer keys, producing an ``(n, k)`` index matrix in a handful of
-array operations.
+module vectorises the pipeline over batches:
+
+- :func:`canonicalize_many` — batch :func:`repro.hashing.keys.canonical_key`.
+  Integer keys go through a vectorised SplitMix64 finaliser; str/bytes/
+  float/tuple keys need a per-key BLAKE2b digest (inherently scalar) but
+  mixed batches split into the two populations by position, so an int-heavy
+  stream pays the digest only for its non-int minority.
+- :func:`indices_matrix` — an ``(n, k)`` position matrix in a handful of
+  array operations for the multiplication-based families (and the blocked
+  family built from them).
+- :func:`matrix_for` — the same matrix for *any* family: vectorised when
+  possible, otherwise an exact ``indices_hashed`` loop over the already
+  canonicalised values.  This is what the core bulk kernels call, so every
+  method × family combination has a correct bulk path.
 
 Numerical note: numpy has no 128-bit integers, so the 64x64→high-64
 multiply ``(m * (a*v mod 2^64)) >> 64`` is decomposed into 32-bit halves —
@@ -20,10 +31,11 @@ from repro.hashing.families import (
     ModuloMultiplyFamily,
     MultiplyShiftFamily,
 )
-from repro.hashing.keys import _MIX1, _MIX2, _SPLITMIX_GAMMA
+from repro.hashing.keys import _MIX1, _MIX2, _SPLITMIX_GAMMA, canonical_key
 
 _MASK32 = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
+_MASK64 = (1 << 64) - 1
 
 
 def _mul_mod_2_64(a: np.ndarray | int, b: np.ndarray) -> np.ndarray:
@@ -72,26 +84,74 @@ def canonical_keys_array(keys: np.ndarray) -> np.ndarray:
     return x
 
 
-def indices_matrix(family: HashFamily, keys: np.ndarray) -> np.ndarray:
-    """``(n, k)`` counter positions for an integer key array.
+def _ints_to_uint64(values: list) -> np.ndarray:
+    """Python ints → uint64 with the same wrap as ``key & MASK64``."""
+    try:
+        # int64 accepts negatives; the uint64 view is the two's-complement
+        # wrap, identical to masking.
+        return np.asarray(values, dtype=np.int64).astype(np.uint64)
+    except OverflowError:
+        return np.asarray([v & _MASK64 for v in values], dtype=np.uint64)
 
-    Supports :class:`ModuloMultiplyFamily`, :class:`MultiplyShiftFamily`,
-    and :class:`~repro.hashing.blocked.BlockedHashFamily` (whose selector
-    and inner families are both multiply-shift); other families raise
-    ``TypeError`` (use the scalar path for them).
+
+def canonicalize_many(keys) -> np.ndarray:
+    """Canonical 64-bit values for a batch of arbitrary keys.
+
+    Accepts any sequence :func:`canonical_key` accepts element-wise (plus
+    integer numpy arrays) and returns a ``uint64`` array with identical
+    values, so bulk and scalar paths hash every key to the same positions.
+    Exact-``int`` keys vectorise; other types pay the scalar digest.
     """
+    if isinstance(keys, np.ndarray):
+        if keys.dtype.kind in ("i", "u"):
+            return canonical_keys_array(keys)
+        if keys.dtype.kind == "b":
+            return canonical_keys_array(keys.astype(np.uint64))
+        keys = keys.tolist()
+    elif not isinstance(keys, (list, tuple)):
+        keys = list(keys)
+    n = len(keys)
+    out = np.empty(n, dtype=np.uint64)
+    if n == 0:
+        return out
+    is_int = np.fromiter((type(key) is int for key in keys),
+                         dtype=bool, count=n)
+    if is_int.all():
+        return canonical_keys_array(_ints_to_uint64(list(keys)))
+    int_pos = np.flatnonzero(is_int)
+    if int_pos.size:
+        ints = [keys[i] for i in int_pos.tolist()]
+        out[int_pos] = canonical_keys_array(_ints_to_uint64(ints))
+    other_pos = np.flatnonzero(~is_int)
+    out[other_pos] = np.fromiter(
+        (canonical_key(keys[i]) for i in other_pos.tolist()),
+        dtype=np.uint64, count=other_pos.size)
+    return out
+
+
+def supports_vectorized(family: HashFamily) -> bool:
+    """True if :func:`indices_matrix` has an array kernel for *family*."""
+    from repro.hashing.blocked import BlockedHashFamily
+
+    if isinstance(family, BlockedHashFamily):
+        return (supports_vectorized(family._selector)
+                and supports_vectorized(family._inner))
+    return isinstance(family, (ModuloMultiplyFamily, MultiplyShiftFamily))
+
+
+def _matrix_from_hashed(family: HashFamily, hashed: np.ndarray) -> np.ndarray:
+    """``(n, k)`` positions from already-canonicalised uint64 values."""
     from repro.hashing.blocked import BlockedHashFamily
 
     if isinstance(family, BlockedHashFamily):
         # Two vectorised passes mirror the scalar two-level scheme
         # exactly: block selection, then within-block probes.
-        blocks = indices_matrix(family._selector, keys)[:, 0]
+        blocks = _matrix_from_hashed(family._selector, hashed)[:, 0]
         start = blocks * family.m // family.n_blocks
         end = (blocks + 1) * family.m // family.n_blocks
         width = np.maximum(1, end - start)
-        inner = indices_matrix(family._inner, keys)
+        inner = _matrix_from_hashed(family._inner, hashed)
         return (start[:, None] + inner % width[:, None]).astype(np.int64)
-    hashed = canonical_keys_array(keys)
     m = family.m
     out = np.empty((len(hashed), family.k), dtype=np.int64)
     if isinstance(family, ModuloMultiplyFamily):
@@ -111,29 +171,63 @@ def indices_matrix(family: HashFamily, keys: np.ndarray) -> np.ndarray:
         f"{type(family).__name__}; use the scalar indices() path")
 
 
+def indices_matrix(family: HashFamily, keys, *,
+                   canonical: bool = False) -> np.ndarray:
+    """``(n, k)`` counter positions for a key batch.
+
+    Supports :class:`ModuloMultiplyFamily`, :class:`MultiplyShiftFamily`,
+    and :class:`~repro.hashing.blocked.BlockedHashFamily` (whose selector
+    and inner families are both multiply-shift); other families raise
+    ``TypeError`` (use :func:`matrix_for`, which falls back to an exact
+    scalar loop).  With ``canonical=True``, *keys* must already be the
+    uint64 output of :func:`canonicalize_many` and the mixer is skipped —
+    this is how callers hash one batch against several families (e.g. the
+    blocked selector and inner, or a shard router plus its shards) without
+    re-canonicalising.
+    """
+    if canonical:
+        hashed = np.asarray(keys, dtype=np.uint64)
+    else:
+        hashed = canonicalize_many(keys)
+    return _matrix_from_hashed(family, hashed)
+
+
+def matrix_for(family: HashFamily, canon: np.ndarray) -> np.ndarray:
+    """``(n, k)`` positions from canonical values, for *any* family.
+
+    Vectorised when the family supports it; otherwise an exact
+    ``indices_hashed`` loop.  Either way the rows equal
+    ``family.indices(key)`` for the corresponding original keys.
+    """
+    canon = np.asarray(canon, dtype=np.uint64)
+    if supports_vectorized(family):
+        return _matrix_from_hashed(family, canon)
+    out = np.empty((canon.size, family.k), dtype=np.int64)
+    for i, value in enumerate(canon.tolist()):
+        out[i] = family.indices_hashed(value)
+    return out
+
+
 def bulk_insert_ms(sbf, keys) -> None:
-    """Vectorised Minimum-Selection ingestion of an integer key stream.
+    """Vectorised Minimum-Selection ingestion of a key stream.
 
     Equivalent to ``for x in keys: sbf.insert(x)`` for an MS-method SBF on
-    the array backend, but ~20x faster: one ``np.add.at`` scatter over the
-    counter array.  Raises for other methods/backends, whose semantics are
-    inherently per-item.
+    an array-shaped backend, but ~20x faster.  Kept as a thin validating
+    wrapper over :meth:`SpectralBloomFilter.insert_many` for backward
+    compatibility; it still raises for other methods/backends, matching
+    its original contract (``insert_many`` itself accepts every method and
+    backend).
     """
     from repro.core.methods import MinimumSelection
-    from repro.storage.backends import ArrayBackend
+    from repro.storage.backends import ArrayBackend, NumpyBackend
 
     if not isinstance(sbf.method, MinimumSelection):
-        raise TypeError("bulk_insert_ms requires the MS method (MI/RM "
-                        "updates are order-dependent)")
-    if not isinstance(sbf.counters, ArrayBackend):
-        raise TypeError("bulk_insert_ms requires the array backend")
+        raise TypeError("bulk_insert_ms requires the MS method (use "
+                        "insert_many for MI/RM, which handles their "
+                        "order-dependent updates exactly)")
+    if not isinstance(sbf.counters, (ArrayBackend, NumpyBackend)):
+        raise TypeError("bulk_insert_ms requires an array-shaped backend")
     keys = np.asarray(keys)
     if keys.size == 0:
         return
-    matrix = indices_matrix(sbf.family, keys)
-    counts = np.zeros(sbf.m, dtype=np.int64)
-    np.add.at(counts, matrix.ravel(), 1)
-    store = sbf.counters._counts
-    for i in np.nonzero(counts)[0]:
-        store[i] += int(counts[i])
-    sbf.total_count += int(keys.size)
+    sbf.insert_many(keys)

@@ -40,7 +40,9 @@ from repro.persist.snapshot import (
 )
 from repro.persist.wal import (
     OP_DELETE,
+    OP_DELETE_MANY,
     OP_INSERT,
+    OP_INSERT_MANY,
     OP_SET,
     ScanResult,
     WALError,
@@ -67,6 +69,8 @@ __all__ = [
     "read_frame_file",
     "OP_INSERT",
     "OP_DELETE",
+    "OP_INSERT_MANY",
+    "OP_DELETE_MANY",
     "OP_SET",
     "ScanResult",
     "WALError",

@@ -187,6 +187,48 @@ class ConcurrentSBF:
         with self._count_lock:
             self.operations += 1
 
+    # -- bulk operations ---------------------------------------------------
+    # Bulk batches touch arbitrary counters, so striping buys nothing:
+    # they run under the writer lock plus every stripe — one lock
+    # acquisition for the whole batch, then the vectorised kernels.
+    def insert_many(self, keys, counts=None, *,
+                    timeout: float | None = None) -> None:
+        """Apply a whole insert batch atomically w.r.t. other threads."""
+        n = len(keys)
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                self._handle.insert_many(keys, counts)
+            else:
+                self._sbf.insert_many(keys, counts)
+        finally:
+            self._release(taken)
+        with self._count_lock:
+            self.operations += n
+
+    def delete_many(self, keys, counts=None, *,
+                    timeout: float | None = None) -> None:
+        """Apply a whole delete batch atomically w.r.t. other threads."""
+        n = len(keys)
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            if isinstance(self._handle, DurableSBF):
+                self._handle.delete_many(keys, counts)
+            else:
+                self._sbf.delete_many(keys, counts)
+        finally:
+            self._release(taken)
+        with self._count_lock:
+            self.operations += n
+
+    def query_many(self, keys, *, timeout: float | None = None):
+        """Vectorised estimates for a batch, on a frozen cut."""
+        taken = self._acquire(self._all_locks(), timeout)
+        try:
+            return self._sbf.query_many(keys)
+        finally:
+            self._release(taken)
+
     # -- reads -----------------------------------------------------------
     def query(self, key: object, *, timeout: float | None = None) -> int:
         """Frequency estimate under the key's stripes (a consistent read

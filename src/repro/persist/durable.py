@@ -22,9 +22,13 @@ pass-throughs.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
+import numpy as np
+
+from repro.core import kernels
 from repro.core.sbf import SpectralBloomFilter
+from repro.hashing.vectorized import canonicalize_many, matrix_for
 from repro.persist.crashsim import FileIO
 from repro.persist.recovery import WAL_NAME, RecoveryReport, recover
 from repro.persist.snapshot import SnapshotStore
@@ -121,6 +125,95 @@ class DurableSBF:
         seq = self.wal.log_delete(key, count)
         self.sbf.delete(key, count)
         return seq
+
+    # -- bulk mutations (one WAL record per batch) -----------------------
+    @staticmethod
+    def _as_lists(keys, counts) -> tuple[list, list]:
+        """Normalise a batch to plain lists the WAL can round-trip."""
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        else:
+            keys = list(keys)
+        if counts is None:
+            counts = [1] * len(keys)
+        elif isinstance(counts, (int, np.integer)):
+            counts = [int(counts)] * len(keys)
+        elif isinstance(counts, np.ndarray):
+            counts = counts.tolist()
+        else:
+            counts = list(counts)
+        return keys, counts
+
+    def insert_many(self, keys: Sequence, counts=None) -> int:
+        """Durably record a whole batch; returns the batch's WAL seq.
+
+        The batch is logged as a single ``insert_many`` record — one
+        append, one CRC, one fsync — *before* the in-memory filter moves
+        (write-ahead), then applied through the vectorised bulk kernels.
+        Key and count validation happens in the log layer, so an invalid
+        batch raises before either the log or the filter changes.
+        """
+        keys, counts = self._as_lists(keys, counts)
+        if not keys:
+            return self.wal.last_seq
+        seq = self.wal.log_insert_many(keys, counts)
+        self.sbf.insert_many(keys, counts)
+        return seq
+
+    def delete_many(self, keys: Sequence, counts=None) -> int:
+        """Durably remove a whole batch; returns the batch's WAL seq.
+
+        Raises:
+            ValueError: if the batch would drive any counter negative —
+                checked with a *read-only* aggregate pass before logging,
+                so a rejected batch never poisons the log with a record
+                replay cannot apply.
+        """
+        keys, counts = self._as_lists(keys, counts)
+        if not keys:
+            return self.wal.last_seq
+        if self.sbf.method.name not in ("ms", "mi", "rm"):
+            # Methods that replay batches as a scalar sequence (e.g. the
+            # trapping refinement) validate per key mid-stream; log them
+            # the same way so every logged record is applicable.
+            last = self.wal.last_seq
+            for key, count in zip(keys, counts):
+                last = self.delete(key, count)
+            return last
+        self._precheck_bulk_delete(keys, counts)
+        seq = self.wal.log_delete_many(keys, counts)
+        self.sbf.delete_many(keys, counts)
+        return seq
+
+    def _precheck_bulk_delete(self, keys: list, counts: list) -> None:
+        """Read-only underflow check mirroring the bulk delete kernels.
+
+        MS/RM bulk deletes apply one aggregated decrement per distinct
+        primary counter and fail iff some final value would be negative;
+        checking exactly that aggregate here means a logged bulk delete
+        record always applies (MI clamps and never fails).
+        """
+        if self.sbf.method.name == "mi":
+            return
+        arr = np.asarray(counts, dtype=np.int64)
+        if bool((arr < 0).any()):
+            bad = int(arr[arr < 0][0])
+            raise ValueError(f"count must be >= 0, got {bad}")
+        canon = canonicalize_many(keys)
+        matrix = matrix_for(self.sbf.family, canon)
+        deltas = np.repeat(arr, self.sbf.k)
+        uniq, sums = kernels.aggregate_deltas(matrix.ravel(), deltas)
+        current = self.sbf.counters.get_many(uniq)
+        short = current < sums
+        if bool(short.any()):
+            pos = int(uniq[short][0])
+            raise ValueError(
+                f"bulk delete would drive counter {pos} negative "
+                f"({int(current[short][0])} - {int(sums[short][0])})")
+
+    def query_many(self, keys: Sequence) -> np.ndarray:
+        """Vectorised frequency estimates for a batch of keys."""
+        return self.sbf.query_many(keys)
 
     def set(self, key: object, count: int) -> int:
         """Durably force ``f_key := count``; returns the WAL seq.

@@ -27,7 +27,9 @@ from repro.persist.crashsim import FileIO
 from repro.persist.snapshot import SnapshotStore
 from repro.persist.wal import (
     OP_DELETE,
+    OP_DELETE_MANY,
     OP_INSERT,
+    OP_INSERT_MANY,
     OP_SET,
     WALRecord,
     replay,
@@ -71,6 +73,12 @@ def apply_record(sbf: SpectralBloomFilter, record: WALRecord) -> None:
         sbf.insert(record.key, record.count)
     elif record.op == OP_DELETE:
         sbf.delete(record.key, record.count)
+    elif record.op == OP_INSERT_MANY:
+        # Replays through the same bulk kernels that served the batch, so
+        # the recovered counters are bit-identical to the served ones.
+        sbf.insert_many(record.key, record.count)
+    elif record.op == OP_DELETE_MANY:
+        sbf.delete_many(record.key, record.count)
     elif record.op == OP_SET:
         current = sbf.query(record.key)
         if record.count > current:

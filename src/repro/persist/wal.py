@@ -49,8 +49,17 @@ from repro.persist.crashsim import FileIO
 OP_INSERT = 1
 OP_DELETE = 2
 OP_SET = 3
+#: bulk operations: the body is ``[keys, counts]`` (two equal-length
+#: lists) instead of ``[key, count]`` — one record, one fsync, one
+#: sequence number for a whole batch.
+OP_INSERT_MANY = 4
+OP_DELETE_MANY = 5
 
-OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_SET: "set"}
+OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_SET: "set",
+            OP_INSERT_MANY: "insert_many", OP_DELETE_MANY: "delete_many"}
+
+#: ops whose body carries a key/count *batch* rather than a single pair
+BULK_OPS = frozenset({OP_INSERT_MANY, OP_DELETE_MANY})
 
 _LEN = struct.Struct("<I")
 _SEQ_OP = struct.Struct("<QB")
@@ -69,12 +78,17 @@ class WALError(ValueError):
 
 @dataclass(frozen=True)
 class WALRecord:
-    """One decoded log record."""
+    """One decoded log record.
+
+    For bulk ops (:data:`OP_INSERT_MANY` / :data:`OP_DELETE_MANY`),
+    ``key`` holds the *list* of keys and ``count`` the matching list of
+    counts.
+    """
 
     seq: int
     op: int
     key: object
-    count: int
+    count: object
     #: byte offset of the record's start in the file
     offset: int
     #: total encoded size in bytes
@@ -137,9 +151,16 @@ def _iter_records(data: bytes) -> Iterator[WALRecord]:
             body = json.loads(inner[_SEQ_OP.size:].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _Stop(offset, f"corrupt body: {exc}")
-        if (not isinstance(body, list) or len(body) != 2
-                or not isinstance(body[1], int)
-                or isinstance(body[1], bool)):
+        if not isinstance(body, list) or len(body) != 2:
+            raise _Stop(offset, f"malformed body {body!r}")
+        if op in BULK_OPS:
+            keys, counts = body
+            if (not isinstance(keys, list) or not isinstance(counts, list)
+                    or len(keys) != len(counts)
+                    or any(not isinstance(c, int) or isinstance(c, bool)
+                           or c < 0 for c in counts)):
+                raise _Stop(offset, f"malformed bulk body at seq {seq}")
+        elif not isinstance(body[1], int) or isinstance(body[1], bool):
             raise _Stop(offset, f"malformed body {body!r}")
         yield WALRecord(seq=seq, op=op, key=body[0], count=body[1],
                         offset=offset, size=end - offset)
@@ -286,6 +307,43 @@ class WriteAheadLog:
         if count < 0:
             raise ValueError(f"set count must be >= 0, got {count}")
         return self._append(OP_SET, key, count)
+
+    def _append_bulk(self, op: int, keys: list, counts: list) -> int:
+        if len(keys) != len(counts):
+            raise ValueError(
+                f"got {len(keys)} keys but {len(counts)} counts")
+        for key in keys:
+            if not isinstance(key, SCALAR_KEY_TYPES):
+                raise TypeError(
+                    f"WAL keys must be JSON scalars (str/int/float/bool/"
+                    f"None), got {type(key).__name__}")
+        for count in counts:
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 0:
+                raise ValueError(
+                    f"bulk counts must be ints >= 0, got {count!r}")
+        with self._lock:
+            seq = self.next_seq
+            self._file.write(_encode(seq, op, keys, counts))
+            self.next_seq = seq + 1
+            self.appends += 1
+            self._since_sync += 1
+            if self._policy_every and self._since_sync >= self._policy_every:
+                self.io.fsync(self._file)
+                self._since_sync = 0
+        return seq
+
+    def log_insert_many(self, keys: list, counts: list) -> int:
+        """Append one record covering a whole insert batch.
+
+        A batch is durable (or lost) as a unit: one record, one CRC, one
+        fsync — the amortisation that makes bulk ingest worth logging.
+        """
+        return self._append_bulk(OP_INSERT_MANY, keys, counts)
+
+    def log_delete_many(self, keys: list, counts: list) -> int:
+        """Append one record covering a whole delete batch."""
+        return self._append_bulk(OP_DELETE_MANY, keys, counts)
 
     # -- durability points -------------------------------------------------
     def sync(self) -> None:

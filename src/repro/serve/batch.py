@@ -9,13 +9,14 @@ actual counter work.  :class:`ShardBatcher` amortises them:
   each shard's group runs inside a single
   :meth:`~repro.persist.ConcurrentSBF.exclusive` section, so the locking
   cost is paid once per shard per batch instead of once per operation;
-- **vectorised multi-query / multi-insert** — for Minimum Selection over
-  the array backend with a vectorisable hash family, integer-keyed
-  batches go through :func:`repro.hashing.vectorized.indices_matrix`: one
-  numpy pass computes every key's ``k`` counter positions, and the
-  estimates (or increments) come from array gathers (scatters) instead of
-  per-key Python loops.  Anything else falls back to the per-key path —
-  same results, less speed (the equivalence the tests pin down);
+- **vectorised multi-query / multi-insert** — homogeneous batches ride
+  the core bulk API (``insert_many`` / ``query_many``), which hashes the
+  whole group in one numpy pass and drives the method's bulk kernels —
+  every method, every backend, every key type, bit-identical to the
+  scalar path by construction.  Durable shards log one ``insert_many``
+  WAL record per shard group.  Remote shards (no bulk API on the wire
+  handle) fall back to the per-key path — same results, less speed (the
+  equivalence the tests pin down);
 - **isolation of failures** — a failing operation (e.g. a delete that
   would drive a counter negative, or a remote shard whose channel gave
   up) is captured *in its result slot* as the exception instance; the
@@ -30,37 +31,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.methods import MinimumSelection
-from repro.hashing.blocked import BlockedHashFamily
-from repro.hashing.families import ModuloMultiplyFamily, MultiplyShiftFamily
-from repro.hashing.vectorized import indices_matrix
 from repro.persist.durable import DurableSBF
 from repro.serve.metrics import MetricsRegistry
-from repro.storage.backends import ArrayBackend
 
 #: operation verbs accepted by :meth:`ShardBatcher.execute`
 VERBS = frozenset({"insert", "delete", "set", "query", "contains"})
-
-#: keys eligible for the vectorised path: machine-word unsigned ints
-#: (canonical_key treats plain ints as 64-bit words; bools hash the same
-#: but are excluded to keep the eligibility check trivial)
-_VECTOR_KEY_MAX = (1 << 63) - 1
-
-
-def _vectorizable(sbf) -> bool:
-    """True when *sbf* supports the numpy path (MS + array + mul family)."""
-    return (isinstance(sbf.method, MinimumSelection)
-            and isinstance(sbf.counters, ArrayBackend)
-            and isinstance(sbf.family,
-                           (ModuloMultiplyFamily, MultiplyShiftFamily,
-                            BlockedHashFamily)))
-
-
-def _int_keys(keys: Sequence[object]) -> bool:
-    return all(type(key) is int and 0 <= key <= _VECTOR_KEY_MAX
-               for key in keys)
 
 
 class ShardBatcher:
@@ -118,52 +93,40 @@ class ShardBatcher:
     # -- vectorised homogeneous batches -----------------------------------
     def query_many(self, keys: Sequence[object], *,
                    timeout: float | None = None) -> list[int]:
-        """Frequency estimates for *keys*, in order (vectorised when
-        possible, per-key otherwise — identical results either way)."""
+        """Frequency estimates for *keys*, in order (vectorised when the
+        shard handle speaks the bulk API, per-key otherwise — identical
+        results either way)."""
         results: list = [0] * len(keys)
         for shard_id, shard, indices in self._grouped(keys):
+            group_keys = [keys[i] for i in indices]
             with shard.exclusive(timeout) as raw:
-                sbf = getattr(shard, "sbf", None)
-                group_keys = [keys[i] for i in indices]
-                if sbf is not None and _vectorizable(sbf) \
-                        and _int_keys(group_keys):
-                    matrix = indices_matrix(
-                        sbf.family, np.asarray(group_keys, dtype=np.uint64))
-                    estimates = _gather_min(sbf.counters._counts, matrix)
-                    for slot, estimate in zip(indices, estimates):
-                        results[slot] = int(estimate)
+                if hasattr(raw, "query_many"):
+                    estimates = raw.query_many(group_keys)
+                    for slot, estimate in zip(indices, estimates.tolist()):
+                        results[slot] = estimate
                     self.metrics.counter("batch.vectorized").inc(
                         len(group_keys))
                 else:
-                    handle = raw if sbf is None else sbf
                     for slot, key in zip(indices, group_keys):
-                        results[slot] = handle.query(key)
+                        results[slot] = raw.query(key)
             self._account(shard, shard_id, len(indices))
         self.metrics.counter("batch.ops").inc(len(keys))
         return results
 
     def insert_many(self, keys: Sequence[object], *,
                     timeout: float | None = None) -> None:
-        """Insert every key once (vectorised scatter when possible).
+        """Insert every key once through the core bulk kernels.
 
-        Durable shards always take the per-key path — each mutation must
-        reach the write-ahead log individually, or recovery could not
-        reconstruct the acknowledged batch.
+        Each shard's group is one ``insert_many`` call on the raw handle
+        — for durable shards that is one WAL record (and one fsync) per
+        group instead of one per key.  Remote shards, whose wire handle
+        has no bulk entry point, insert per key.
         """
         for shard_id, shard, indices in self._grouped(keys):
+            group_keys = [keys[i] for i in indices]
             with shard.exclusive(timeout) as raw:
-                sbf = getattr(shard, "sbf", None)
-                group_keys = [keys[i] for i in indices]
-                if sbf is not None and not isinstance(raw, DurableSBF) \
-                        and _vectorizable(sbf) and _int_keys(group_keys):
-                    matrix = indices_matrix(
-                        sbf.family, np.asarray(group_keys, dtype=np.uint64))
-                    store = sbf.counters._counts
-                    deltas = np.zeros(sbf.m, dtype=np.int64)
-                    np.add.at(deltas, matrix.ravel(), 1)
-                    for i in np.nonzero(deltas)[0]:
-                        store[i] += int(deltas[i])
-                    sbf.total_count += len(group_keys)
+                if hasattr(raw, "insert_many"):
+                    raw.insert_many(group_keys)
                     self.metrics.counter("batch.vectorized").inc(
                         len(group_keys))
                 else:
@@ -185,19 +148,6 @@ class ShardBatcher:
         if hasattr(shard, "add_operations"):
             shard.add_operations(n)
         self.router.note_shard_ops(shard_id, n)
-
-
-def _gather_min(store: list[int], matrix: np.ndarray) -> np.ndarray | list:
-    """Minimum counter per row of *matrix* over the array backend's store.
-
-    Two regimes: for large batches the O(m) conversion of the store into a
-    numpy array is amortised by pure-array gathers; for small batches a
-    per-row Python min over the list is cheaper than touching all ``m``
-    counters.
-    """
-    if matrix.size >= len(store) // 4:
-        return np.asarray(store)[matrix].min(axis=1)
-    return [min(store[i] for i in row) for row in matrix.tolist()]
 
 
 def _apply(raw, op: tuple):

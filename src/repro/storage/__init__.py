@@ -12,6 +12,7 @@ from repro.storage.backends import (
     ArrayBackend,
     CompactBackend,
     CounterBackend,
+    NumpyBackend,
     StreamBackend,
     make_backend,
 )
@@ -19,6 +20,7 @@ from repro.storage.backends import (
 __all__ = [
     "CounterBackend",
     "ArrayBackend",
+    "NumpyBackend",
     "CompactBackend",
     "StreamBackend",
     "make_backend",

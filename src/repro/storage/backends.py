@@ -14,12 +14,26 @@ packed implementation:
 - :class:`StreamBackend` — counters live in a
   :class:`~repro.succinct.compact_stream.CompactCounterStream` (paper §4.5):
   smaller index, O(log log N)-step lookups.
+- :class:`NumpyBackend` — counters in a numpy array with automatic dtype
+  widening (uint8 → uint16 → uint32 → uint64).  The bulk-operation
+  backend: ``get_many``/``add_many``/``set_many`` are single vectorised
+  gathers/scatters, which is what makes
+  :meth:`SpectralBloomFilter.insert_many` run at array speed.
+
+Besides the scalar interface, every backend offers the *bulk hooks*
+``get_many``/``add_many``/``set_many``.  The base class implements them as
+loops over the scalar operations (in submission order, so compact
+backends see exactly the operation sequence the scalar path would have
+issued); array-shaped backends override them with aggregated vectorised
+versions that produce identical counter values.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from typing import Iterator
+
+import numpy as np
 
 from repro.succinct.compact_stream import CompactCounterStream
 from repro.succinct.string_array import StringArrayIndex
@@ -89,6 +103,71 @@ class CounterBackend(ABC):
         """
         return {}
 
+    # ------------------------------------------------------------------
+    # bulk hooks (vectorised by array-shaped backends)
+    # ------------------------------------------------------------------
+    def get_many(self, indices) -> np.ndarray:
+        """Counter values at *indices* (repeats allowed) as an int64 array.
+
+        The base implementation loops over :meth:`get`; array backends
+        override it with a single fancy-index gather.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        return np.fromiter((self.get(int(i)) for i in idx),
+                           dtype=np.int64, count=idx.size)
+
+    def add_many(self, indices, deltas) -> None:
+        """Apply ``add(i, d)`` for every pair of *indices* / *deltas*.
+
+        Repeated indices accumulate.  The base implementation performs the
+        adds one by one in submission order — exactly the operation
+        sequence the scalar path would issue, which matters for backends
+        whose internal layout depends on operation history.  Aggregating
+        overrides must produce the same final counter values and raise
+        ``ValueError`` (before mutating anything) whenever the sequential
+        application would have driven a counter negative; since all the
+        bulk callers pass same-signed deltas, the two failure conditions
+        coincide.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dts = np.asarray(deltas, dtype=np.int64)
+        if idx.shape != dts.shape:
+            raise ValueError(
+                f"add_many needs matching shapes, got {idx.shape} indices "
+                f"and {dts.shape} deltas")
+        for i, d in zip(idx.tolist(), dts.tolist()):
+            self.add(i, d)
+
+    def set_many(self, indices, values) -> None:
+        """Apply ``set(i, v)`` pairwise, in submission order.
+
+        Repeated indices follow last-write-wins (the bulk kernels only
+        repeat an index with an identical value, mirroring the scalar
+        path's duplicate-probe writes).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if idx.shape != vals.shape:
+            raise ValueError(
+                f"set_many needs matching shapes, got {idx.shape} indices "
+                f"and {vals.shape} values")
+        for i, v in zip(idx.tolist(), vals.tolist()):
+            self.set(i, v)
+
+
+def _aggregate(indices: np.ndarray, deltas: np.ndarray,
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Sum *deltas* per distinct index; returns (unique_indices, sums)."""
+    if indices.size < 2 or bool((indices[1:] > indices[:-1]).all()):
+        # Already sorted and unique — the common case when the bulk
+        # kernels pre-aggregate before calling add_many.
+        return indices, deltas
+    order = np.argsort(indices, kind="stable")
+    si = indices[order]
+    sd = deltas[order]
+    starts = np.flatnonzero(np.r_[True, si[1:] != si[:-1]])
+    return si[starts], np.add.reduceat(sd, starts)
+
 
 class ArrayBackend(CounterBackend):
     """Plain word-per-counter array (the fast default)."""
@@ -131,6 +210,169 @@ class ArrayBackend(CounterBackend):
     def storage_bits(self) -> int:
         """The paper's N = sum(ceil(log C_i)) with 1 bit per zero counter."""
         return sum(max(1, c.bit_length()) for c in self._counts)
+
+    def get_many(self, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        counts = self._counts
+        return np.fromiter((counts[i] for i in idx.tolist()),
+                           dtype=np.int64, count=idx.size)
+
+    def add_many(self, indices, deltas) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        dts = np.asarray(deltas, dtype=np.int64)
+        if idx.shape != dts.shape:
+            raise ValueError(
+                f"add_many needs matching shapes, got {idx.shape} indices "
+                f"and {dts.shape} deltas")
+        if idx.size == 0:
+            return
+        uniq, sums = _aggregate(idx, dts)
+        counts = self._counts
+        new = [counts[i] + d for i, d in zip(uniq.tolist(), sums.tolist())]
+        if min(new) < 0:
+            bad = uniq[new.index(min(new))]
+            raise ValueError(
+                f"counter {bad} would become negative ({min(new)})")
+        for i, v in zip(uniq.tolist(), new):
+            counts[i] = v
+
+    def set_many(self, indices, values) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if idx.shape != vals.shape:
+            raise ValueError(
+                f"set_many needs matching shapes, got {idx.shape} indices "
+                f"and {vals.shape} values")
+        if vals.size and vals.min() < 0:
+            raise ValueError(
+                f"counter values must be >= 0, got {int(vals.min())}")
+        counts = self._counts
+        for i, v in zip(idx.tolist(), vals.tolist()):
+            counts[i] = v
+
+
+class NumpyBackend(CounterBackend):
+    """Counters in a numpy array with automatic dtype widening.
+
+    Starts at uint8 and widens (uint16 → uint32 → uint64) whenever a
+    counter would overflow the current dtype, so a mostly-small filter
+    stays one byte per counter.  Widening replaces the underlying array —
+    code holding the zero-copy :attr:`raw` view must call
+    :meth:`ensure_capacity` with an upper bound *before* taking the view
+    (the bulk kernels pre-widen with ``max() + sum(counts)``).
+    """
+
+    name = "numpy"
+
+    _LADDER = (np.uint8, np.uint16, np.uint32, np.uint64)
+
+    def __init__(self, m: int, dtype=np.uint8):
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        dt = np.dtype(dtype)
+        if dt not in {np.dtype(d) for d in self._LADDER}:
+            raise ValueError(
+                f"dtype must be one of uint8/16/32/64, got {dt}")
+        self._counts = np.zeros(m, dtype=dt)
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The live counter array (zero-copy; invalidated by widening)."""
+        return self._counts
+
+    def ensure_capacity(self, max_value: int) -> None:
+        """Widen the dtype until *max_value* fits without overflow."""
+        if max_value <= int(np.iinfo(self._counts.dtype).max):
+            return
+        for dt in self._LADDER:
+            if max_value <= int(np.iinfo(dt).max):
+                self._counts = self._counts.astype(dt)
+                return
+        raise OverflowError(
+            f"counter value {max_value} exceeds uint64 capacity")
+
+    def get(self, i: int) -> int:
+        return int(self._counts[i])
+
+    def add(self, i: int, delta: int) -> int:
+        value = int(self._counts[i]) + delta
+        if value < 0:
+            raise ValueError(f"counter {i} would become negative ({value})")
+        self.ensure_capacity(value)
+        self._counts[i] = value
+        return value
+
+    def set(self, i: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"counter values must be >= 0, got {value}")
+        if i < 0 or i >= self._counts.size:
+            raise IndexError(f"counter index {i} out of range")
+        self.ensure_capacity(value)
+        self._counts[i] = value
+
+    def add_clamped(self, i: int, delta: int) -> int:
+        value = int(self._counts[i]) + delta
+        if value < 0:
+            value = 0
+        self.ensure_capacity(value)
+        self._counts[i] = value
+        return value
+
+    def __len__(self) -> int:
+        return int(self._counts.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts.tolist())
+
+    def storage_bits(self) -> int:
+        """The paper's N model cost, like :class:`ArrayBackend`.
+
+        ``frexp``'s exponent equals ``bit_length`` exactly for values
+        below 2**53; beyond that (never reached by realistic counts) fall
+        back to the python loop.
+        """
+        counts = self._counts
+        if int(counts.max(initial=0)) >= (1 << 53):
+            return sum(max(1, v.bit_length()) for v in counts.tolist())
+        _, exponents = np.frexp(counts.astype(np.float64))
+        return int(np.maximum(exponents, 1).sum())
+
+    def get_many(self, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        return self._counts[idx].astype(np.int64)
+
+    def add_many(self, indices, deltas) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        dts = np.asarray(deltas, dtype=np.int64)
+        if idx.shape != dts.shape:
+            raise ValueError(
+                f"add_many needs matching shapes, got {idx.shape} indices "
+                f"and {dts.shape} deltas")
+        if idx.size == 0:
+            return
+        uniq, sums = _aggregate(idx, dts)
+        new = self._counts[uniq].astype(np.int64) + sums
+        low = int(new.min())
+        if low < 0:
+            bad = int(uniq[int(np.argmin(new))])
+            raise ValueError(f"counter {bad} would become negative ({low})")
+        self.ensure_capacity(int(new.max()))
+        self._counts[uniq] = new.astype(self._counts.dtype)
+
+    def set_many(self, indices, values) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if idx.shape != vals.shape:
+            raise ValueError(
+                f"set_many needs matching shapes, got {idx.shape} indices "
+                f"and {vals.shape} values")
+        if vals.size == 0:
+            return
+        if int(vals.min()) < 0:
+            raise ValueError(
+                f"counter values must be >= 0, got {int(vals.min())}")
+        self.ensure_capacity(int(vals.max()))
+        self._counts[idx] = vals.astype(self._counts.dtype)
 
 
 class CompactBackend(CounterBackend):
@@ -206,6 +448,7 @@ class StreamBackend(CounterBackend):
 
 _BACKENDS = {
     "array": ArrayBackend,
+    "numpy": NumpyBackend,
     "compact": CompactBackend,
     "stream": StreamBackend,
 }
@@ -215,7 +458,8 @@ def make_backend(backend: str | CounterBackend | type, m: int,
                  **options) -> CounterBackend:
     """Build a counter backend by short name, class, or pass through.
 
-    Accepted names: ``"array"`` (default), ``"compact"``, ``"stream"``.
+    Accepted names: ``"array"`` (default), ``"numpy"``, ``"compact"``,
+    ``"stream"``.
     """
     if isinstance(backend, CounterBackend):
         if options:

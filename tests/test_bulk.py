@@ -1,0 +1,185 @@
+"""Differential sweep: bulk operations are bit-identical to scalar ones.
+
+The bulk API's contract (DESIGN.md §8) is strict: for every method,
+backend, and hash family, ``insert_many`` / ``delete_many`` / ``query_many``
+must leave the filter in **exactly** the state the equivalent scalar loop
+produces — counters, total counts, the Recurring Minimum secondary and
+marker, even the trapping refinement's trap table.  These tests drive a
+seeded mixed-type workload through both paths and compare full state.
+
+The sweep is the safety net for the kernels' exactness arguments
+(``repro/core/kernels.py`` module docstring): conflict-free segmentation
+for Minimal Increase, aggregated scatters for Minimum Selection, and the
+marker-time reconstruction for Recurring Minimum.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.sbf import SpectralBloomFilter
+
+METHODS = ["ms", "mi", "rm", "trm"]
+BACKENDS = ["array", "numpy", "compact", "stream"]
+FAMILIES = ["modmul", "multiply-shift", "tabulation", "double", "blocked"]
+
+M, K = 512, 4
+
+
+def mixed_keys(rng: random.Random, n: int) -> list:
+    """Ints (vectorised hash path), strings and bytes (digest path)."""
+    keys = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.45:
+            keys.append(rng.randrange(1 << 44))
+        elif r < 0.60:
+            keys.append(-rng.randrange(1 << 20))      # negative ints
+        elif r < 0.85:
+            keys.append(f"key-{rng.randrange(400)}")
+        else:
+            keys.append(bytes([rng.randrange(256)]))
+    # Force duplicates so MI segmentation and RM recurrence trigger.
+    keys.extend(rng.choices(keys, k=n // 2))
+    rng.shuffle(keys)
+    return keys
+
+
+def full_state(sbf: SpectralBloomFilter) -> list:
+    """Everything observable: counters, totals, RM/TRM side structures."""
+    state = [list(sbf.counters), sbf.total_count]
+    method = sbf.method
+    if getattr(method, "secondary", None) is not None:
+        state.append(list(method.secondary.counters))
+        state.append(method.secondary.total_count)
+    if getattr(method, "marker", None) is not None:
+        state.append(list(method.marker.bits._words))
+        state.append(method.marker.n_added)
+    if hasattr(method, "_traps"):
+        state.append({i: (t.owner, t.budget)
+                      for i, t in method._traps.items()})
+        state.append(method.trap_fires)
+    return state
+
+
+def build_pair(method, backend, family, seed=3):
+    make = lambda: SpectralBloomFilter(M, K, method=method, backend=backend,
+                                       hash_family=family, seed=seed)
+    return make(), make()
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bulk_equals_scalar_across_backends(method, backend):
+    rng = random.Random(hash((method, backend)) & 0xFFFF)
+    scalar, bulk = build_pair(method, backend, "modmul")
+    keys = mixed_keys(rng, 400)
+    counts = [rng.randrange(1, 6) for _ in keys]
+    for key, count in zip(keys, counts):
+        scalar.insert(key, count)
+    bulk.insert_many(keys, counts)
+    assert full_state(scalar) == full_state(bulk)
+
+    probes = keys[:200] + ["never", -99999, b"\xff"]
+    assert [scalar.query(p) for p in probes] \
+        == bulk.query_many(probes).tolist()
+
+    deletions = keys[::3]
+    for key in deletions:
+        scalar.delete(key, 1)
+    bulk.delete_many(deletions)
+    assert full_state(scalar) == full_state(bulk)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_bulk_equals_scalar_across_hash_families(family):
+    rng = random.Random(hash(family) & 0xFFFF)
+    for method in ("ms", "mi", "rm"):
+        scalar, bulk = build_pair(method, "numpy", family)
+        keys = mixed_keys(rng, 300)
+        for key in keys:
+            scalar.insert(key)
+        bulk.insert_many(keys)
+        assert full_state(scalar) == full_state(bulk), (method, family)
+        probes = list(dict.fromkeys(keys))[:150]
+        assert [scalar.query(p) for p in probes] \
+            == bulk.query_many(probes).tolist(), (method, family)
+
+
+def test_numpy_array_keys_and_broadcast_counts():
+    scalar, bulk = build_pair("ms", "numpy", "modmul")
+    keys = np.arange(500, dtype=np.int64) % 97
+    bulk.insert_many(keys, 3)
+    for key in keys.tolist():
+        scalar.insert(key, 3)
+    assert full_state(scalar) == full_state(bulk)
+    assert bulk.query_many(np.arange(10)).tolist() \
+        == [scalar.query(i) for i in range(10)]
+
+
+def test_counts_validation():
+    sbf = SpectralBloomFilter(M, K, method="ms", backend="numpy", seed=1)
+    with pytest.raises(ValueError, match="count must be >= 0"):
+        sbf.insert_many([1, 2], [1, -1])
+    with pytest.raises(ValueError, match="expected 2 counts"):
+        sbf.insert_many([1, 2], [1, 2, 3])
+    sbf.insert_many([], [])
+    assert sbf.total_count == 0
+    assert sbf.query_many([]).tolist() == []
+
+
+def test_zero_counts_are_skipped_like_scalar():
+    scalar, bulk = build_pair("rm", "numpy", "modmul")
+    keys = ["a", "b", "c", "a"]
+    counts = [2, 0, 1, 0]
+    for key, count in zip(keys, counts):
+        scalar.insert(key, count)
+    bulk.insert_many(keys, counts)
+    assert full_state(scalar) == full_state(bulk)
+
+
+def test_bulk_delete_underflow_matches_scalar():
+    scalar, bulk = build_pair("ms", "numpy", "modmul")
+    scalar.insert("x", 2)
+    bulk.insert_many(["x"], [2])
+    with pytest.raises(ValueError):
+        scalar.delete("x", 5)
+    with pytest.raises(ValueError):
+        bulk.delete_many(["x"], [5])
+    # All-or-nothing on array backends: the failed batch changed nothing.
+    assert full_state(scalar) == full_state(bulk)
+
+
+def test_update_and_from_counts_route_through_bulk():
+    scalar = SpectralBloomFilter(M, K, method="ms", backend="numpy", seed=2)
+    histogram = {f"item-{i}": (i % 5) + 1 for i in range(200)}
+    for key, count in histogram.items():
+        scalar.insert(key, count)
+    via_update = SpectralBloomFilter(M, K, method="ms", backend="numpy",
+                                     seed=2)
+    via_update.update(histogram)
+    assert full_state(scalar) == full_state(via_update)
+    via_counts = SpectralBloomFilter.from_counts(
+        histogram, method="ms", backend="numpy", seed=2)
+    sized = SpectralBloomFilter.for_items(len(histogram), method="ms",
+                                          backend="numpy", seed=2)
+    for key, count in histogram.items():
+        sized.insert(key, count)
+    assert list(sized.counters) == list(via_counts.counters)
+
+
+def test_rm_without_marker_falls_back_exactly():
+    make = lambda: SpectralBloomFilter(
+        M, K, method="rm", backend="numpy", seed=4,
+        method_options={"use_marker": False})
+    scalar, bulk = make(), make()
+    rng = random.Random(5)
+    keys = mixed_keys(rng, 250)
+    for key in keys:
+        scalar.insert(key)
+    bulk.insert_many(keys)
+    assert full_state(scalar) == full_state(bulk)
+    probes = list(dict.fromkeys(keys))[:100]
+    assert [scalar.query(p) for p in probes] \
+        == bulk.query_many(probes).tolist()
