@@ -1,0 +1,254 @@
+"""HA failover — availability and latency through a single-replica outage.
+
+The HA layer's pitch (DESIGN.md §9) is that a replica set keeps its
+whole keyspace answerable while any single replica is down: writes ack
+at ``ONE`` and queue a durable hint for the dead replica, quorum reads
+are satisfied by the surviving majority, and consecutive-failure
+ejection stops the fleet from paying retry budgets on every operation.
+This benchmark measures exactly that claim on a fleet whose replicas
+all live behind :class:`~repro.db.faults.FaultyNetwork` wires:
+
+- **healthy** — mixed insert/query traffic with all ``RF`` replicas up;
+- **outage** — one replica of *every* replica set is partitioned away
+  (the "lost an availability zone" shape); traffic keeps flowing and
+  every refused operation is counted against availability;
+- **recovered** — the partition heals, maintenance ticks drain the
+  hint queues, and an anti-entropy pass certifies convergence.
+
+Shape claims asserted:
+- availability during the outage is at least 99% (in this topology the
+  surviving quorum answers everything, so it is exactly 100%);
+- zero query answers differ from the unsharded oracle filter in any
+  phase;
+- after recovery every replica of every set is bit-identical (equal
+  per-block checksums), i.e. hinted handoff + repair converged.
+
+CLI:
+    PYTHONPATH=src python benchmarks/bench_ha_failover.py \
+        [--quick] [--json-out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import DeliveryFailed
+from repro.persist import ConcurrentSBF
+from repro.serve import (
+    MetricsRegistry,
+    RemoteShard,
+    ShardServer,
+    Unavailable,
+    block_checksums,
+    replicated_fleet,
+)
+
+N_SHARDS = 2
+RF = 3
+M = 1 << 14
+K = 4
+SEED = 29
+DOWN_REPLICA = 1          # replica index partitioned away in every set
+EJECT_AFTER = 3
+MAX_RETRIES = 2
+REPAIR_BLOCKS = 64
+COORD = "coord"
+
+
+def _make_filter() -> SpectralBloomFilter:
+    return SpectralBloomFilter(M, K, seed=SEED, method="ms",
+                               backend="array", hash_family="blocked")
+
+
+def _build(metrics: MetricsRegistry):
+    """An RF-way replicated fleet, every replica behind a faulty wire."""
+    network = FaultyNetwork()
+
+    def replica_factory(shard: int, replica: int) -> RemoteShard:
+        server = ShardServer(ConcurrentSBF(_make_filter()))
+        return RemoteShard(server, network, COORD, f"s{shard}r{replica}",
+                           channel_options={"max_retries": MAX_RETRIES},
+                           metrics=metrics)
+
+    fleet = replicated_fleet(
+        N_SHARDS, M, K, rf=RF, seed=SEED,
+        eject_after=EJECT_AFTER, probe_every=1 << 30,
+        replica_factory=replica_factory, metrics=metrics)
+    return fleet, network
+
+
+def _drive(fleet, oracle, rng: random.Random, n_ops: int,
+           pool: list) -> dict:
+    """Mixed traffic (30% insert / 70% query); per-op outcome + latency."""
+    latencies: list[float] = []
+    served = refused = wrong = 0
+    for _ in range(n_ops):
+        if rng.random() < 0.3 or not pool:
+            key = f"k:{rng.randrange(1 << 32)}"
+            count = rng.randint(1, 3)
+            t0 = time.perf_counter()
+            try:
+                fleet.insert(key, count)
+            except (Unavailable, DeliveryFailed):
+                refused += 1
+            else:
+                served += 1
+                oracle.insert(key, count)
+                pool.append(key)
+            latencies.append(time.perf_counter() - t0)
+        else:
+            key = rng.choice(pool)
+            t0 = time.perf_counter()
+            try:
+                estimate = fleet.query(key)
+            except (Unavailable, DeliveryFailed):
+                refused += 1
+            else:
+                served += 1
+                if estimate != oracle.query(key):
+                    wrong += 1
+            latencies.append(time.perf_counter() - t0)
+    return {"n_ops": n_ops, "served": served, "refused": refused,
+            "wrong": wrong, "latencies": latencies}
+
+
+def _quantile_ms(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index] * 1e3
+
+
+def _partition(network: FaultyNetwork, server: str, seed: int) -> None:
+    network.set_policy(COORD, server, FaultPolicy(drop=1.0, seed=seed))
+    network.set_policy(server, COORD, FaultPolicy(drop=1.0, seed=seed + 1))
+
+
+def _heal(network: FaultyNetwork, server: str) -> None:
+    network.set_policy(COORD, server, None)
+    network.set_policy(server, COORD, None)
+
+
+def run_ha_failover(quick: bool = False) -> dict:
+    n_ops = 300 if quick else 1_500
+    metrics = MetricsRegistry()
+    fleet, network = _build(metrics)
+    oracle = _make_filter()
+    rng = random.Random(SEED)
+    pool: list = []
+
+    phases: dict[str, dict] = {}
+    phases["healthy"] = _drive(fleet, oracle, rng, n_ops, pool)
+
+    # One replica of every set goes dark — the lost-host/AZ shape.
+    for shard in range(N_SHARDS):
+        _partition(network, f"s{shard}r{DOWN_REPLICA}", seed=shard)
+    phases["outage"] = _drive(fleet, oracle, rng, n_ops, pool)
+    outage_gauges = {
+        name: value for name, value in
+        metrics.snapshot()["gauges"].items()
+        if name.startswith("ha.") and f"r{DOWN_REPLICA}." in name}
+
+    # Heal, drain the hint queues through maintenance ticks, and run an
+    # anti-entropy pass over every set.
+    for shard in range(N_SHARDS):
+        _heal(network, f"s{shard}r{DOWN_REPLICA}")
+    for rset in fleet.shards:
+        for _ in range(4):
+            rset.tick()
+            if all(r["up"] and not r["hint_depth"] and not r["needs_repair"]
+                   for r in rset.health()):
+                break
+        rset.repair(n_blocks=REPAIR_BLOCKS)
+    phases["recovered"] = _drive(fleet, oracle, rng, n_ops, pool)
+
+    converged = all(
+        len({tuple(block_checksums(replica, REPAIR_BLOCKS))
+             for replica in rset.replicas}) == 1
+        for rset in fleet.shards)
+    for key in rng.sample(pool, min(200, len(pool))) + ["miss:1", "miss:2"]:
+        if fleet.query(key) != oracle.query(key):
+            phases["recovered"]["wrong"] += 1
+
+    result = {
+        "n_shards": N_SHARDS,
+        "rf": RF,
+        "m": M,
+        "k": K,
+        "read_consistency": "quorum",
+        "write_consistency": "one",
+        "eject_after": EJECT_AFTER,
+        "quick": quick,
+        "converged_bit_identical": converged,
+        "wrong_answers": sum(p["wrong"] for p in phases.values()),
+        "ha_gauges_during_outage": outage_gauges,
+    }
+    rows = []
+    for name, phase in phases.items():
+        availability = phase["served"] / phase["n_ops"]
+        result[f"{name}_availability"] = availability
+        result[f"{name}_p50_ms"] = _quantile_ms(phase["latencies"], 0.50)
+        result[f"{name}_p99_ms"] = _quantile_ms(phase["latencies"], 0.99)
+        rows.append((name, phase["n_ops"], phase["served"],
+                     phase["refused"], f"{availability:.4f}",
+                     f"{result[f'{name}_p50_ms']:.3f}",
+                     f"{result[f'{name}_p99_ms']:.3f}"))
+    result["availability"] = result["outage_availability"]
+    result["p99_ms"] = result["outage_p99_ms"]
+
+    table = format_table(
+        ["phase", "ops", "served", "refused", "availability",
+         "p50 ms", "p99 ms"], rows,
+        title=(f"HA failover ({N_SHARDS} shards x RF={RF}, quorum reads, "
+               f"replica r{DOWN_REPLICA} down during outage, "
+               f"{n_ops} ops/phase)"))
+    table += (f"wrong answers vs oracle: {result['wrong_answers']}   "
+              f"replicas bit-identical after repair: {converged}\n")
+    write_results("ha_failover", table)
+    print(table)
+    return result
+
+
+def _passes(result: dict) -> bool:
+    return (result["availability"] >= 0.99
+            and result["wrong_answers"] == 0
+            and result["converged_bit_identical"])
+
+
+def test_ha_failover(run_once):
+    result = run_once(run_ha_failover)
+    # The acceptance bar: >= 99% of ops served through a single-replica
+    # outage with RF=3/quorum reads, zero wrong answers, and replicas
+    # converged bit-identically once hints drained and repair ran.
+    assert result["availability"] >= 0.99, result
+    assert result["wrong_answers"] == 0, result
+    assert result["converged_bit_identical"], result
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    json_out = None
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
+    result = run_ha_failover(quick=quick)
+    ok = _passes(result)
+    result["pass"] = ok
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+    if not ok:
+        print("FAIL: availability/correctness below the HA acceptance bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -11,13 +11,19 @@ update.  This benchmark measures exactly that claim on the array backend:
 - **batched** — the same key stream flows through
   ``ShardBatcher.insert_many`` / ``query_many`` in fixed-size batches
   (one lock acquisition per shard per batch, numpy index matrices,
-  scatter/gather counter access).
+  scatter/gather counter access);
+- **replicated** — the batched stream again, but through a
+  ``replicated_fleet`` (every shard an RF=3 replica set), pricing the
+  write fan-out; the per-replica ``ha.*`` health gauges are scraped
+  into the output alongside the throughput numbers.
 
 Shape claims asserted:
-- both paths return *identical* query estimates (the routing layer is
-  invisible to correctness);
+- all paths return *identical* query estimates (the routing and
+  replication layers are invisible to correctness);
 - the batched path is at least 2x faster than the naive path for both
-  inserts and queries (in practice the gap is far larger).
+  inserts and queries (in practice the gap is far larger);
+- every ``ha.*.up`` gauge reads 1.0 and every hint queue is empty after
+  a faultless run.
 
 CLI:
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py \
@@ -32,13 +38,14 @@ import sys
 import time
 
 from repro.bench.tables import format_table, write_results
-from repro.serve import ShardBatcher, ShardedSBF
+from repro.serve import ShardBatcher, ShardedSBF, replicated_fleet
 
 N_SHARDS = 4
 M = 1 << 16
 K = 4
 SEED = 17
 BATCH = 1024
+RF = 3
 
 
 def _build(seed: int = SEED) -> ShardedSBF:
@@ -83,6 +90,29 @@ def run_serving_throughput(quick: bool = False) -> dict:
         raise AssertionError(
             "batched and naive paths disagree on query estimates")
 
+    replicated = replicated_fleet(N_SHARDS, M, K, rf=RF, seed=SEED)
+    rep_batcher = ShardBatcher(replicated)
+    t0 = time.perf_counter()
+    for lo in range(0, n_ops, BATCH):
+        rep_batcher.insert_many(keys[lo:lo + BATCH])
+    replicated_insert = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    replicated_estimates: list[int] = []
+    for lo in range(0, n_ops, BATCH):
+        replicated_estimates.extend(
+            rep_batcher.query_many(keys[lo:lo + BATCH]))
+    replicated_query = time.perf_counter() - t0
+
+    if replicated_estimates != naive_estimates:
+        raise AssertionError(
+            "replicated and naive paths disagree on query estimates")
+
+    # The per-replica health gauges the HA layer keeps current, scraped
+    # from the one registry snapshot (the dashboards' view of the fleet).
+    ha_gauges = {name: value for name, value in
+                 replicated.metrics.snapshot()["gauges"].items()
+                 if name.startswith("ha.")}
+
     result = {
         "n_ops": n_ops,
         "n_shards": N_SHARDS,
@@ -96,19 +126,35 @@ def run_serving_throughput(quick: bool = False) -> dict:
         "naive_query_ops_s": n_ops / naive_query,
         "batched_query_ops_s": n_ops / batched_query,
         "query_speedup": naive_query / batched_query,
+        "rf": RF,
+        "replicated_insert_ops_s": n_ops / replicated_insert,
+        "replicated_query_ops_s": n_ops / replicated_query,
+        "ha_gauges": ha_gauges,
     }
     rows = [
         ("insert", f"{result['naive_insert_ops_s']:,.0f}",
          f"{result['batched_insert_ops_s']:,.0f}",
-         f"{result['insert_speedup']:.1f}x"),
+         f"{result['insert_speedup']:.1f}x",
+         f"{result['replicated_insert_ops_s']:,.0f}"),
         ("query", f"{result['naive_query_ops_s']:,.0f}",
          f"{result['batched_query_ops_s']:,.0f}",
-         f"{result['query_speedup']:.1f}x"),
+         f"{result['query_speedup']:.1f}x",
+         f"{result['replicated_query_ops_s']:,.0f}"),
     ]
     table = format_table(
-        ["phase", "naive ops/s", "batched ops/s", "speedup"], rows,
+        ["phase", "naive ops/s", "batched ops/s", "speedup",
+         f"replicated rf={RF} ops/s"], rows,
         title=(f"Serving throughput ({N_SHARDS} shards, m={M}, k={K}, "
                f"{n_ops} ops, batch={BATCH})"))
+    health_rows = [
+        (f"shard{s}", f"r{r}",
+         ha_gauges[f"ha.shard{s}.r{r}.up"],
+         int(ha_gauges[f"ha.shard{s}.r{r}.hint_depth"]),
+         ha_gauges[f"ha.shard{s}.r{r}.last_repair"])
+        for s in range(N_SHARDS) for r in range(RF)]
+    table += "\n" + format_table(
+        ["set", "replica", "up", "hint_depth", "last_repair"], health_rows,
+        title="Replica health (ha.* gauges) after the replicated run")
     write_results("serving_throughput", table)
     print(table)
     return result
@@ -120,6 +166,11 @@ def test_serving_throughput(run_once):
     # (Measured gaps are ~10-40x; 2x leaves headroom for loaded CI boxes.)
     assert result["insert_speedup"] >= 2.0, result
     assert result["query_speedup"] >= 2.0, result
+    # A faultless replicated run leaves every replica up with no hints.
+    gauges = result["ha_gauges"]
+    assert all(gauges[f"ha.shard{s}.r{r}.up"] == 1.0
+               and gauges[f"ha.shard{s}.r{r}.hint_depth"] == 0
+               for s in range(N_SHARDS) for r in range(RF)), gauges
 
 
 def main(argv: list[str]) -> int:

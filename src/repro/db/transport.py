@@ -9,9 +9,12 @@ A :class:`ReliableChannel` wraps each payload in a sequence-numbered,
 CRC32-protected envelope and retries until an intact copy arrives:
 
 - *timeouts* — an attempt with no intact arrival counts as a timeout and
-  triggers a retransmission (the substrate has no wall clock, so the
-  capped exponential backoff a real implementation would sleep is
-  accumulated in :attr:`ChannelStats.backoff_seconds` with seeded jitter);
+  triggers a retransmission under capped exponential backoff with seeded
+  jitter (de-synchronising retries across shards during fault storms).
+  By default the substrate has no wall clock: the backoff is accumulated
+  in :attr:`ChannelStats.backoff_seconds` rather than slept, keeping
+  chaos tests deterministic; a real deployment passes ``sleep=time.sleep``
+  to actually pace retransmissions;
 - *retry budgets* — after ``max_retries`` retransmissions the channel
   gives up and raises :class:`DeliveryFailed`, letting protocols degrade
   gracefully (e.g. a Bloomjoin falls back to full-tuple shipping);
@@ -123,12 +126,20 @@ class ReliableChannel:
         validator: optional callable applied to each arriving payload; a
             :class:`ValueError` (e.g. ``WireFormatError``) marks the frame
             corrupt and triggers a retransmission.
+        sleep: optional callable actually slept for each backoff (e.g.
+            ``time.sleep`` in a real deployment).  The default ``None``
+            keeps the simulation convention: backoff time is *accounted*
+            in :attr:`ChannelStats.backoff_seconds` but never slept, so
+            seeded chaos tests replay instantly and deterministically.
+            The jittered exponential schedule is identical either way —
+            the point of the jitter is that a fault storm does not
+            resynchronise retries across shards.
     """
 
     def __init__(self, network: Network, sender: str, recipient: str, *,
                  max_retries: int = 6, base_backoff: float = 0.05,
                  max_backoff: float = 2.0, jitter: float = 0.5,
-                 seed: int = 0, validator=None):
+                 seed: int = 0, validator=None, sleep=None):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if base_backoff <= 0 or max_backoff <= 0:
@@ -143,6 +154,7 @@ class ReliableChannel:
         self.max_backoff = float(max_backoff)
         self.jitter = float(jitter)
         self.validator = validator
+        self.sleep = sleep
         self.stats = ChannelStats()
         self._rng = random.Random(seed)
         self._next_seq = 0
@@ -173,7 +185,10 @@ class ReliableChannel:
         for attempt in range(self.max_retries + 1):
             if attempt:
                 stats.retries += 1
-                stats.backoff_seconds += self._backoff(attempt)
+                pause = self._backoff(attempt)
+                stats.backoff_seconds += pause
+                if self.sleep is not None:
+                    self.sleep(pause)
             stats.attempts += 1
             accepted = None
             arrivals = self.network.transmit(self.sender, self.recipient,

@@ -5,7 +5,9 @@ the reliable transport of :mod:`repro.db` into a request-serving system:
 
 - :mod:`repro.serve.router` — :class:`ShardedSBF`, hash-partitioned
   shards with deterministic assignment, per-shard error accounting,
-  snapshot-consistent union-based resharding, and a wire manifest;
+  snapshot-consistent union-based resharding, a wire manifest, and
+  :class:`RollingReshard`, live block-range migration to any shard count
+  behind dual routing;
 - :mod:`repro.serve.batch` — :class:`ShardBatcher`, one lock acquisition
   per shard per batch plus vectorised multi-query/multi-insert paths;
 - :mod:`repro.serve.engine` — :class:`ServingEngine`, bounded queues,
@@ -16,7 +18,13 @@ the reliable transport of :mod:`repro.db` into a request-serving system:
   :class:`~repro.db.transport.ChannelStats`);
 - :mod:`repro.serve.remote` — :class:`RemoteShard` / :class:`ShardServer`,
   a shard served over :class:`~repro.db.transport.ReliableChannel` frames
-  with :class:`~repro.db.transport.DeliveryFailed` degradation.
+  with :class:`~repro.db.transport.DeliveryFailed` degradation and
+  partial-failure bulk operations (:class:`BulkResult`);
+- :mod:`repro.serve.ha` — :class:`ReplicaSet`, quorum reads, hinted
+  handoff (:class:`HintLog`), health tracking with ejection/re-admission,
+  and :func:`replicated_fleet`;
+- :mod:`repro.serve.repair` — anti-entropy: checksum-scan replica counter
+  vectors and converge them bit-identically (:func:`repair_replicas`).
 """
 
 from repro.serve.batch import ShardBatcher
@@ -30,19 +38,38 @@ from repro.serve.engine import (
     run_requests,
     shed_oldest,
 )
+from repro.serve.ha import (
+    ALL,
+    ONE,
+    QUORUM,
+    HintLog,
+    ReplicaSet,
+    Unavailable,
+    replicated_fleet,
+    required_replicas,
+)
 from repro.serve.metrics import (
     ChannelStats,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    ReplicaGauges,
 )
 from repro.serve.remote import (
+    BulkFailure,
+    BulkResult,
     RemoteShard,
     RemoteShardError,
     ShardServer,
 )
-from repro.serve.router import MANIFEST_MAGIC, ShardedSBF
+from repro.serve.repair import (
+    DEFAULT_REPAIR_BLOCKS,
+    RepairReport,
+    block_checksums,
+    repair_replicas,
+)
+from repro.serve.router import MANIFEST_MAGIC, RollingReshard, ShardedSBF
 
 __all__ = [
     "ShardBatcher",
@@ -54,14 +81,30 @@ __all__ = [
     "reject_new",
     "run_requests",
     "shed_oldest",
+    "ALL",
+    "ONE",
+    "QUORUM",
+    "HintLog",
+    "ReplicaSet",
+    "Unavailable",
+    "replicated_fleet",
+    "required_replicas",
     "ChannelStats",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ReplicaGauges",
+    "BulkFailure",
+    "BulkResult",
     "RemoteShard",
     "RemoteShardError",
     "ShardServer",
+    "DEFAULT_REPAIR_BLOCKS",
+    "RepairReport",
+    "block_checksums",
+    "repair_replicas",
     "MANIFEST_MAGIC",
+    "RollingReshard",
     "ShardedSBF",
 ]

@@ -25,6 +25,22 @@ actual counter work.  :class:`ShardBatcher` amortises them:
 
 Results are always returned in submission order, regardless of how the
 batch was partitioned across shards.
+
+Two serving-stack integrations ride through here:
+
+- **bulk handles with partial failure** — a shard handle whose bulk API
+  returns a :class:`~repro.serve.remote.BulkResult`
+  (:class:`~repro.serve.remote.RemoteShard`,
+  :class:`~repro.serve.ha.ReplicaSet`) reports per-key failures instead
+  of raising; the batcher maps them back onto the submission-order slots
+  and :meth:`ShardBatcher.insert_many` itself returns an aggregated
+  ``BulkResult`` over the whole batch;
+- **rolling reshards** — while the router reports :attr:`~ShardedSBF.
+  migrating`, shard grouping is unsound (ownership moves between the
+  grouping and the lock, and dual-routed writes must hit both fleets),
+  so every batch falls back to the router's per-operation path, which
+  carries the migration's flag-flip protocol.  Slower, correct, and
+  temporary by construction.
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from typing import Sequence
 
 from repro.persist.durable import DurableSBF
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.remote import BulkFailure, BulkResult, _retryable
 
 #: operation verbs accepted by :meth:`ShardBatcher.execute`
 VERBS = frozenset({"insert", "delete", "set", "query", "contains"})
@@ -68,6 +85,15 @@ class ShardBatcher:
             if not op or op[0] not in VERBS:
                 raise ValueError(f"op {idx} must start with one of "
                                  f"{sorted(VERBS)}, got {op!r}")
+        if self.router.migrating:
+            for idx, op in enumerate(ops):
+                try:
+                    results[idx] = self._routed(op)
+                except Exception as exc:
+                    results[idx] = exc
+            self.metrics.counter("batch.ops").inc(len(ops))
+            self.metrics.counter("batch.migrating_fallback").inc(len(ops))
+            return results
         by_shard: dict[int, list[int]] = {}
         owners = self.router.shard_of_many([op[1] for op in ops])
         for idx, owner in enumerate(owners):
@@ -92,17 +118,36 @@ class ShardBatcher:
 
     # -- vectorised homogeneous batches -----------------------------------
     def query_many(self, keys: Sequence[object], *,
-                   timeout: float | None = None) -> list[int]:
+                   timeout: float | None = None) -> list:
         """Frequency estimates for *keys*, in order (vectorised when the
         shard handle speaks the bulk API, per-key otherwise — identical
-        results either way)."""
+        results either way).  A key a partial-failure handle could not
+        answer gets its exception *instance* in the slot, mirroring
+        :meth:`execute`."""
         results: list = [0] * len(keys)
+        if self.router.migrating:
+            for slot, key in enumerate(keys):
+                try:
+                    results[slot] = self.router.query(key)
+                except Exception as exc:
+                    results[slot] = exc
+            self.metrics.counter("batch.ops").inc(len(keys))
+            self.metrics.counter("batch.migrating_fallback").inc(len(keys))
+            return results
         for shard_id, shard, indices in self._grouped(keys):
             group_keys = [keys[i] for i in indices]
             with shard.exclusive(timeout) as raw:
                 if hasattr(raw, "query_many"):
-                    estimates = raw.query_many(group_keys)
-                    for slot, estimate in zip(indices, estimates.tolist()):
+                    outcome = raw.query_many(group_keys)
+                    if isinstance(outcome, BulkResult):
+                        # Partial-failure handle: failed slots carry the
+                        # exception instance, answered slots the estimate.
+                        estimates = outcome.values.tolist()
+                        for failure in outcome.failures:
+                            estimates[failure.index] = failure.error
+                    else:
+                        estimates = outcome.tolist()
+                    for slot, estimate in zip(indices, estimates):
                         results[slot] = estimate
                     self.metrics.counter("batch.vectorized").inc(
                         len(group_keys))
@@ -114,28 +159,73 @@ class ShardBatcher:
         return results
 
     def insert_many(self, keys: Sequence[object], *,
-                    timeout: float | None = None) -> None:
+                    timeout: float | None = None) -> BulkResult:
         """Insert every key once through the core bulk kernels.
 
         Each shard's group is one ``insert_many`` call on the raw handle
         — for durable shards that is one WAL record (and one fsync) per
-        group instead of one per key.  Remote shards, whose wire handle
-        has no bulk entry point, insert per key.
+        group instead of one per key.  Returns a
+        :class:`~repro.serve.remote.BulkResult` over the whole batch:
+        per-key failures reported by partial-failure handles (remote
+        shards, replica sets) are re-indexed to submission order, and a
+        shard group that fails outright (lock timeout, channel give-up)
+        fails its keys in their slots instead of felling the batch.
         """
+        failures: list[BulkFailure] = []
+        if self.router.migrating:
+            for slot, key in enumerate(keys):
+                try:
+                    self.router.insert(key, 1)
+                except Exception as exc:
+                    failures.append(
+                        BulkFailure(slot, key, exc, _retryable(exc)))
+            self.metrics.counter("batch.ops").inc(len(keys))
+            self.metrics.counter("batch.migrating_fallback").inc(len(keys))
+            return BulkResult(len(keys), failures=failures)
         for shard_id, shard, indices in self._grouped(keys):
             group_keys = [keys[i] for i in indices]
-            with shard.exclusive(timeout) as raw:
-                if hasattr(raw, "insert_many"):
-                    raw.insert_many(group_keys)
-                    self.metrics.counter("batch.vectorized").inc(
-                        len(group_keys))
-                else:
-                    for key in group_keys:
-                        raw.insert(key, 1)
+            try:
+                with shard.exclusive(timeout) as raw:
+                    if hasattr(raw, "insert_many"):
+                        outcome = raw.insert_many(group_keys)
+                        self.metrics.counter("batch.vectorized").inc(
+                            len(group_keys))
+                    else:
+                        outcome = None
+                        for key in group_keys:
+                            raw.insert(key, 1)
+            except Exception as exc:
+                failures.extend(
+                    BulkFailure(slot, keys[slot], exc, _retryable(exc))
+                    for slot in indices)
+                continue
+            if isinstance(outcome, BulkResult):
+                failures.extend(
+                    BulkFailure(indices[f.index], f.key, f.error,
+                                f.retryable)
+                    for f in outcome.failures)
             self._account(shard, shard_id, len(indices))
         self.metrics.counter("batch.ops").inc(len(keys))
+        failures.sort(key=lambda f: f.index)
+        return BulkResult(len(keys), failures=failures)
 
     # -- plumbing ----------------------------------------------------------
+    def _routed(self, op: tuple):
+        """Apply one op through the router's point path (the migrating
+        fallback — dual routing lives there)."""
+        verb, key = op[0], op[1]
+        if verb == "query":
+            return self.router.query(key)
+        if verb == "contains":
+            return self.router.contains(key, op[2] if len(op) > 2 else 1)
+        if verb == "set":
+            if len(op) < 3:
+                raise ValueError(f"set op needs a count: {op!r}")
+            self.router.set(key, op[2])
+            return None
+        getattr(self.router, verb)(key, op[2] if len(op) > 2 else 1)
+        return None
+
     def _grouped(self, keys: Sequence[object]):
         by_shard: dict[int, list[int]] = {}
         for idx, owner in enumerate(self.router.shard_of_many(keys)):

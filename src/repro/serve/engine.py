@@ -90,17 +90,25 @@ class ServingEngine:
         policy: admission policy callable ``(depth, limit, op) -> str``
             returning :data:`ACCEPT`, :data:`REJECT`, or
             :data:`SHED_OLDEST`; defaults to :func:`reject_new`.
+        maintenance_every: run :meth:`maintain` once per this many pump
+            rounds (including idle rounds, so an idle fleet still probes
+            ejected replicas back in).  HA fleets want this; plain fleets
+            pay nothing (no shard exposes ``tick``).
         metrics: registry to report through (defaults to the router's).
     """
 
     def __init__(self, router: ShardedSBF, *, max_queue: int = 1024,
                  batch_size: int = 64,
                  policy: Callable[[int, int, tuple], str] | None = None,
+                 maintenance_every: int = 64,
                  metrics: MetricsRegistry | None = None):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if maintenance_every < 1:
+            raise ValueError(
+                f"maintenance_every must be >= 1, got {maintenance_every}")
         self.router = router
         self.metrics = metrics or router.metrics
         self.batcher = ShardBatcher(router, metrics=self.metrics)
@@ -112,6 +120,8 @@ class ServingEngine:
         self._closed = False
         self._worker: threading.Thread | None = None
         self._stop = threading.Event()
+        self.maintenance_every = int(maintenance_every)
+        self._pumps_since_maintenance = 0
 
     # -- the front door ----------------------------------------------------
     def submit(self, verb: str, key: object, *args) -> Future:
@@ -165,6 +175,9 @@ class ServingEngine:
         """
         budget = self.batch_size if max_ops is None else min(
             max_ops, self.batch_size)
+        self._pumps_since_maintenance += 1
+        if self._pumps_since_maintenance >= self.maintenance_every:
+            self.maintain()
         with self._lock:
             batch = [self._queue.popleft()
                      for _ in range(min(budget, len(self._queue)))]
@@ -184,6 +197,26 @@ class ServingEngine:
                 request.future.set_result(result)
         self.metrics.counter("engine.served").inc(len(batch))
         return len(batch)
+
+    def maintain(self) -> int:
+        """Run one maintenance round: tick every shard that has one.
+
+        For :class:`~repro.serve.ha.ReplicaSet` shards a tick probes
+        ejected replicas (draining their hint logs on recovery) — the
+        engine calling this on a cadence is what makes replica
+        re-admission happen without a request ever touching the down
+        replica.  Returns the number of shards ticked.
+        """
+        self._pumps_since_maintenance = 0
+        ticked = 0
+        for shard in self.router.shards:
+            tick = getattr(shard, "tick", None)
+            if callable(tick):
+                tick()
+                ticked += 1
+        if ticked:
+            self.metrics.counter("engine.maintenance_rounds").inc()
+        return ticked
 
     def drain(self) -> int:
         """Pump until the queue is empty; returns total requests served."""
@@ -221,8 +254,11 @@ class ServingEngine:
     def close(self) -> dict:
         """Drain, checkpoint durable shards, and seal the front door.
 
-        Returns a small report: requests drained and shards checkpointed.
-        Safe to call twice.
+        Replica-set shards are looked *through*: each durable replica is
+        checkpointed and closed, then the set itself is closed (sealing
+        its hint logs — an undrained hint survives on disk and replays
+        when the set is rebuilt).  Returns a small report: requests
+        drained and shards checkpointed.  Safe to call twice.
         """
         with self._lock:
             already = self._closed
@@ -232,11 +268,15 @@ class ServingEngine:
         checkpointed = 0
         if not already:
             for shard in self.router.shards:
-                raw = getattr(shard, "raw", None)
-                if isinstance(raw, DurableSBF):
-                    shard.checkpoint()
-                    raw.close()
-                    checkpointed += 1
+                group = getattr(shard, "replicas", None)
+                for handle in (group if group is not None else (shard,)):
+                    raw = getattr(handle, "raw", None)
+                    if isinstance(raw, DurableSBF):
+                        handle.checkpoint()
+                        raw.close()
+                        checkpointed += 1
+                if group is not None:
+                    shard.close()
             self.metrics.counter("engine.closed").inc()
         return {"drained": drained, "checkpointed": checkpointed}
 

@@ -1,0 +1,741 @@
+"""High availability: replica sets, quorum reads, hinted handoff.
+
+A :class:`~repro.serve.router.ShardedSBF` shard is a single point of
+failure — one dead :class:`~repro.serve.remote.RemoteShard` blacks out
+its whole keyspace.  :class:`ReplicaSet` removes it: a drop-in shard
+handle that keeps ``rf`` replicas of the same logical shard and rides
+the spectral filter's exact composition algebra (paper §3) to make the
+classic Dynamo-style availability machinery *verifiable*:
+
+- **writes fan out to every replica**.  An operation is acknowledged
+  once ``write_consistency`` replicas applied it (:data:`ONE` by
+  default); replicas that were down — or failed mid-write — receive the
+  operation as a **hint** instead, an ordered queue drained verbatim
+  when the replica returns.  With ``hint_dir`` the hint queue is a
+  :class:`~repro.persist.wal.WriteAheadLog` on disk, so hints survive a
+  coordinator restart (same record format, same torn-tail recovery);
+- **reads consult a quorum** (:data:`ONE` / :data:`QUORUM` /
+  :data:`ALL` via ``read_consistency``) of *fresh* replicas — up, no
+  pending hints — and combine answers with ``max``.  Fresh replicas of
+  an MS filter are bit-identical, so any quorum returns the one true
+  estimate; the ``max`` combine keeps the one-sided guarantee (estimate
+  >= truth) even mid-convergence.  Fewer fresh replicas than the quorum
+  raises a typed :class:`Unavailable`;
+- **health tracking**: ``eject_after`` consecutive transport failures
+  eject a replica (stop paying its retry budget per operation); every
+  ``probe_every`` operations the set probes ejected replicas with a
+  cheap ``total_count`` call, drains their hints on success, and
+  re-admits them **only after proving convergence** — the replica's
+  total must equal a fresh peer's.  A replica that cannot be proven
+  caught up (its disk lost writes, a hint was double-applied across a
+  retry ambiguity) stays out with ``needs_repair`` until
+  :meth:`ReplicaSet.repair` runs the anti-entropy pass
+  (:mod:`repro.serve.repair`), which converges it counter-for-counter;
+- **observability**: per-replica ``up`` / ``hint_depth`` /
+  ``last_repair`` gauges (:meth:`MetricsRegistry.replica_gauges`) plus
+  set-level counters (hinted, handoffs, ejections, re-admissions,
+  unavailable, probes, repairs) — all in the one ``snapshot()``.
+
+Why this converges: every acknowledged write applied to at least one
+replica that stayed fresh, so the fresh replica with the largest
+``total_count`` has applied *every* acknowledged write.  Using it as
+the anti-entropy reference, a counter copy is exact recovery — not a
+heuristic — because an MS filter's entire state is its counter vector.
+
+:func:`replicated_fleet` wires a router where every shard is a replica
+set — the HA serving topology the chaos tests and benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import os.path
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.transport import DeliveryFailed
+from repro.hashing.blocked import BlockedHashFamily
+from repro.hashing.families import make_family
+from repro.persist import ConcurrentSBF, LockTimeout
+from repro.persist.crashsim import FileIO
+from repro.persist.wal import (
+    BULK_OPS,
+    OP_DELETE_MANY,
+    OP_NAMES,
+    WriteAheadLog,
+    replay,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.remote import BulkFailure, BulkResult, RemoteShardError
+from repro.serve.repair import DEFAULT_REPAIR_BLOCKS, RepairReport, \
+    repair_replicas
+from repro.serve.router import ShardedSBF
+
+#: consistency levels: how many replicas must answer/apply
+ONE = "one"
+QUORUM = "quorum"
+ALL = "all"
+
+#: exceptions that mean "this replica, right now" — not "this operation"
+_TRANSIENT = (DeliveryFailed, LockTimeout, RemoteShardError)
+
+
+def required_replicas(level: str, rf: int) -> int:
+    """Replicas a consistency *level* requires out of *rf*."""
+    if level == ONE:
+        return 1
+    if level == QUORUM:
+        return rf // 2 + 1
+    if level == ALL:
+        return rf
+    raise ValueError(
+        f"consistency must be {ONE!r}, {QUORUM!r}, or {ALL!r}, "
+        f"got {level!r}")
+
+
+class Unavailable(RuntimeError):
+    """Too few healthy replicas to satisfy the consistency level.
+
+    Attributes:
+        needed: replicas the consistency level required.
+        got: replicas that actually answered/applied.
+    """
+
+    def __init__(self, message: str, needed: int, got: int):
+        super().__init__(message)
+        self.needed = needed
+        self.got = got
+
+
+class HintLog:
+    """Ordered queue of operations a down replica missed.
+
+    In-memory by default; with *path* every hint is also appended to a
+    :class:`~repro.persist.wal.WriteAheadLog` (and recovered from it on
+    construction), so an acknowledged-but-not-yet-handed-off write
+    survives a coordinator crash.  Handoff replays hints in arrival
+    order — per-replica order equals acknowledgement order, which is
+    what makes replaying ``set`` operations safe.
+    """
+
+    def __init__(self, path: str | None = None, *, fsync: object = "always",
+                 io: FileIO | None = None):
+        self._pending: deque[tuple[str, object, int]] = deque()
+        self._wal: WriteAheadLog | None = None
+        if path is not None:
+            io = io or FileIO()
+            for record in replay(path, io=io)[0]:
+                if record.op in BULK_OPS:
+                    verb = "delete" if record.op == OP_DELETE_MANY \
+                        else "insert"
+                    self._pending.extend(
+                        (verb, key, count)
+                        for key, count in zip(record.key, record.count))
+                else:
+                    self._pending.append(
+                        (OP_NAMES[record.op], record.key, record.count))
+            self._wal = WriteAheadLog(path, fsync=fsync, io=io)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def append(self, verb: str, key: object, count: int) -> None:
+        """Queue one missed operation (*verb* is insert/delete/set)."""
+        if self._wal is not None:
+            getattr(self._wal, f"log_{verb}")(key, count)
+        self._pending.append((verb, key, count))
+
+    def append_many(self, verb: str, keys: Sequence[object],
+                    counts: Sequence[int]) -> None:
+        """Queue a missed bulk batch as one WAL record (one fsync)."""
+        if self._wal is not None:
+            log = self._wal.log_delete_many if verb == "delete" \
+                else self._wal.log_insert_many
+            log(list(keys), list(counts))
+        self._pending.extend(
+            (verb, key, count) for key, count in zip(keys, counts))
+
+    def drain(self, apply: Callable[[str, object, int], None]) -> int:
+        """Hand queued hints to *apply* in order; returns how many landed.
+
+        Stops at the first failing hint (which stays queued, along with
+        everything after it) — a replica that dies mid-handoff resumes
+        where it left off on the next probe.
+        """
+        applied = 0
+        try:
+            while self._pending:
+                verb, key, count = self._pending[0]
+                apply(verb, key, count)
+                self._pending.popleft()
+                applied += 1
+        finally:
+            if applied and self._wal is not None:
+                self._resync_wal()
+        return applied
+
+    def clear(self) -> None:
+        """Drop every queued hint (their effects were repaired in bulk)."""
+        self._pending.clear()
+        if self._wal is not None:
+            self._wal.reset()
+
+    def _resync_wal(self) -> None:
+        """Rewrite the on-disk queue to match what is still pending."""
+        self._wal.reset()
+        for verb, key, count in self._pending:
+            getattr(self._wal, f"log_{verb}")(key, count)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+
+class _Replica:
+    """One replica's handle plus its health state."""
+
+    __slots__ = ("handle", "name", "up", "failures", "needs_repair",
+                 "hints", "gauges")
+
+    def __init__(self, handle, name: str, hints: HintLog, gauges):
+        self.handle = handle
+        self.name = name
+        self.up = True
+        self.failures = 0          # consecutive transport failures
+        self.needs_repair = False
+        self.hints = hints
+        self.gauges = gauges
+
+
+class ReplicaSet:
+    """``rf`` replicas of one logical shard behind the shard surface.
+
+    Drop-in wherever a shard handle goes — a
+    :class:`~repro.serve.router.ShardedSBF` shard list, under the
+    batcher, inside the engine.  Replicas are any mix of local handles
+    (:class:`~repro.persist.ConcurrentSBF`) and
+    :class:`~repro.serve.remote.RemoteShard` adapters.
+
+    Args:
+        replicas: the replica handles (``rf = len(replicas)``).
+        name: the set's metrics namespace (``ha.<name>.*``).
+        names: per-replica names (default ``r0..r{rf-1}``).
+        read_consistency: :data:`ONE` / :data:`QUORUM` / :data:`ALL` —
+            fresh replicas a read must reach.
+        write_consistency: replicas a write must apply to before it is
+            acknowledged (missed replicas get hints either way).
+        eject_after: consecutive transport failures before a replica is
+            ejected from the write/read paths.
+        probe_every: operations between automatic probes of ejected
+            replicas (:meth:`tick` probes on demand).
+        hint_dir: directory for durable hint logs (one WAL per replica);
+            ``None`` keeps hints in memory only.
+        hint_fsync: fsync policy for durable hint logs.
+        io: filesystem layer for durable hints (crash simulator in tests).
+        metrics: registry to report through (one is created if omitted).
+    """
+
+    def __init__(self, replicas: Sequence[object], *, name: str = "rs",
+                 names: Sequence[str] | None = None,
+                 read_consistency: str = QUORUM,
+                 write_consistency: str = ONE,
+                 eject_after: int = 3, probe_every: int = 64,
+                 hint_dir: str | None = None,
+                 hint_fsync: object = "always",
+                 io: FileIO | None = None,
+                 metrics: MetricsRegistry | None = None):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a ReplicaSet needs at least one replica")
+        if eject_after < 1:
+            raise ValueError(f"eject_after must be >= 1, got {eject_after}")
+        if probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {probe_every}")
+        rf = len(replicas)
+        self.name = name
+        self.rf = rf
+        self.read_consistency = read_consistency
+        self.write_consistency = write_consistency
+        self._read_needed = required_replicas(read_consistency, rf)
+        self._write_needed = required_replicas(write_consistency, rf)
+        self.eject_after = int(eject_after)
+        self.probe_every = int(probe_every)
+        self.metrics = metrics or MetricsRegistry()
+        if names is None:
+            names = [f"r{i}" for i in range(rf)]
+        elif len(names) != rf:
+            raise ValueError(f"got {rf} replicas but {len(names)} names")
+        self._replicas: list[_Replica] = []
+        for handle, rname in zip(replicas, names):
+            path = None
+            if hint_dir is not None:
+                path = os.path.join(hint_dir, f"{name}-{rname}.hints")
+            gauges = self.metrics.replica_gauges(name, rname)
+            gauges.up.set(1.0)
+            hints = HintLog(path, fsync=hint_fsync, io=io)
+            replica = _Replica(handle, rname, hints, gauges)
+            gauges.hint_depth.set(len(hints))
+            self._replicas.append(replica)
+        self._ops = 0
+        self._last_probe = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def replicas(self) -> tuple:
+        """The replica handles, by replica index (read-only view)."""
+        return tuple(r.handle for r in self._replicas)
+
+    def health(self) -> list[dict]:
+        """Per-replica health, one dict each (scrape-friendly)."""
+        return [{"replica": r.name, "up": r.up,
+                 "needs_repair": r.needs_repair,
+                 "consecutive_failures": r.failures,
+                 "hint_depth": len(r.hints)} for r in self._replicas]
+
+    @property
+    def sbf(self) -> SpectralBloomFilter:
+        """The first local replica's in-memory filter (routing/compat
+        introspection); raises ``AttributeError`` on remote-only sets."""
+        for replica in self._replicas:
+            sbf = getattr(replica.handle, "sbf", None)
+            if sbf is not None:
+                return sbf
+        raise AttributeError("no local replica exposes .sbf")
+
+    # -- internal plumbing -------------------------------------------------
+    def _counter(self, event: str):
+        return self.metrics.counter(f"ha.{self.name}.{event}")
+
+    def _fresh(self, replica: _Replica) -> bool:
+        return replica.up and not replica.needs_repair \
+            and not len(replica.hints)
+
+    def _note_ok(self, replica: _Replica) -> None:
+        replica.failures = 0
+
+    def _note_failure(self, replica: _Replica, exc: Exception) -> None:
+        replica.failures += 1
+        if replica.up and replica.failures >= self.eject_after:
+            replica.up = False
+            replica.gauges.up.set(0.0)
+            self._counter("ejections").inc()
+
+    def _hint(self, replica: _Replica, verb: str, key: object,
+              count: int) -> None:
+        replica.hints.append(verb, key, count)
+        replica.gauges.hint_depth.set(len(replica.hints))
+        self._counter("hinted").inc()
+
+    def _bump(self, n: int = 1) -> None:
+        """Count *n* operations toward the probe cadence.  The cadence
+        check is separate (:meth:`_maybe_tick`) and MUST run only after
+        the current operation's hints are queued — a probe between apply
+        and hint would see the recovering replica one op behind its peer
+        and wrongly fail the convergence proof."""
+        self._ops += n
+
+    def _maybe_tick(self) -> None:
+        if self._ops - self._last_probe >= self.probe_every:
+            self.tick()
+
+    # -- the write path ----------------------------------------------------
+    def insert(self, key: object, count: int = 1) -> None:
+        self._write("insert", key, count)
+
+    def delete(self, key: object, count: int = 1) -> None:
+        self._write("delete", key, count)
+
+    def set(self, key: object, count: int) -> None:
+        self._write("set", key, count)
+
+    def _write(self, verb: str, key: object, count: int) -> None:
+        applied = 0
+        missed: list[_Replica] = []
+        semantic: Exception | None = None
+        for replica in self._replicas:
+            if not replica.up:
+                missed.append(replica)
+                continue
+            try:
+                getattr(replica.handle, verb)(key, count)
+            except _TRANSIENT as exc:
+                self._note_failure(replica, exc)
+                missed.append(replica)
+            except (ValueError, TypeError) as exc:
+                # The operation itself is invalid (bad key, delete below
+                # zero) — it would fail on every replica; never hint it.
+                self._note_ok(replica)
+                semantic = semantic or exc
+            else:
+                self._note_ok(replica)
+                applied += 1
+        self._bump()
+        if semantic is not None:
+            self._maybe_tick()
+            raise semantic
+        if applied < self._write_needed:
+            self._counter("unavailable").inc()
+            self._maybe_tick()
+            raise Unavailable(
+                f"{verb} {key!r}: {applied} of the required "
+                f"{self._write_needed} replica(s) applied it", needed=
+                self._write_needed, got=applied)
+        # Only acknowledged writes are hinted: an unacknowledged write is
+        # the client's to retry, and hinting it would make replicas
+        # remember an operation the client was told failed.
+        for replica in missed:
+            self._hint(replica, verb, key, count)
+        self._maybe_tick()
+
+    # -- the read path -----------------------------------------------------
+    def query(self, key: object) -> int:
+        return self._read("query", lambda handle: handle.query(key))
+
+    def contains(self, key: object, threshold: int = 1) -> bool:
+        return self.query(key) >= threshold
+
+    @property
+    def total_count(self) -> int:
+        return self._read("total_count",
+                          lambda handle: handle.total_count)
+
+    def _read(self, what: str, fetch: Callable[[object], int]) -> int:
+        answers: list[int] = []
+        for replica in self._replicas:
+            if not self._fresh(replica):
+                continue
+            try:
+                answers.append(fetch(replica.handle))
+            except _TRANSIENT as exc:
+                self._note_failure(replica, exc)
+            else:
+                self._note_ok(replica)
+                if len(answers) == self._read_needed:
+                    break
+        self._bump()
+        self._maybe_tick()
+        if len(answers) < self._read_needed:
+            self._counter("unavailable").inc()
+            raise Unavailable(
+                f"{what}: {len(answers)} of the required "
+                f"{self._read_needed} fresh replica(s) answered",
+                needed=self._read_needed, got=len(answers))
+        # max keeps the one-sided guarantee: every answer is >= the true
+        # count, so the largest is too (and fresh replicas agree anyway).
+        return max(answers)
+
+    # -- bulk operations ---------------------------------------------------
+    def query_many(self, keys: Sequence[object]) -> np.ndarray:
+        """Quorum estimates for a key batch, as an int64 array.
+
+        Every slot needs ``read_consistency`` fresh answers; the combine
+        is an elementwise ``max``.  Raises :class:`Unavailable` if any
+        slot falls short.
+        """
+        keys = list(keys)
+        needed = self._read_needed
+        best = np.zeros(len(keys), dtype=np.int64)
+        answered = np.zeros(len(keys), dtype=np.int64)
+        for replica in self._replicas:
+            if not self._fresh(replica):
+                continue
+            if bool((answered >= needed).all()):
+                break
+            try:
+                result = replica.handle.query_many(keys)
+            except _TRANSIENT as exc:
+                self._note_failure(replica, exc)
+                continue
+            self._note_ok(replica)
+            ok = np.ones(len(keys), dtype=bool)
+            if isinstance(result, BulkResult):
+                values = result.values
+                for failure in result.failures:
+                    ok[failure.index] = False
+            else:
+                values = np.asarray(result, dtype=np.int64)
+            best = np.where(ok, np.maximum(best, values), best)
+            answered += ok
+        self._bump(len(keys))
+        self._maybe_tick()
+        short = int((answered < needed).sum())
+        if short:
+            self._counter("unavailable").inc()
+            raise Unavailable(
+                f"query_many: {short} of {len(keys)} key(s) fell short "
+                f"of {needed} fresh answer(s)", needed=needed,
+                got=int(answered.min()) if len(keys) else 0)
+        return best
+
+    def insert_many(self, keys: Sequence[object],
+                    counts: Sequence[int] | None = None) -> BulkResult:
+        return self._bulk_write("insert", keys, counts)
+
+    def delete_many(self, keys: Sequence[object],
+                    counts: Sequence[int] | None = None) -> BulkResult:
+        return self._bulk_write("delete", keys, counts)
+
+    def _bulk_write(self, verb: str, keys: Sequence[object],
+                    counts: Sequence[int] | None) -> BulkResult:
+        keys = list(keys)
+        counts = [1] * len(keys) if counts is None \
+            else [int(c) for c in counts]
+        if len(counts) != len(keys):
+            raise ValueError(f"got {len(keys)} keys but {len(counts)} "
+                             f"counts")
+        applied = np.zeros(len(keys), dtype=np.int64)
+        semantic: dict[int, Exception] = {}
+        missed: list[tuple[_Replica, list[int] | None]] = []
+        for replica in self._replicas:
+            if not replica.up:
+                missed.append((replica, None))
+                continue
+            try:
+                result = getattr(replica.handle, f"{verb}_many")(
+                    keys, counts)
+            except _TRANSIENT as exc:
+                self._note_failure(replica, exc)
+                missed.append((replica, None))
+                continue
+            except (ValueError, TypeError) as exc:
+                # Local bulk apply is all-or-nothing: the whole batch was
+                # rejected before mutating anything.
+                self._note_ok(replica)
+                for idx in range(len(keys)):
+                    semantic.setdefault(idx, exc)
+                continue
+            self._note_ok(replica)
+            ok = np.ones(len(keys), dtype=np.int64)
+            if isinstance(result, BulkResult):
+                retry_idx = []
+                for failure in result.failures:
+                    ok[failure.index] = 0
+                    if failure.retryable:
+                        retry_idx.append(failure.index)
+                    else:
+                        semantic.setdefault(failure.index, failure.error)
+                if retry_idx:
+                    missed.append((replica, retry_idx))
+            applied += ok
+        self._bump(len(keys))
+        failures: list[BulkFailure] = []
+        acked = set()
+        for idx, key in enumerate(keys):
+            if idx in semantic:
+                failures.append(BulkFailure(idx, key, semantic[idx],
+                                            retryable=False))
+            elif int(applied[idx]) < self._write_needed:
+                self._counter("unavailable").inc()
+                failures.append(BulkFailure(idx, key, Unavailable(
+                    f"{verb} {key!r}: {int(applied[idx])} of the "
+                    f"required {self._write_needed} replica(s) applied",
+                    needed=self._write_needed, got=int(applied[idx])),
+                    retryable=True))
+            else:
+                acked.add(idx)
+        for replica, indices in missed:
+            indices = range(len(keys)) if indices is None else indices
+            hint_idx = [i for i in indices if i in acked]
+            if not hint_idx:
+                continue
+            replica.hints.append_many(verb, [keys[i] for i in hint_idx],
+                                      [counts[i] for i in hint_idx])
+            replica.gauges.hint_depth.set(len(replica.hints))
+            self._counter("hinted").inc(len(hint_idx))
+        self._maybe_tick()
+        return BulkResult(len(keys), None, failures)
+
+    # -- health: probes, handoff, re-admission -----------------------------
+    def tick(self) -> int:
+        """Probe every unhealthy replica once; returns how many rejoined.
+
+        Unhealthy means ejected, flagged for repair, or up with pending
+        hints (a transient write failure, or durable hints recovered
+        after a coordinator restart) — handoff must not wait for an
+        ejection.  Called automatically every ``probe_every`` operations
+        and by the engine's maintenance hook — call it directly after
+        healing a partition to re-admit replicas without waiting for
+        traffic.
+        """
+        self._last_probe = self._ops
+        rejoined = 0
+        for replica in self._replicas:
+            if replica.up and self._fresh(replica):
+                continue
+            was_down = not replica.up
+            if self._probe(replica) and was_down:
+                rejoined += 1
+        return rejoined
+
+    def _probe(self, replica: _Replica) -> bool:
+        """One probe of an unhealthy replica: reachability, handoff,
+        proof of convergence, (re-)admission — in that order."""
+        self._counter("probes").inc()
+        handle = replica.handle
+        try:
+            handle.total_count
+        except _TRANSIENT:
+            return False
+        try:
+            landed = replica.hints.drain(
+                lambda verb, key, count:
+                getattr(handle, verb)(key, count))
+        except Exception:
+            # Died mid-handoff: undrained hints (and the failing one)
+            # stay queued for the next probe.
+            replica.gauges.hint_depth.set(len(replica.hints))
+            return False
+        replica.gauges.hint_depth.set(len(replica.hints))
+        if landed:
+            self._counter("handoffs").inc(landed)
+        # Re-admission requires *proof* of convergence: the replica's
+        # total must match a fresh peer's.  (Exact, not probabilistic —
+        # every acknowledged op moved the fresh peer's total.)  A replica
+        # that cannot be proven converged stays out for repair().
+        peer = next((r for r in self._replicas
+                     if r is not replica and self._fresh(r)), None)
+        if peer is not None:
+            try:
+                if handle.total_count != peer.handle.total_count:
+                    replica.needs_repair = True
+                    return False
+            except _TRANSIENT:
+                return False
+        was_down = not replica.up
+        replica.up = True
+        replica.failures = 0
+        replica.needs_repair = False
+        replica.gauges.up.set(1.0)
+        if was_down:
+            self._counter("readmissions").inc()
+        return True
+
+    def repair(self, *, n_blocks: int = DEFAULT_REPAIR_BLOCKS,
+               ) -> RepairReport:
+        """Run one anti-entropy pass over the replicas and re-admit
+        every replica the pass converged (see :mod:`repro.serve.repair`).
+
+        The reference is the fresh replica with the largest total count
+        — the one that saw every acknowledged write.  Repaired replicas
+        have their hint queues cleared (the counter copy subsumes them)
+        and their ``last_repair`` gauge stamped from the registry clock.
+        """
+        reference = None
+        best = -1
+        for idx, replica in enumerate(self._replicas):
+            if not self._fresh(replica):
+                continue
+            try:
+                total = replica.handle.total_count
+            except _TRANSIENT:
+                continue
+            if total > best:
+                reference, best = idx, total
+        report = repair_replicas([r.handle for r in self._replicas],
+                                 n_blocks=n_blocks, reference=reference)
+        now = self.metrics.clock()
+        touched = {report.reference, *report.scanned}
+        for idx, replica in enumerate(self._replicas):
+            if idx not in touched:
+                continue
+            replica.hints.clear()
+            replica.gauges.hint_depth.set(0)
+            replica.needs_repair = False
+            replica.failures = 0
+            if not replica.up:
+                replica.up = True
+                replica.gauges.up.set(1.0)
+                self._counter("readmissions").inc()
+            replica.gauges.last_repair.set(now)
+        self._counter("repairs").inc()
+        return report
+
+    # -- fleet plumbing (router/batcher/engine hooks) ----------------------
+    @contextmanager
+    def exclusive(self, timeout: float | None = None,
+                  ) -> Iterator["ReplicaSet"]:
+        """Batching hook: yields self — replication must see every
+        operation, so batches run through the set's own surface (each
+        replica holds its own locks per call)."""
+        yield self
+
+    def add_operations(self, n: int) -> None:
+        """Batching hook: operations already counted per replica call."""
+
+    def checkpoint(self) -> list:
+        """Checkpoint every up replica; returns their results in replica
+        order (``None`` placeholders for ejected replicas)."""
+        results = []
+        for replica in self._replicas:
+            results.append(replica.handle.checkpoint()
+                           if replica.up else None)
+        return results
+
+    def close(self) -> None:
+        """Release durable hint logs (replica handles stay open)."""
+        for replica in self._replicas:
+            replica.hints.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        up = sum(r.up for r in self._replicas)
+        return (f"ReplicaSet({self.name!r}, rf={self.rf}, up={up}, "
+                f"read={self.read_consistency!r}, "
+                f"write={self.write_consistency!r})")
+
+
+def replicated_fleet(n_shards: int, m: int, k: int, *, rf: int = 3,
+                     seed: int = 0, method: object = "ms",
+                     backend: object = "array",
+                     hash_family: object = "blocked",
+                     read_consistency: str = QUORUM,
+                     write_consistency: str = ONE,
+                     eject_after: int = 3, probe_every: int = 64,
+                     hint_dir: str | None = None,
+                     stripes: int = 16, timeout: float = 5.0,
+                     replica_factory: Callable[[int, int], object]
+                     | None = None,
+                     metrics: MetricsRegistry | None = None,
+                     ) -> ShardedSBF:
+    """A router whose every shard is an ``rf``-way :class:`ReplicaSet`.
+
+    The HA serving topology in one call: ``n_shards`` logical shards,
+    each replicated ``rf`` ways, behind the usual
+    :class:`~repro.serve.router.ShardedSBF` routing (blocked hashing by
+    default, so sharding stays transparent).  *replica_factory* builds
+    replica ``r`` of shard ``s`` — return a
+    :class:`~repro.serve.remote.RemoteShard` to place replicas behind
+    the wire; the default builds local
+    :class:`~repro.persist.ConcurrentSBF` handles.
+    """
+    if rf < 1:
+        raise ValueError(f"rf must be >= 1, got {rf}")
+    metrics = metrics or MetricsRegistry()
+    shards = []
+    for s in range(n_shards):
+        replicas = []
+        for r in range(rf):
+            if replica_factory is not None:
+                replicas.append(replica_factory(s, r))
+            else:
+                replicas.append(ConcurrentSBF(
+                    SpectralBloomFilter(m, k, seed=seed, method=method,
+                                        backend=backend,
+                                        hash_family=hash_family),
+                    stripes=stripes, timeout=timeout))
+        shards.append(ReplicaSet(
+            replicas, name=f"shard{s}",
+            read_consistency=read_consistency,
+            write_consistency=write_consistency,
+            eject_after=eject_after, probe_every=probe_every,
+            hint_dir=hint_dir, metrics=metrics))
+    # Hand the router its routing family explicitly: a factory may have
+    # placed every replica behind the wire, and without a local filter to
+    # introspect the router would fall back to canonical-key routing —
+    # losing the bit-identical-to-the-oracle property blocked hashing buys.
+    family = make_family(hash_family, m, k, seed)
+    if not isinstance(family, BlockedHashFamily):
+        family = None
+    return ShardedSBF(shards, metrics=metrics, family=family)

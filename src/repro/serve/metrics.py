@@ -30,7 +30,7 @@ from typing import Callable, Sequence
 from repro.db.transport import ChannelStats
 
 __all__ = ["ChannelStats", "Counter", "Gauge", "Histogram",
-           "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+           "MetricsRegistry", "ReplicaGauges", "DEFAULT_LATENCY_BUCKETS"]
 
 #: default latency bucket upper bounds, in seconds (histogram-ish buckets:
 #: the last bucket is the +inf overflow)
@@ -127,6 +127,30 @@ class Histogram:
         return f"Histogram({self.name}, count={self.count}, sum={self.sum})"
 
 
+class ReplicaGauges:
+    """The health gauges of one replica in a replica set.
+
+    The HA layer (:mod:`repro.serve.ha`) keeps these current; dashboards
+    and the benchmarks scrape them out of the one ``snapshot()``:
+
+    - ``up`` — 1.0 while the replica is taking traffic, 0.0 while ejected;
+    - ``hint_depth`` — operations queued in the replica's hint log,
+      waiting for handoff (0 when the replica is caught up);
+    - ``last_repair`` — registry-clock timestamp of the last anti-entropy
+      repair that touched the replica (0.0 if never repaired).
+
+    Naming convention: ``ha.<set>.<replica>.up`` etc., so a fleet of
+    replica sets stays navigable in one flat namespace.
+    """
+
+    __slots__ = ("up", "hint_depth", "last_repair")
+
+    def __init__(self, up: Gauge, hint_depth: Gauge, last_repair: Gauge):
+        self.up = up
+        self.hint_depth = hint_depth
+        self.last_repair = last_repair
+
+
 class MetricsRegistry:
     """Create-on-first-use registry of counters, gauges, and histograms.
 
@@ -174,6 +198,17 @@ class MetricsRegistry:
         with self._lock:
             self._channels[name] = stats
         return stats
+
+    def replica_gauges(self, set_name: str, replica: str) -> ReplicaGauges:
+        """Health gauges for replica *replica* of replica set *set_name*.
+
+        Idempotent (create-on-first-use, like every metric here); the HA
+        layer owns the values — it sets ``up`` when the replica joins.
+        """
+        prefix = f"ha.{set_name}.{replica}"
+        return ReplicaGauges(self.gauge(f"{prefix}.up"),
+                             self.gauge(f"{prefix}.hint_depth"),
+                             self.gauge(f"{prefix}.last_repair"))
 
     def timed(self, histogram_name: str):
         """Context manager observing the elapsed clock time into a histogram.

@@ -29,12 +29,15 @@ from __future__ import annotations
 
 import zlib
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.core.serialize import WireFormatError, open_frame, seal_frame
 from repro.db.site import Network
-from repro.db.transport import ReliableChannel
+from repro.db.transport import DeliveryFailed, ReliableChannel
 from repro.persist.wal import SCALAR_KEY_TYPES
+from repro.serve import repair as _repair
 from repro.serve.metrics import MetricsRegistry
 
 #: remote-shard frame magics ("Repro Shard reQuest / resPonse v1")
@@ -43,11 +46,103 @@ RESPONSE_MAGIC = b"RSP1"
 
 #: verbs a shard server answers
 _SERVER_VERBS = frozenset({"insert", "delete", "set", "query", "contains",
-                           "total_count", "params", "checkpoint"})
+                           "total_count", "params", "checkpoint",
+                           "insert_many", "delete_many", "query_many",
+                           "blocksums", "readblocks", "writeblocks"})
+
+#: bulk verbs whose request carries key/count batches
+_BULK_VERBS = frozenset({"insert_many", "delete_many", "query_many"})
+
+#: keys per request frame on the bulk path (one channel round trip each;
+#: chunking bounds both frame size and the blast radius of one lost frame)
+DEFAULT_BULK_CHUNK = 256
 
 
 class RemoteShardError(RuntimeError):
     """The server reported a failure the client cannot type more precisely."""
+
+
+def _retryable(exc: Exception) -> bool:
+    """Can resubmitting the same operation succeed?  Transport give-ups
+    and lock timeouts are transient; semantic rejections are not."""
+    from repro.persist import LockTimeout
+    return isinstance(exc, (DeliveryFailed, LockTimeout))
+
+
+class BulkFailure:
+    """One key of a bulk operation that did not apply.
+
+    Attributes:
+        index: the key's position in the submitted batch.
+        key: the key itself.
+        error: the exception instance that felled it.
+        retryable: ``True`` when resubmitting the same key can succeed
+            (transport gave up, a lock timed out) — the signal hinted
+            handoff keys on; ``False`` for semantic rejections (bad key
+            type, a delete below zero) that would fail identically again.
+    """
+
+    __slots__ = ("index", "key", "error", "retryable")
+
+    def __init__(self, index: int, key: object, error: Exception,
+                 retryable: bool):
+        self.index = index
+        self.key = key
+        self.error = error
+        self.retryable = retryable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "retryable" if self.retryable else "permanent"
+        return (f"BulkFailure(index={self.index}, key={self.key!r}, "
+                f"{kind}: {type(self.error).__name__})")
+
+
+class BulkResult:
+    """Structured outcome of a bulk operation: what applied, what failed.
+
+    Instead of raising on the first :class:`DeliveryFailed` (losing all
+    information about the rest of the batch), bulk paths return this —
+    callers retry precisely the :attr:`failures` marked retryable.
+
+    Attributes:
+        n: batch size submitted.
+        values: for query batches, the estimates as an int64 array
+            (failed slots hold 0 — check :attr:`failures`); ``None`` for
+            mutation batches.
+        failures: the keys that did not apply, as :class:`BulkFailure`
+            entries in batch order.
+    """
+
+    __slots__ = ("n", "values", "failures")
+
+    def __init__(self, n: int, values: np.ndarray | None = None,
+                 failures: list[BulkFailure] | None = None):
+        self.n = int(n)
+        self.values = values
+        self.failures = failures if failures is not None else []
+
+    @property
+    def applied(self) -> int:
+        """Keys that applied (or answered) successfully."""
+        return self.n - len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def retryable(self) -> list[BulkFailure]:
+        return [f for f in self.failures if f.retryable]
+
+    def raise_first(self) -> "BulkResult":
+        """Raise the first failure's error, if any — opt back into the
+        old all-or-nothing behaviour."""
+        if self.failures:
+            raise self.failures[0].error
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BulkResult(applied={self.applied}/{self.n}, "
+                f"failures={len(self.failures)})")
 
 
 def _validate_request(payload: bytes) -> None:
@@ -104,6 +199,10 @@ class ShardServer:
         if op == "checkpoint":
             result = handle.checkpoint()
             return result if isinstance(result, str) else None
+        if op in _BULK_VERBS:
+            return self._dispatch_bulk(op, meta)
+        if op in ("blocksums", "readblocks", "writeblocks"):
+            return self._dispatch_repair(op, meta)
         key = meta.get("key")
         if not isinstance(key, SCALAR_KEY_TYPES):
             raise WireFormatError(
@@ -123,6 +222,59 @@ class ShardServer:
         else:  # set
             _set_on(handle, key, count)
         return None
+
+    def _dispatch_bulk(self, op: str, meta: dict):
+        keys = meta.get("keys")
+        if not isinstance(keys, list):
+            raise WireFormatError(f"bulk op {op!r} needs a key list, got "
+                                  f"{type(keys).__name__}")
+        for key in keys:
+            if not isinstance(key, SCALAR_KEY_TYPES):
+                raise WireFormatError(
+                    f"remote-shard keys must be JSON scalars, got "
+                    f"{type(key).__name__}")
+        handle = self.handle
+        if op == "query_many":
+            return np.asarray(handle.query_many(keys)).tolist()
+        counts = meta.get("counts")
+        if (not isinstance(counts, list) or len(counts) != len(keys)
+                or any(not isinstance(c, int) or isinstance(c, bool)
+                       or c < 0 for c in counts)):
+            raise WireFormatError(
+                f"bulk op {op!r} needs counts (ints >= 0) matching its "
+                f"{len(keys)} key(s)")
+        if op == "insert_many":
+            handle.insert_many(keys, counts)
+        else:
+            handle.delete_many(keys, counts)
+        return len(keys)
+
+    def _dispatch_repair(self, op: str, meta: dict):
+        n_blocks = meta.get("n_blocks")
+        if not isinstance(n_blocks, int) or isinstance(n_blocks, bool) \
+                or n_blocks < 1:
+            raise WireFormatError(
+                f"repair ops need a positive n_blocks, got {n_blocks!r}")
+        handle = self.handle
+        if op == "blocksums":
+            return _repair.block_checksums(handle, n_blocks)
+        blocks = meta.get("blocks")
+        if not isinstance(blocks, list):
+            raise WireFormatError(
+                f"repair op {op!r} needs a block list, got "
+                f"{type(blocks).__name__}")
+        if op == "readblocks":
+            spans = _repair.read_blocks(handle, n_blocks, blocks)
+            return [[block, values] for block, values in spans.items()]
+        spans = {}
+        for entry in blocks:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise WireFormatError(
+                    f"writeblocks entries are [block, values] pairs, got "
+                    f"{entry!r}")
+            spans[entry[0]] = entry[1]
+        return _repair.write_blocks(handle, n_blocks, spans,
+                                    total_count=meta.get("total_count"))
 
 
 def _set_on(handle, key, count: int) -> None:
@@ -155,13 +307,20 @@ class RemoteShard:
         client / server_name: endpoint names for traffic accounting.
         channel_options: forwarded to both :class:`ReliableChannel` legs
             (retry budget, backoff, jitter).
+        bulk_chunk: keys per frame on the bulk paths (:meth:`insert_many`
+            etc.); each chunk is one round trip and one unit of partial
+            failure.
         metrics: registry the channel stats are attached to.
     """
 
     def __init__(self, server: ShardServer, network: Network,
                  client: str, server_name: str, *,
                  channel_options: dict | None = None,
+                 bulk_chunk: int = DEFAULT_BULK_CHUNK,
                  metrics: MetricsRegistry | None = None):
+        if bulk_chunk < 1:
+            raise ValueError(f"bulk_chunk must be >= 1, got {bulk_chunk}")
+        self.bulk_chunk = int(bulk_chunk)
         options = dict(channel_options or {})
         options.setdefault("seed", zlib.crc32(
             f"{client}->{server_name}".encode("utf-8")))
@@ -242,6 +401,88 @@ class RemoteShard:
 
     def checkpoint(self):
         return self._call("checkpoint")
+
+    # -- bulk operations (structured partial failure) ----------------------
+    def insert_many(self, keys: Sequence[object],
+                    counts: Sequence[int] | None = None) -> BulkResult:
+        """Insert a key batch; returns a :class:`BulkResult`.
+
+        The batch travels in :attr:`bulk_chunk`-sized frames.  A chunk
+        whose delivery fails (either leg) fails *only its own keys*, and
+        marks them retryable — the rest of the batch still applies.
+        Invalid keys never leave the client (permanent failures).
+        """
+        return self._bulk("insert_many", keys, counts)
+
+    def delete_many(self, keys: Sequence[object],
+                    counts: Sequence[int] | None = None) -> BulkResult:
+        """Delete a key batch; returns a :class:`BulkResult` (a chunk the
+        server rejects — e.g. a delete below zero — fails permanently)."""
+        return self._bulk("delete_many", keys, counts)
+
+    def query_many(self, keys: Sequence[object]) -> BulkResult:
+        """Estimates for a key batch; :attr:`BulkResult.values` holds the
+        answers (failed slots are 0 and listed in ``failures``)."""
+        return self._bulk("query_many", keys, None)
+
+    def _bulk(self, op: str, keys: Sequence[object],
+              counts: Sequence[int] | None) -> BulkResult:
+        keys = list(keys)
+        if counts is None:
+            counts = [1] * len(keys)
+        else:
+            counts = [int(c) for c in counts]
+            if len(counts) != len(keys):
+                raise ValueError(f"got {len(keys)} keys but "
+                                 f"{len(counts)} counts")
+        is_query = op == "query_many"
+        values = np.zeros(len(keys), dtype=np.int64) if is_query else None
+        failures: list[BulkFailure] = []
+        valid: list[int] = []
+        for idx, key in enumerate(keys):
+            if isinstance(key, SCALAR_KEY_TYPES):
+                valid.append(idx)
+            else:
+                failures.append(BulkFailure(idx, key, TypeError(
+                    f"remote-shard keys must be JSON scalars "
+                    f"(str/int/float/bool/None), got "
+                    f"{type(key).__name__}"), retryable=False))
+        for lo in range(0, len(valid), self.bulk_chunk):
+            chunk = valid[lo:lo + self.bulk_chunk]
+            chunk_keys = [keys[i] for i in chunk]
+            fields = {"keys": chunk_keys}
+            if not is_query:
+                fields["counts"] = [counts[i] for i in chunk]
+            try:
+                result = self._call(op, **fields)
+            except Exception as exc:
+                retryable = _retryable(exc)
+                failures.extend(BulkFailure(i, keys[i], exc, retryable)
+                                for i in chunk)
+                continue
+            if is_query:
+                values[chunk] = result
+        failures.sort(key=lambda f: f.index)
+        return BulkResult(len(keys), values, failures)
+
+    # -- anti-entropy hooks (see repro.serve.repair) -----------------------
+    def block_checksums(self, n_blocks: int) -> list[int]:
+        """Per-repair-block CRC32s, computed server-side (one round trip
+        ships ``n_blocks`` checksums, never the counters)."""
+        return self._call("blocksums", n_blocks=int(n_blocks))
+
+    def read_blocks(self, n_blocks: int, blocks: Sequence[int],
+                    ) -> dict[int, list[int]]:
+        pairs = self._call("readblocks", n_blocks=int(n_blocks),
+                           blocks=[int(b) for b in blocks])
+        return {int(block): values for block, values in pairs}
+
+    def write_blocks(self, n_blocks: int, blocks: dict, *,
+                     total_count: int | None = None) -> int:
+        payload = [[int(block), [int(v) for v in values]]
+                   for block, values in blocks.items()]
+        return self._call("writeblocks", n_blocks=int(n_blocks),
+                          blocks=payload, total_count=total_count)
 
     @contextmanager
     def exclusive(self, timeout: float | None = None) -> Iterator["RemoteShard"]:

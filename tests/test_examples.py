@@ -20,6 +20,7 @@ CASES = [
     ("proxy_cache_mesh.py", "spectral summaries"),
     ("search_engine_hotlist.py", "differential file"),
     ("serving_engine.py", "admission control"),
+    ("ha_failover.py", "anti-entropy repair"),
 ]
 
 

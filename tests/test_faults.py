@@ -176,6 +176,30 @@ class TestReliableChannel:
         assert channel.stats.timeouts == channel.stats.retries
         assert channel.stats.backoff_seconds > 0
 
+    def test_backoff_sleep_hook_is_optional_and_deterministic(self):
+        # Default sleep=None: backoff is simulated (accounted, never
+        # slept) so chaos runs replay instantly and identically.  A real
+        # deployment injects sleep=time.sleep; here a recorder proves the
+        # hook receives exactly the accounted pauses — capped exponential
+        # growth with seeded jitter.
+        naps: list[float] = []
+        net = FaultyNetwork(FaultPolicy(drop=0.5, seed=11))
+        channel = ReliableChannel(net, "a", "b", max_retries=20, seed=11,
+                                  sleep=naps.append)
+        for i in range(20):
+            payload = f"message {i}".encode()
+            assert channel.send("frame", payload) == payload
+        assert len(naps) == channel.stats.retries
+        assert sum(naps) == pytest.approx(channel.stats.backoff_seconds)
+        assert all(nap <= channel.max_backoff * 1.5 for nap in naps)
+        # Same seeds, no hook: identical schedule, nothing slept.
+        net2 = FaultyNetwork(FaultPolicy(drop=0.5, seed=11))
+        silent = ReliableChannel(net2, "a", "b", max_retries=20, seed=11)
+        for i in range(20):
+            silent.send("frame", f"message {i}".encode())
+        assert silent.stats.backoff_seconds == \
+            pytest.approx(channel.stats.backoff_seconds)
+
     def test_corruption_always_detected_never_accepted(self):
         net = FaultyNetwork(FaultPolicy(corrupt=1.0, seed=12))
         channel = ReliableChannel(net, "a", "b", max_retries=3, seed=12)

@@ -1,0 +1,496 @@
+"""ReplicaSet / hinted handoff / anti-entropy: the HA layer.
+
+The invariant under test everywhere: **no wrong answers, ever**.  A
+replica set may refuse an operation (typed :class:`Unavailable`) while
+too few replicas are healthy, but every answer it does give is the one
+the unsharded oracle filter would give — and after handoff/repair the
+replicas are bit-identical, counter for counter.
+
+Chaos tests are seeded (fault policies and channels share fixed seeds),
+so every ejection, hint, probe, and repair replays identically.
+"""
+
+import pytest
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import ChannelStats, DeliveryFailed
+from repro.persist import ConcurrentSBF
+from repro.serve import (
+    ALL,
+    QUORUM,
+    HintLog,
+    MetricsRegistry,
+    RemoteShard,
+    ReplicaSet,
+    ServingEngine,
+    ShardBatcher,
+    ShardServer,
+    Unavailable,
+    replicated_fleet,
+    required_replicas,
+)
+
+M, K, SEED = 2048, 4, 11
+
+
+def make_filter() -> SpectralBloomFilter:
+    return SpectralBloomFilter(M, K, seed=SEED, method="ms",
+                               backend="array", hash_family="blocked")
+
+
+def make_handle() -> ConcurrentSBF:
+    return ConcurrentSBF(make_filter())
+
+
+def workload(n: int = 300) -> list:
+    return [f"key:{i % 83}" for i in range(n)] + list(range(n // 3))
+
+
+class FlakyReplica:
+    """Local handle with a partition switch (raises DeliveryFailed while
+    ``down`` — the same transient the transport reports)."""
+
+    _GUARDED = frozenset({"insert", "delete", "set", "query", "contains",
+                          "query_many", "insert_many", "delete_many",
+                          "checkpoint"})
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.down = False
+
+    def _guard(self) -> None:
+        if self.down:
+            raise DeliveryFailed("replica is partitioned", ChannelStats())
+
+    def __getattr__(self, name):
+        attr = getattr(self._handle, name)
+        if name in FlakyReplica._GUARDED:
+            def guarded(*args, **kwargs):
+                self._guard()
+                return attr(*args, **kwargs)
+            return guarded
+        return attr
+
+    @property
+    def total_count(self) -> int:
+        self._guard()
+        return self._handle.total_count
+
+
+def make_set(rf: int = 3, *, metrics: MetricsRegistry | None = None,
+             **options) -> tuple[ReplicaSet, list[FlakyReplica]]:
+    replicas = [FlakyReplica(make_handle()) for _ in range(rf)]
+    options.setdefault("eject_after", 2)
+    options.setdefault("probe_every", 10_000)   # tests tick explicitly
+    return ReplicaSet(replicas, metrics=metrics, **options), replicas
+
+
+def assert_replicas_identical(rset: ReplicaSet) -> None:
+    filters = [r.sbf for r in rset.replicas]
+    for other in filters[1:]:
+        assert list(other.counters) == list(filters[0].counters)
+        assert other.total_count == filters[0].total_count
+
+
+def test_required_replicas_levels():
+    assert required_replicas("one", 3) == 1
+    assert required_replicas("quorum", 3) == 2
+    assert required_replicas("quorum", 5) == 3
+    assert required_replicas("all", 3) == 3
+    with pytest.raises(ValueError, match="consistency"):
+        required_replicas("most", 3)
+
+
+def test_replica_set_is_a_transparent_shard_handle():
+    rset, _ = make_set(3)
+    oracle = make_filter()
+    keys = workload()
+    for key in keys:
+        rset.insert(key)
+        oracle.insert(key)
+    for key in keys + ["miss", -7]:
+        assert rset.query(key) == oracle.query(key)
+    assert rset.total_count == oracle.total_count
+    estimates = rset.query_many(keys[:40])
+    assert estimates.tolist() == [oracle.query(k) for k in keys[:40]]
+    rset.delete(keys[0])
+    oracle.delete(keys[0])
+    assert rset.query(keys[0]) == oracle.query(keys[0])
+    rset.set("key:0", 9)
+    assert rset.query("key:0") == 9
+    assert_replicas_identical(rset)
+
+
+def test_writes_during_outage_are_hinted_and_handed_off():
+    registry = MetricsRegistry(clock=lambda: 42.0)
+    rset, flaky = make_set(3, metrics=registry)
+    oracle = make_filter()
+    for key in workload(60):
+        rset.insert(key)
+        oracle.insert(key)
+    flaky[2].down = True
+    hinted_keys = [f"late:{i}" for i in range(25)]
+    for key in hinted_keys:
+        rset.insert(key, 2)           # acked by r0/r1, hinted for r2
+        oracle.insert(key, 2)
+    health = {h["replica"]: h for h in rset.health()}
+    assert health["r2"]["up"] is False             # ejected after failures
+    assert health["r2"]["hint_depth"] > 0
+    # Reads keep serving the oracle's answers from the healthy quorum.
+    for key in hinted_keys:
+        assert rset.query(key) == oracle.query(key)
+    # Heal, probe: handoff drains in order, the convergence proof passes,
+    # and the replica set is bit-identical again.
+    flaky[2].down = False
+    assert rset.tick() == 1
+    assert all(h["up"] and h["hint_depth"] == 0 for h in rset.health())
+    assert_replicas_identical(rset)
+    for key in hinted_keys:
+        assert rset.query(key) == oracle.query(key)
+    gauges = registry.snapshot()["gauges"]
+    assert gauges["ha.rs.r2.up"] == 1.0
+    assert gauges["ha.rs.r2.hint_depth"] == 0
+    counters = registry.snapshot()["counters"]
+    assert counters["ha.rs.ejections"] == 1
+    assert counters["ha.rs.readmissions"] == 1
+    assert counters["ha.rs.handoffs"] == len(hinted_keys)
+    assert counters["ha.rs.hinted"] >= len(hinted_keys)
+
+
+def test_unacknowledged_writes_are_never_hinted():
+    rset, flaky = make_set(3, write_consistency=ALL)
+    rset.insert("seed")
+    flaky[0].down = True
+    with pytest.raises(Unavailable) as excinfo:
+        rset.insert("lost")
+    assert excinfo.value.needed == 3
+    assert excinfo.value.got == 2
+    # The failed write was the client's to retry: nothing queued for r0,
+    # and the replicas that did apply it are *ahead*, not wrong — but
+    # since the op was refused, the set must not remember it as acked.
+    assert all(h["hint_depth"] == 0 for h in rset.health())
+
+
+def test_semantic_errors_raise_and_are_not_hinted():
+    rset, flaky = make_set(3)
+    flaky[1].down = True
+    with pytest.raises(ValueError, match="negative"):
+        rset.delete("never-inserted", 5)
+    health = {h["replica"]: h for h in rset.health()}
+    assert health["r1"]["hint_depth"] == 0
+
+
+def test_reads_fall_short_of_quorum_raise_unavailable():
+    rset, flaky = make_set(3, read_consistency=QUORUM)
+    rset.insert("x")
+    flaky[1].down = True
+    flaky[2].down = True
+    for _ in range(4):                     # burn through to ejection
+        try:
+            rset.query("x")
+        except Unavailable:
+            pass
+    with pytest.raises(Unavailable) as excinfo:
+        rset.query("x")
+    assert excinfo.value.needed == 2
+    assert excinfo.value.got == 1
+    # ONE healthy replica still serves reads at consistency ONE.
+    assert ReplicaSet([rset.replicas[0]._handle], name="solo").query("x") == 1
+
+
+def test_query_many_needs_a_quorum_per_slot():
+    rset, flaky = make_set(3, read_consistency=QUORUM)
+    for key in workload(50):
+        rset.insert(key)
+    assert rset.query_many(["key:1", "key:2"]).tolist() == [
+        rset.query("key:1"), rset.query("key:2")]
+    flaky[1].down = True
+    flaky[2].down = True
+    for _ in range(3):      # eject the partitioned pair
+        try:
+            rset.query("key:1")
+        except Unavailable:
+            pass
+    with pytest.raises(Unavailable):
+        rset.query_many(["key:1", "key:2"])
+
+
+def test_bulk_writes_hint_only_acknowledged_slots():
+    rset, flaky = make_set(3)
+    flaky[2].down = True
+    keys = [f"bulk:{i}" for i in range(30)]
+    result = rset.insert_many(keys, [2] * len(keys))
+    assert result.ok                         # write consistency ONE met
+    health = {h["replica"]: h for h in rset.health()}
+    assert health["r2"]["hint_depth"] == len(keys)
+    flaky[2].down = False
+    rset.tick()
+    assert_replicas_identical(rset)
+    oracle = make_filter()
+    for key in keys:
+        oracle.insert(key, 2)
+    for key in keys:
+        assert rset.query(key) == oracle.query(key)
+
+
+def test_durable_hints_survive_a_coordinator_restart(tmp_path):
+    handles = [make_handle() for _ in range(3)]
+    flaky = [FlakyReplica(h) for h in handles]
+    rset = ReplicaSet(flaky, hint_dir=str(tmp_path), probe_every=10_000)
+    for key in workload(40):
+        rset.insert(key)
+    flaky[1].down = True
+    for i in range(15):
+        rset.insert(f"hinted:{i}", 3)
+    assert {h["replica"]: h for h in rset.health()}["r1"]["hint_depth"] > 0
+    rset.close()                              # coordinator goes away
+    # A new coordinator over the same replicas recovers the hint queue
+    # from its WAL and hands it off once the replica is reachable.
+    flaky[1].down = False
+    rset2 = ReplicaSet(flaky, hint_dir=str(tmp_path), probe_every=10_000)
+    assert {h["replica"]: h
+            for h in rset2.health()}["r1"]["hint_depth"] == 15
+    rset2.tick()
+    assert all(h["hint_depth"] == 0 for h in rset2.health())
+    assert_replicas_identical(rset2)
+    rset2.close()
+
+
+def test_readmission_requires_proof_of_convergence_then_repair():
+    registry = MetricsRegistry(clock=lambda: 7.5)
+    rset, flaky = make_set(3, metrics=registry)
+    for key in workload(50):
+        rset.insert(key)
+    flaky[0].down = True
+    for _ in range(2):
+        try:
+            rset.insert("eject-trigger")
+        except Exception:
+            pass
+    assert not {h["replica"]: h for h in rset.health()}["r0"]["up"]
+    # The replica's disk diverged while it was gone (lost writes / rogue
+    # restore): drain its hints, then corrupt it so the total proof fails.
+    flaky[0]._handle.insert("rogue-key", 5)
+    flaky[0].down = False
+    assert rset.tick() == 0                   # handoff ran, proof failed
+    health = {h["replica"]: h for h in rset.health()}
+    assert health["r0"]["up"] is False
+    assert health["r0"]["needs_repair"] is True
+    # Anti-entropy converges it counter-for-counter and re-admits it.
+    report = rset.repair()
+    assert report.converged
+    assert 0 in report.copied or report.counters_copied > 0
+    assert all(h["up"] and not h["needs_repair"] for h in rset.health())
+    assert_replicas_identical(rset)
+    gauges = registry.snapshot()["gauges"]
+    assert gauges["ha.rs.r0.last_repair"] == 7.5
+    assert registry.snapshot()["counters"]["ha.rs.repairs"] == 1
+
+
+def test_probe_every_triggers_automatic_reprobe():
+    rset, flaky = make_set(3, probe_every=5)
+    flaky[2].down = True
+    for i in range(3):
+        rset.insert(f"a:{i}")
+    flaky[2].down = False
+    for i in range(10):                        # crosses the probe cadence
+        rset.insert(f"b:{i}")
+    assert all(h["up"] and h["hint_depth"] == 0 for h in rset.health())
+    assert_replicas_identical(rset)
+
+
+# -- replica sets behind the wire ----------------------------------------
+
+def remote_set(rf: int = 3, *, metrics: MetricsRegistry | None = None,
+               **options):
+    """A ReplicaSet whose replicas live behind a FaultyNetwork."""
+    network = FaultyNetwork()
+    handles, remotes = [], []
+    for r in range(rf):
+        handle = make_handle()
+        handles.append(handle)
+        remotes.append(RemoteShard(
+            ShardServer(handle), network, "coord", f"r{r}",
+            channel_options={"max_retries": 2}, metrics=metrics))
+    options.setdefault("eject_after", 2)
+    options.setdefault("probe_every", 10_000)
+    rset = ReplicaSet(remotes, metrics=metrics, **options)
+    return rset, network, handles
+
+
+def partition(network: FaultyNetwork, name: str, seed: int) -> None:
+    network.set_policy("coord", name, FaultPolicy(drop=1.0, seed=seed))
+    network.set_policy(name, "coord", FaultPolicy(drop=1.0, seed=seed + 1))
+
+
+def heal(network: FaultyNetwork, name: str) -> None:
+    network.set_policy("coord", name, None)
+    network.set_policy(name, "coord", None)
+
+
+@pytest.mark.chaos
+def test_remote_replica_outage_serves_the_oracle_throughout():
+    rset, network, handles = remote_set(3, read_consistency=QUORUM)
+    oracle = make_filter()
+    keys = workload(80)
+    for key in keys:
+        rset.insert(key)
+        oracle.insert(key)
+    partition(network, "r1", seed=31)
+    wrong = 0
+    for i, key in enumerate(keys):
+        rset.insert(f"outage:{i}")
+        oracle.insert(f"outage:{i}")
+        if rset.query(key) != oracle.query(key):
+            wrong += 1
+    assert wrong == 0                          # zero wrong answers
+    heal(network, "r1")
+    assert rset.tick() == 1
+    for key in keys:
+        assert rset.query(key) == oracle.query(key)
+    filters = [h.sbf for h in handles]
+    for other in filters[1:]:
+        assert list(other.counters) == list(filters[0].counters)
+
+
+@pytest.mark.chaos
+def test_kill_and_restart_each_replica_in_turn():
+    """The acceptance drill: RF=3, quorum reads, each replica killed and
+    restarted in turn under live traffic — zero answers differ from the
+    oracle, and hinted writes converge the set bit-identically."""
+    rset, network, handles = remote_set(3, read_consistency=QUORUM)
+    oracle = make_filter()
+    keys = workload(60)
+    for key in keys:
+        rset.insert(key)
+        oracle.insert(key)
+    step = 0
+    for victim in ("r0", "r1", "r2"):
+        partition(network, victim, seed=100 + step)
+        for i in range(40):
+            key = f"phase:{victim}:{i}"
+            rset.insert(key, 1 + i % 3)
+            oracle.insert(key, 1 + i % 3)
+            probe = keys[(step + i) % len(keys)]
+            assert rset.query(probe) == oracle.query(probe)
+        heal(network, victim)
+        assert rset.tick() == 1                # handoff + re-admission
+        step += 1
+    assert all(h["up"] and h["hint_depth"] == 0 for h in rset.health())
+    filters = [h.sbf for h in handles]
+    for other in filters[1:]:
+        assert list(other.counters) == list(filters[0].counters)
+    for key in keys:
+        assert rset.query(key) == oracle.query(key)
+    assert rset.total_count == oracle.total_count
+
+
+@pytest.mark.chaos
+def test_replicated_fleet_with_engine_maintenance_readmits():
+    registry = MetricsRegistry()
+    networks: dict[int, FaultyNetwork] = {}
+    handles: dict[tuple[int, int], ConcurrentSBF] = {}
+
+    def factory(s: int, r: int):
+        network = networks.setdefault(s, FaultyNetwork())
+        handle = make_handle()
+        handles[(s, r)] = handle
+        return RemoteShard(ShardServer(handle), network, "coord",
+                           f"r{r}", channel_options={"max_retries": 2},
+                           metrics=registry)
+
+    fleet = replicated_fleet(2, M, K, rf=3, seed=SEED,
+                             replica_factory=factory,
+                             eject_after=2, probe_every=10_000,
+                             metrics=registry)
+    oracle = make_filter()
+    engine = ServingEngine(fleet, max_queue=512, maintenance_every=1)
+    keys = workload(60)
+    for key in keys:
+        engine.submit("insert", key)
+    engine.drain()
+    for key in keys:
+        oracle.insert(key)
+    # Kill shard 0's replica r1, keep serving, then heal: the engine's
+    # idle maintenance pump re-admits it without any request touching it.
+    partition(networks[0], "r1", seed=77)
+    for i in range(20):
+        engine.submit("insert", f"mid:{i}")
+        oracle.insert(f"mid:{i}")
+    engine.drain()
+    heal(networks[0], "r1")
+    engine.pump()                              # idle pump -> maintain()
+    shard0 = fleet.shards[0]
+    assert all(h["up"] and h["hint_depth"] == 0 for h in shard0.health())
+    results = ShardBatcher(fleet).query_many(keys)
+    assert results == [oracle.query(key) for key in keys]
+    report = engine.close()
+    assert report["drained"] == 0
+
+
+def test_remote_only_fleet_still_routes_blocked():
+    # A fleet whose every replica lives behind the wire has no local
+    # filter to introspect, so replicated_fleet hands the router its
+    # blocked family explicitly — keeping answers bit-identical to the
+    # unsharded oracle even under heavy counter collisions (canonical-key
+    # fallback routing would split collision neighborhoods across shards
+    # and diverge here).
+    import random
+    network = FaultyNetwork()
+
+    def factory(s: int, r: int):
+        return RemoteShard(ShardServer(make_handle()), network, "coord",
+                           f"s{s}r{r}")
+
+    fleet = replicated_fleet(2, M, K, rf=2, seed=SEED,
+                             replica_factory=factory)
+    oracle = make_filter()
+    rng = random.Random(13)
+    keys = [f"c:{rng.randrange(1 << 16)}" for _ in range(600)]
+    for key in keys:
+        count = 1 + rng.randrange(3)
+        fleet.insert(key, count)
+        oracle.insert(key, count)
+    family = oracle.family
+    for key in keys + ["miss:a", "miss:b"]:
+        assert fleet.shard_of(key) == family.block_of(key) % 2
+        assert fleet.query(key) == oracle.query(key)
+
+
+def test_hint_log_orders_and_resumes(tmp_path):
+    log = HintLog(str(tmp_path / "r.hints"))
+    log.append("insert", "a", 2)
+    log.append("set", "b", 7)
+    log.append_many("insert", ["c", "d"], [1, 1])
+    assert len(log) == 4
+    seen = []
+
+    def apply(verb, key, count):
+        if key == "d":
+            raise DeliveryFailed("died mid-handoff", ChannelStats())
+        seen.append((verb, key, count))
+
+    with pytest.raises(DeliveryFailed):
+        log.drain(apply)
+    assert seen == [("insert", "a", 2), ("set", "b", 7),
+                    ("insert", "c", 1)]
+    assert len(log) == 1                       # resumes where it stopped
+    log.close()
+    revived = HintLog(str(tmp_path / "r.hints"))
+    assert len(revived) == 1
+    landed = []
+    revived.drain(lambda *hint: landed.append(hint))
+    assert landed == [("insert", "d", 1)]
+    revived.close()
+
+
+def test_replica_set_validations():
+    with pytest.raises(ValueError, match="at least one"):
+        ReplicaSet([])
+    with pytest.raises(ValueError, match="eject_after"):
+        ReplicaSet([make_handle()], eject_after=0)
+    with pytest.raises(ValueError, match="names"):
+        ReplicaSet([make_handle()], names=["a", "b"])
+    with pytest.raises(ValueError, match="rf"):
+        replicated_fleet(2, M, K, rf=0)

@@ -142,12 +142,30 @@ def test_reshard_round_trip_is_counter_exact():
     assert list(merged.counters) == list(reference.counters)
 
 
-def test_reshard_requires_a_divisor_of_the_shard_count():
-    router = make_router(8)
-    with pytest.raises(ValueError, match="divide"):
-        router.reshard(3)
+def test_non_dividing_reshard_rolls_on_blocked_fleets():
+    # Blocked fleets no longer need new_n to divide n: reshard() falls
+    # through to a rolling block-range migration (test_reshard_rolling.py
+    # exercises it in depth — this pins the dispatch).
+    router, reference = make_router(8), make_reference()
+    keys = workload(400)
+    for key in keys:
+        router.insert(key)
+        reference.insert(key)
+    assert router.reshard(3) is router
+    assert router.n_shards == 3
+    assert router.total_count == reference.total_count
+    for key in probes(keys):
+        assert router.query(key) == reference.query(key)
     with pytest.raises(ValueError, match=">= 1"):
         router.reshard(0)
+    assert router.n_shards == 3           # refused reshard changed nothing
+
+
+def test_non_dividing_reshard_still_refused_without_blocked_hashing():
+    router = ShardedSBF.create(8, M, K, seed=SEED, method="ms",
+                               backend="array", hash_family="modmul")
+    with pytest.raises(ValueError, match="divide"):
+        router.reshard(3)
     assert router.n_shards == 8           # refused reshard changed nothing
 
 

@@ -163,3 +163,123 @@ def test_remote_checkpoint_round_trip():
     remote.insert("x", 3)
     assert remote.checkpoint() is None      # memory shard: frame, no path
     assert remote.query("x") == 3
+
+
+# -- bulk operations: structured partial failure --------------------------
+
+def test_bulk_ops_match_local_on_a_clean_wire():
+    remote, _ = make_remote()
+    local = make_handle()
+    keys = [f"key:{i % 23}" for i in range(80)] + list(range(40))
+    counts = [1 + i % 3 for i in range(len(keys))]
+    result = remote.insert_many(keys, counts)
+    assert result.ok and result.applied == len(keys)
+    local.insert_many(keys, counts)
+    answers = remote.query_many(keys + ["miss"])
+    assert answers.ok
+    assert answers.values.tolist() == \
+        local.query_many(keys + ["miss"]).tolist()
+    removed = remote.delete_many(keys[:10])
+    assert removed.ok
+    local.delete_many(keys[:10])
+    assert remote.total_count == local.total_count
+
+
+def test_bulk_invalid_keys_fail_client_side_rest_applies():
+    remote, _ = make_remote()
+    keys = ["good:1", (1, 2), "good:2", ["bad"], "good:3"]
+    result = remote.insert_many(keys)
+    assert result.applied == 3
+    assert [f.index for f in result.failures] == [1, 3]
+    assert all(isinstance(f.error, TypeError) for f in result.failures)
+    assert not any(f.retryable for f in result.failures)   # permanent
+    assert result.retryable() == []
+    with pytest.raises(TypeError):
+        result.raise_first()
+    for key in ("good:1", "good:2", "good:3"):
+        assert remote.query(key) == 1
+    assert remote.server.requests_failed == 0   # bad keys never left home
+
+
+@pytest.mark.chaos
+def test_dead_wire_fails_every_chunk_retryably():
+    remote, _ = make_remote(FaultPolicy(drop=1.0, seed=9), max_retries=1)
+    keys = [f"k:{i}" for i in range(10)]
+    result = remote.insert_many(keys)
+    assert result.applied == 0
+    assert len(result.failures) == len(keys)
+    assert all(f.retryable for f in result.failures)
+    assert all(isinstance(f.error, DeliveryFailed)
+               for f in result.failures)
+    answers = remote.query_many(keys)
+    assert len(answers.failures) == len(keys)
+    assert answers.values.tolist() == [0] * len(keys)
+
+
+@pytest.mark.chaos
+def test_partial_failure_is_per_chunk_and_retry_converges():
+    # A flaky wire with a small retry budget: some chunks give up, the
+    # rest apply.  Retrying exactly the retryable failures (the
+    # BulkResult contract) converges the shard to the full batch.
+    network = FaultyNetwork()
+    network.set_policy("client", "shard0", FaultPolicy(drop=0.55, seed=41))
+    server = ShardServer(make_handle())
+    remote = RemoteShard(server, network, "client", "shard0",
+                         channel_options={"max_retries": 1},
+                         bulk_chunk=4)
+    keys = [f"k:{i}" for i in range(48)]
+    result = remote.insert_many(keys)
+    assert 0 < result.applied < len(keys)       # genuinely partial
+    failed = {f.index for f in result.failures}
+    # Chunked delivery: failures arrive in whole bulk_chunk-sized runs.
+    for index in failed:
+        assert (index // 4) * 4 in failed
+    assert all(f.retryable for f in result.failures)
+    network.set_policy("client", "shard0", None)
+    retry_keys = [f.key for f in result.retryable()]
+    retried = remote.insert_many(retry_keys)
+    assert retried.ok
+    # Every key applied at least once; keys whose response frame was
+    # lost after the server applied them may count twice — the at-least-
+    # once ambiguity hinted handoff and anti-entropy exist to fix.
+    answers = remote.query_many(keys)
+    assert answers.ok
+    assert all(v >= 1 for v in answers.values.tolist())
+
+
+def test_bulk_semantic_rejection_is_permanent():
+    remote, _ = make_remote()
+    remote.insert_many(["a", "b"], [1, 1])
+    result = remote.delete_many(["a", "never-inserted", "b"], [1, 5, 1])
+    # The server rejects the chunk atomically (delete below zero), so
+    # every key in it fails with the semantic error, marked permanent.
+    assert not result.ok
+    assert all(not f.retryable for f in result.failures)
+    assert all(isinstance(f.error, ValueError) for f in result.failures)
+
+
+def test_bulk_count_validation():
+    remote, _ = make_remote()
+    with pytest.raises(ValueError, match="counts"):
+        remote.insert_many(["a", "b"], [1])
+    with pytest.raises(ValueError, match="bulk_chunk"):
+        RemoteShard(ShardServer(make_handle()), FaultyNetwork(),
+                    "c", "s", bulk_chunk=0)
+
+
+def test_remote_repair_verbs_round_trip():
+    from repro.serve import block_checksums, repair_replicas
+    remote, _ = make_remote()
+    local = make_handle()
+    for i in range(60):
+        local.insert(f"key:{i}", 1 + i % 4)
+    # The remote replica is empty and diverged; repair copies the local
+    # reference's counters over the wire, block by differing block.
+    report = repair_replicas([local, remote], n_blocks=16)
+    assert report.reference == 0
+    assert report.converged
+    assert report.copied.get(1)
+    assert remote.total_count == local.total_count
+    assert block_checksums(remote, 16) == block_checksums(local, 16)
+    for i in range(60):
+        assert remote.query(f"key:{i}") == local.query(f"key:{i}")
