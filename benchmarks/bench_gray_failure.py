@@ -1,0 +1,410 @@
+"""Gray failure — tail latency through a slow-but-alive replica.
+
+The gray-failure defense's pitch (DESIGN.md §10) is that a replica
+which still *answers* — just two orders of magnitude more slowly — is
+caught by the latency-aware circuit breaker and hedged attempts, not by
+the consecutive-failure ejection machinery (which a slow replica never
+trips: every operation eventually succeeds).  This benchmark measures
+exactly that claim on a simulated clock (``FaultyNetwork(advance=...)``
+drives a fake clock, so every latency below is deterministic wire time,
+not host noise):
+
+- **undefended** — a fleet with the default breakers (error-rate only,
+  no latency threshold, no hedging) suffers one slow replica per set;
+  every write fans out into the stall, so tail latency balloons;
+- **defended** — the same topology with a latency-threshold breaker,
+  ``p95``-quantile hedged attempts, and per-channel retry budgets; the
+  breaker opens on the latency EWMA, the slow replica is shed from the
+  fan-out (its writes become hints), and steady-state p99 returns to
+  the healthy envelope;
+- **recovery** — the stall clears, the breaker's reset timeout admits a
+  half-open probe, the convergence proof re-admits the replica, hints
+  drain, and an anti-entropy pass certifies bit-identical replicas;
+- **retry storm** — a replica goes fully dark; the channel-level retry
+  budgets degrade correlated retransmission ladders into fast refusals
+  (``budget_denied``) instead of paying full backoff on every op.
+
+Shape claims asserted:
+- zero query answers differ from the unsharded oracle in any phase;
+- defended steady-state p99 is within 2x of the healthy p99 while the
+  undefended fleet's p99 is at least 3x worse than the defended one;
+- the breaker cycle is visible in the metrics (opens, half-opens and
+  closes all >= 1) and at least one hedged/bounded attempt fired;
+- the retry storm trips at least one channel budget refusal;
+- after recovery every replica of every set is bit-identical.
+
+CLI:
+    PYTHONPATH=src python benchmarks/bench_gray_failure.py \
+        [--quick] [--json-out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+
+from repro.bench.tables import format_table, write_results
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import DeliveryFailed
+from repro.persist import ConcurrentSBF
+from repro.serve import (
+    Deadline,
+    DeadlineExceeded,
+    MetricsRegistry,
+    RemoteShard,
+    RetryBudget,
+    ShardServer,
+    Unavailable,
+    block_checksums,
+    deadline_scope,
+    replicated_fleet,
+)
+
+N_SHARDS = 2
+RF = 3
+M = 1 << 14
+K = 4
+SEED = 31
+SLOW_REPLICA = 0          # the gray replica index, in every set
+STORM_REPLICA = 1         # the fully-dark replica of the retry storm
+WIRE_LATENCY = 0.0005     # healthy per-frame transit (simulated seconds)
+SLOW_SECONDS = 0.025      # the gray replica's extra per-frame stall
+OP_DEADLINE = 0.5         # end-to-end budget each driven op runs under
+DETECT_OPS = 60           # the detection window right after the stall
+                          # begins: every set's breaker trips inside it
+EJECT_AFTER = 3
+MAX_RETRIES = 3
+RESET_TIMEOUT = 5.0       # breaker open -> half-open, simulated seconds
+REPAIR_BLOCKS = 64
+COORD = "coord"
+
+#: latency-aware breaker: trips when the per-attempt EWMA crosses 20x
+#: the healthy round trip, far below the gray replica's ~26ms stall.
+BREAKER = {"window": 8, "min_samples": 4, "error_threshold": 0.5,
+           "latency_threshold": 0.02, "latency_alpha": 0.5,
+           "latency_min_samples": 2, "reset_timeout": RESET_TIMEOUT}
+
+
+class _FakeClock:
+    """Monotonic simulated time; the network and backoff advance it."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _make_filter() -> SpectralBloomFilter:
+    return SpectralBloomFilter(M, K, seed=SEED, method="ms",
+                               backend="array", hash_family="blocked")
+
+
+def _build(metrics: MetricsRegistry, clock: _FakeClock, defended: bool):
+    """An RF-way remote fleet on one faulty network and one fake clock."""
+    network = FaultyNetwork(
+        default_policy=FaultPolicy(latency=WIRE_LATENCY, seed=SEED),
+        advance=clock.advance)
+
+    def replica_factory(shard: int, replica: int) -> RemoteShard:
+        server = ShardServer(ConcurrentSBF(_make_filter()))
+        budget = RetryBudget(capacity=4.0, earn_rate=0.5) if defended \
+            else None
+        return RemoteShard(
+            server, network, COORD, f"s{shard}r{replica}",
+            channel_options={"max_retries": MAX_RETRIES,
+                             "base_backoff": 0.01, "max_backoff": 0.05,
+                             "sleep": clock.advance},
+            retry_budget=budget, metrics=metrics)
+
+    fleet = replicated_fleet(
+        N_SHARDS, M, K, rf=RF, seed=SEED,
+        eject_after=EJECT_AFTER, probe_every=1 << 30,
+        replica_factory=replica_factory, metrics=metrics,
+        breaker=BREAKER if defended else None,
+        hedge="p95" if defended else None,
+        retry_budget={"capacity": 8.0, "earn_rate": 0.5} if defended
+        else None)
+    return fleet, network
+
+
+def _set_policy(network: FaultyNetwork, server: str,
+                policy: FaultPolicy | None) -> None:
+    network.set_policy(COORD, server, policy)
+    network.set_policy(server, COORD, policy)
+
+
+def _slow(network: FaultyNetwork, server: str, seed: int) -> None:
+    _set_policy(network, server, FaultPolicy(
+        latency=WIRE_LATENCY, slow=1.0, slow_seconds=SLOW_SECONDS,
+        seed=seed))
+
+
+def _partition(network: FaultyNetwork, server: str, seed: int) -> None:
+    _set_policy(network, server, FaultPolicy(drop=1.0, seed=seed))
+
+
+def _heal(network: FaultyNetwork, server: str) -> None:
+    _set_policy(network, server, None)
+
+
+def _drive(fleet, oracle, rng: random.Random, clock: _FakeClock,
+           n_ops: int, pool: list) -> dict:
+    """Mixed traffic (30% insert / 70% query) on the simulated clock;
+    every op runs under an end-to-end deadline, per-op latency is pure
+    wire time."""
+    latencies: list[float] = []
+    served = refused = wrong = 0
+    for _ in range(n_ops):
+        write = rng.random() < 0.3 or not pool
+        t0 = clock.now
+        try:
+            with deadline_scope(Deadline(OP_DEADLINE, clock=clock)):
+                if write:
+                    key = f"k:{rng.randrange(1 << 32)}"
+                    count = rng.randint(1, 3)
+                    fleet.insert(key, count)
+                    oracle.insert(key, count)
+                    pool.append(key)
+                else:
+                    key = rng.choice(pool)
+                    if fleet.query(key) != oracle.query(key):
+                        wrong += 1
+        except (Unavailable, DeliveryFailed, DeadlineExceeded):
+            refused += 1
+        else:
+            served += 1
+        latencies.append(clock.now - t0)
+    return {"n_ops": n_ops, "served": served, "refused": refused,
+            "wrong": wrong, "latencies": latencies}
+
+
+def _quantile_ms(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index] * 1e3
+
+
+def _recover(fleet, network, clock: _FakeClock, replica: int) -> None:
+    """Heal *replica*'s wire, let the breaker's reset timeout pass, and
+    tick until probes re-admit it and drain its hints."""
+    for shard in range(N_SHARDS):
+        _heal(network, f"s{shard}r{replica}")
+    clock.advance(RESET_TIMEOUT + 1.0)
+    for rset in fleet.shards:
+        for _ in range(4):
+            rset.tick()
+            if all(r["up"] and not r["hint_depth"] and not r["needs_repair"]
+                   for r in rset.health()):
+                break
+        rset.repair(n_blocks=REPAIR_BLOCKS)
+
+
+def _sum_counters(metrics: MetricsRegistry, suffix: str) -> int:
+    return sum(value for name, value in
+               metrics.snapshot()["counters"].items()
+               if name.startswith("ha.") and name.endswith(f".{suffix}"))
+
+
+def _experiment(defended: bool, n_ops: int):
+    """healthy -> stall injected -> detection burst -> steady state."""
+    clock = _FakeClock()
+    metrics = MetricsRegistry(clock=clock)
+    fleet, network = _build(metrics, clock, defended)
+    oracle = _make_filter()
+    rng = random.Random(SEED)
+    pool: list = []
+    phases: dict[str, dict] = {}
+    phases["healthy"] = _drive(fleet, oracle, rng, clock, n_ops, pool)
+    for shard in range(N_SHARDS):
+        _slow(network, f"s{shard}r{SLOW_REPLICA}", seed=shard)
+    # The detection window: hedged reads abandon the straggler and
+    # bounded write attempts fail its breaker window, so by the end of
+    # it every set has opened the gray replica's breaker.  Its cost is
+    # reported as its own phase row — the measured "gray" steady state
+    # starts after detection, which is the claim being priced.
+    phases["detect"] = _drive(fleet, oracle, rng, clock, DETECT_OPS, pool)
+    phases["gray"] = _drive(fleet, oracle, rng, clock, n_ops, pool)
+    return {"clock": clock, "metrics": metrics, "fleet": fleet,
+            "network": network, "oracle": oracle, "rng": rng,
+            "pool": pool, "phases": phases}
+
+
+def run_gray_failure(quick: bool = False) -> dict:
+    n_ops = 150 if quick else 600
+
+    # The control: no latency breaker, no hedging — the gray replica
+    # stays in every write fan-out and tail latency balloons.
+    undefended = _experiment(defended=False, n_ops=n_ops)
+
+    # The defended fleet: breaker + hedging shed the stall, then the
+    # replica heals, is probed back in, and a dark-replica retry storm
+    # exercises the channel budgets.
+    defended = _experiment(defended=True, n_ops=n_ops)
+    clock, fleet, network = (defended["clock"], defended["fleet"],
+                             defended["network"])
+    phases = defended["phases"]
+
+    _recover(fleet, network, clock, SLOW_REPLICA)
+    phases["recovered"] = _drive(fleet, defended["oracle"],
+                                 defended["rng"], clock, n_ops,
+                                 defended["pool"])
+
+    for shard in range(N_SHARDS):
+        _partition(network, f"s{shard}r{STORM_REPLICA}", seed=shard + 7)
+    phases["retry storm"] = _drive(fleet, defended["oracle"],
+                                   defended["rng"], clock,
+                                   max(50, n_ops // 3), defended["pool"])
+    # Probe the still-dark replica: the first ladder spends the channel
+    # retry budget, after which further probes degrade to fast
+    # ``budget_denied`` refusals instead of paying full backoff.
+    clock.advance(RESET_TIMEOUT + 1.0)
+    for _ in range(4):
+        for rset in fleet.shards:
+            rset.tick()
+    _recover(fleet, network, clock, STORM_REPLICA)
+
+    converged = all(
+        len({tuple(block_checksums(replica, REPAIR_BLOCKS))
+             for replica in rset.replicas}) == 1
+        for rset in fleet.shards)
+    audit = defended["rng"].sample(
+        defended["pool"], min(200, len(defended["pool"])))
+    for key in audit + ["miss:1", "miss:2"]:
+        if fleet.query(key) != defended["oracle"].query(key):
+            phases["recovered"]["wrong"] += 1
+
+    metrics = defended["metrics"]
+    snap = metrics.snapshot()
+    budget_denied = sum(stats["budget_denied"]
+                        for stats in snap["channels"].values())
+    deadline_abandons = sum(stats["deadline_abandons"]
+                            for stats in snap["channels"].values())
+
+    wrong = (sum(p["wrong"] for p in phases.values())
+             + sum(p["wrong"] for p in undefended["phases"].values()))
+    result = {
+        "n_shards": N_SHARDS,
+        "rf": RF,
+        "m": M,
+        "k": K,
+        "read_consistency": "quorum",
+        "write_consistency": "one",
+        "slow_seconds": SLOW_SECONDS,
+        "wire_latency": WIRE_LATENCY,
+        "quick": quick,
+        "wrong_answers": wrong,
+        "converged_bit_identical": converged,
+        "breaker_opens": _sum_counters(metrics, "breaker_opens"),
+        "breaker_half_opens": _sum_counters(metrics, "breaker_half_opens"),
+        "breaker_closes": _sum_counters(metrics, "breaker_closes"),
+        "hedges": _sum_counters(metrics, "hedges"),
+        "write_abandons": _sum_counters(metrics, "write_abandons"),
+        "hinted": _sum_counters(metrics, "hinted"),
+        "budget_refusals": _sum_counters(metrics, "budget_refusals"),
+        "deadline_refusals": _sum_counters(metrics, "deadline_refusals"),
+        "channel_budget_denied": budget_denied,
+        "channel_deadline_abandons": deadline_abandons,
+        "undefended_gray_p99_ms": _quantile_ms(
+            undefended["phases"]["gray"]["latencies"], 0.99),
+    }
+    rows = []
+    for name, phase in phases.items():
+        availability = phase["served"] / phase["n_ops"]
+        result[f"{name}_availability".replace(" ", "_")] = availability
+        result[f"{name}_p50_ms".replace(" ", "_")] = _quantile_ms(
+            phase["latencies"], 0.50)
+        result[f"{name}_p99_ms".replace(" ", "_")] = _quantile_ms(
+            phase["latencies"], 0.99)
+        rows.append((name, phase["n_ops"], phase["served"],
+                     phase["refused"], f"{availability:.4f}",
+                     f"{_quantile_ms(phase['latencies'], 0.50):.3f}",
+                     f"{_quantile_ms(phase['latencies'], 0.99):.3f}"))
+    un = undefended["phases"]["gray"]
+    rows.append(("gray (undefended)", un["n_ops"], un["served"],
+                 un["refused"], f"{un['served'] / un['n_ops']:.4f}",
+                 f"{_quantile_ms(un['latencies'], 0.50):.3f}",
+                 f"{_quantile_ms(un['latencies'], 0.99):.3f}"))
+
+    table = format_table(
+        ["phase", "ops", "served", "refused", "availability",
+         "p50 ms", "p99 ms"], rows,
+        title=(f"Gray failure ({N_SHARDS} shards x RF={RF}, replica "
+               f"r{SLOW_REPLICA} stalls {SLOW_SECONDS * 1e3:.0f}ms/frame, "
+               f"simulated clock, {n_ops} ops/phase)"))
+    table += (f"wrong answers vs oracle: {result['wrong_answers']}   "
+              f"bit-identical after recovery: {converged}\n"
+              f"breaker opens/half-opens/closes: "
+              f"{result['breaker_opens']}/{result['breaker_half_opens']}/"
+              f"{result['breaker_closes']}   hedged+bounded attempts: "
+              f"{result['hedges'] + result['write_abandons']}   "
+              f"channel budget refusals: {budget_denied}\n")
+    write_results("gray_failure", table)
+    print(table)
+    return result
+
+
+def _passes(result: dict) -> bool:
+    return (result["wrong_answers"] == 0
+            and result["converged_bit_identical"]
+            and result["gray_p99_ms"] <= 2.0 * result["healthy_p99_ms"]
+            and result["undefended_gray_p99_ms"]
+            >= 3.0 * result["gray_p99_ms"]
+            and result["breaker_opens"] >= 1
+            and result["breaker_half_opens"] >= 1
+            and result["breaker_closes"] >= 1
+            and result["hedges"] + result["write_abandons"] >= 1
+            and result["channel_budget_denied"] >= 1
+            and result["gray_availability"] >= 0.99
+            and result["retry_storm_availability"] >= 0.99)
+
+
+def test_gray_failure(run_once):
+    result = run_once(run_gray_failure)
+    # The acceptance bar: a slow-but-alive replica costs at most 2x the
+    # healthy p99 once the breaker/hedge defenses engage (the undefended
+    # control is >= 3x worse), with zero wrong answers, a full breaker
+    # open -> half-open -> close cycle, at least one hedged attempt, at
+    # least one fast budget refusal during the storm, and bit-identical
+    # replicas after recovery.
+    assert result["wrong_answers"] == 0, result
+    assert result["converged_bit_identical"], result
+    assert result["gray_p99_ms"] <= 2.0 * result["healthy_p99_ms"], result
+    assert result["undefended_gray_p99_ms"] >= \
+        3.0 * result["gray_p99_ms"], result
+    assert result["breaker_opens"] >= 1, result
+    assert result["breaker_half_opens"] >= 1, result
+    assert result["breaker_closes"] >= 1, result
+    assert result["hedges"] + result["write_abandons"] >= 1, result
+    assert result["channel_budget_denied"] >= 1, result
+    assert result["gray_availability"] >= 0.99, result
+    assert result["retry_storm_availability"] >= 0.99, result
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    json_out = None
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
+    result = run_gray_failure(quick=quick)
+    ok = _passes(result)
+    result["pass"] = ok
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+    if not ok:
+        print("FAIL: gray-failure defense below the acceptance bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

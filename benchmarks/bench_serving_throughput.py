@@ -15,15 +15,24 @@ update.  This benchmark measures exactly that claim on the array backend:
 - **replicated** — the batched stream again, but through a
   ``replicated_fleet`` (every shard an RF=3 replica set), pricing the
   write fan-out; the per-replica ``ha.*`` health gauges are scraped
-  into the output alongside the throughput numbers.
+  into the output alongside the throughput numbers;
+- **engine** — the same stream through the ``ServingEngine`` front door
+  (``submit`` → bounded queue → pump), pricing the queue/batching
+  round-trip and scraping the request-lifecycle metrics
+  (``engine.queue_wait_seconds``, ``engine.shed_total``,
+  ``engine.rejected_total``) plus a deliberate overload burst so the
+  admission-control counters are exercised, not merely present.
 
 Shape claims asserted:
-- all paths return *identical* query estimates (the routing and
-  replication layers are invisible to correctness);
+- all paths return *identical* query estimates (the routing,
+  replication, and queueing layers are invisible to correctness);
 - the batched path is at least 2x faster than the naive path for both
   inserts and queries (in practice the gap is far larger);
 - every ``ha.*.up`` gauge reads 1.0 and every hint queue is empty after
-  a faultless run.
+  a faultless run;
+- the queue-wait histogram saw every engine-path operation, and the
+  overload burst tripped both ``engine.rejected_total`` (reject-new
+  policy) and ``engine.shed_total`` (shed-oldest policy).
 
 CLI:
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py \
@@ -38,7 +47,15 @@ import sys
 import time
 
 from repro.bench.tables import format_table, write_results
-from repro.serve import ShardBatcher, ShardedSBF, replicated_fleet
+from repro.serve import (
+    Overloaded,
+    ServingEngine,
+    ShardBatcher,
+    ShardedSBF,
+    replicated_fleet,
+    run_requests,
+    shed_oldest,
+)
 
 N_SHARDS = 4
 M = 1 << 16
@@ -113,6 +130,56 @@ def run_serving_throughput(quick: bool = False) -> dict:
                  replicated.metrics.snapshot()["gauges"].items()
                  if name.startswith("ha.")}
 
+    # Engine front door: the same stream through submit/pump, with the
+    # queue bound comfortably above the burst so nothing is refused.
+    fronted = _build()
+    engine = ServingEngine(fronted, max_queue=2 * BATCH, batch_size=BATCH)
+    t0 = time.perf_counter()
+    for lo in range(0, n_ops, BATCH):
+        run_requests(engine,
+                     [("insert", key) for key in keys[lo:lo + BATCH]])
+    engine_insert = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    engine_estimates: list[int] = []
+    for lo in range(0, n_ops, BATCH):
+        engine_estimates.extend(run_requests(
+            engine, [("query", key) for key in keys[lo:lo + BATCH]]))
+    engine_query = time.perf_counter() - t0
+
+    if engine_estimates != naive_estimates:
+        raise AssertionError(
+            "engine and naive paths disagree on query estimates")
+
+    # Overload burst: hammer tiny queues so the admission counters move.
+    # reject-new refuses arrivals at the bound (engine.rejected_total);
+    # shed-oldest admits them by failing the oldest queued request
+    # (engine.shed_total).  Separate engines, one shared registry.
+    burst = [("query", key) for key in keys[:4 * BATCH]]
+    rejecting = ServingEngine(fronted, max_queue=32, batch_size=16)
+    for op in burst:
+        try:
+            rejecting.submit(*op)
+        except Overloaded:
+            pass
+    rejecting.drain()
+    shedding = ServingEngine(fronted, max_queue=32, batch_size=16,
+                             policy=shed_oldest)
+    for op in burst:
+        shedding.submit(*op)
+    shedding.drain()
+
+    snap = fronted.metrics.snapshot()
+    queue_wait = snap["histograms"]["engine.queue_wait_seconds"]
+    engine_metrics = {
+        "queue_wait_count": queue_wait["count"],
+        "queue_wait_mean_ms": (1e3 * queue_wait["sum"] / queue_wait["count"]
+                               if queue_wait["count"] else 0.0),
+        "shed_total": snap["counters"].get("engine.shed_total", 0),
+        "rejected_total": snap["counters"].get("engine.rejected_total", 0),
+        "deadline_expired_total": snap["counters"].get(
+            "engine.deadline_expired_total", 0),
+    }
+
     result = {
         "n_ops": n_ops,
         "n_shards": N_SHARDS,
@@ -129,23 +196,39 @@ def run_serving_throughput(quick: bool = False) -> dict:
         "rf": RF,
         "replicated_insert_ops_s": n_ops / replicated_insert,
         "replicated_query_ops_s": n_ops / replicated_query,
+        "engine_insert_ops_s": n_ops / engine_insert,
+        "engine_query_ops_s": n_ops / engine_query,
         "ha_gauges": ha_gauges,
+        "engine_metrics": engine_metrics,
     }
     rows = [
         ("insert", f"{result['naive_insert_ops_s']:,.0f}",
          f"{result['batched_insert_ops_s']:,.0f}",
          f"{result['insert_speedup']:.1f}x",
-         f"{result['replicated_insert_ops_s']:,.0f}"),
+         f"{result['replicated_insert_ops_s']:,.0f}",
+         f"{result['engine_insert_ops_s']:,.0f}"),
         ("query", f"{result['naive_query_ops_s']:,.0f}",
          f"{result['batched_query_ops_s']:,.0f}",
          f"{result['query_speedup']:.1f}x",
-         f"{result['replicated_query_ops_s']:,.0f}"),
+         f"{result['replicated_query_ops_s']:,.0f}",
+         f"{result['engine_query_ops_s']:,.0f}"),
     ]
     table = format_table(
         ["phase", "naive ops/s", "batched ops/s", "speedup",
-         f"replicated rf={RF} ops/s"], rows,
+         f"replicated rf={RF} ops/s", "engine ops/s"], rows,
         title=(f"Serving throughput ({N_SHARDS} shards, m={M}, k={K}, "
                f"{n_ops} ops, batch={BATCH})"))
+    engine_rows = [
+        ("queue_wait_seconds count", engine_metrics["queue_wait_count"]),
+        ("queue_wait mean (ms)",
+         f"{engine_metrics['queue_wait_mean_ms']:.4f}"),
+        ("shed_total (burst)", engine_metrics["shed_total"]),
+        ("rejected_total (burst)", engine_metrics["rejected_total"]),
+        ("deadline_expired_total", engine_metrics["deadline_expired_total"]),
+    ]
+    table += "\n" + format_table(
+        ["engine metric", "value"], engine_rows,
+        title="Engine request-lifecycle metrics (engine.* scrape)")
     health_rows = [
         (f"shard{s}", f"r{r}",
          ha_gauges[f"ha.shard{s}.r{r}.up"],
@@ -171,6 +254,13 @@ def test_serving_throughput(run_once):
     assert all(gauges[f"ha.shard{s}.r{r}.up"] == 1.0
                and gauges[f"ha.shard{s}.r{r}.hint_depth"] == 0
                for s in range(N_SHARDS) for r in range(RF)), gauges
+    # The request-lifecycle scrape: every engine-path op went through the
+    # queue-wait histogram, and the burst tripped both admission counters.
+    em = result["engine_metrics"]
+    assert em["queue_wait_count"] >= 2 * result["n_ops"], em
+    assert em["shed_total"] > 0, em
+    assert em["rejected_total"] > 0, em
+    assert em["deadline_expired_total"] == 0, em
 
 
 def main(argv: list[str]) -> int:

@@ -1,0 +1,175 @@
+"""Gray-failure defense: deadlines, breakers, hedged reads (DESIGN.md §10).
+
+Run:  python examples/gray_failure.py
+
+A *gray* failure is a replica that still answers — just a hundred times
+more slowly.  Consecutive-failure ejection never catches it (every
+operation eventually succeeds), so without a latency-aware defense one
+sick replica prices every write fan-out and a third of all quorum
+reads.  This walkthrough builds an RF=3 fleet on a simulated clock,
+stalls one replica of every set, and shows the defense engage:
+
+1. end-to-end deadlines bound every request through queue, shards,
+   replicas, and transport retries;
+2. the latency-EWMA circuit breaker opens on the slow replica — it is
+   shed from the fan-out (its writes become hints) while staying "up";
+3. quorum reads hedge: an attempt that outlives the p95-based bound is
+   abandoned and re-fired against a spare replica;
+4. when the stall clears, a half-open probe re-runs the convergence
+   proof, drains the hints, and closes the breaker.
+
+Every answer is checked against an unsharded oracle: slow replicas cost
+latency, never correctness.
+"""
+
+import random
+
+from repro.core.sbf import SpectralBloomFilter
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import DeliveryFailed
+from repro.persist import ConcurrentSBF
+from repro.serve import (
+    Deadline,
+    DeadlineExceeded,
+    MetricsRegistry,
+    RemoteShard,
+    ShardServer,
+    Unavailable,
+    deadline_scope,
+    replicated_fleet,
+)
+
+N_SHARDS, RF, M, K, SEED = 2, 3, 1 << 14, 4, 37
+WIRE, STALL = 0.0005, 0.025       # per-frame transit / gray stall (sim s)
+
+
+class Clock:
+    """Simulated time: the network and breakers share one clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    clock = Clock()
+    metrics = MetricsRegistry(clock=clock)
+    network = FaultyNetwork(default_policy=FaultPolicy(latency=WIRE),
+                            advance=clock.advance)
+
+    def replica(shard: int, r: int) -> RemoteShard:
+        handle = ConcurrentSBF(SpectralBloomFilter(
+            M, K, seed=SEED, method="ms", backend="array",
+            hash_family="blocked"))
+        return RemoteShard(ShardServer(handle), network, "coord",
+                           f"s{shard}r{r}",
+                           channel_options={"sleep": clock.advance},
+                           metrics=metrics)
+
+    # The defended fleet: latency-threshold breakers + p95 hedging.
+    fleet = replicated_fleet(
+        N_SHARDS, M, K, rf=RF, seed=SEED, eject_after=100,
+        probe_every=1 << 30, replica_factory=replica, metrics=metrics,
+        breaker={"window": 8, "min_samples": 4, "latency_threshold": 0.02,
+                 "latency_alpha": 0.5, "latency_min_samples": 2,
+                 "reset_timeout": 5.0},
+        hedge="p95")
+    oracle = SpectralBloomFilter(M, K, seed=SEED, method="ms",
+                                 backend="array", hash_family="blocked")
+
+    def drive(n_ops: int) -> tuple[int, int, float]:
+        """Mixed traffic under a 0.5s end-to-end deadline per op;
+        returns (served, wrong, p99 latency in simulated ms)."""
+        latencies, served, wrong = [], 0, 0
+        for i in range(n_ops):
+            t0 = clock.now
+            try:
+                with deadline_scope(Deadline(0.5, clock=clock)):
+                    if i % 3 == 2:
+                        key = f"k:{rng.randrange(1 << 20)}"
+                        fleet.insert(key, 2)
+                        oracle.insert(key, 2)
+                        keys.append(key)
+                    else:
+                        key = rng.choice(keys)
+                        if fleet.query(key) != oracle.query(key):
+                            wrong += 1
+            except (Unavailable, DeliveryFailed, DeadlineExceeded):
+                continue
+            served += 1
+            latencies.append(clock.now - t0)
+        ordered = sorted(latencies)
+        return served, wrong, ordered[int(0.99 * (len(ordered) - 1))] * 1e3
+
+    # ------------------------------------------------------------------
+    # 1. Healthy baseline.
+    # ------------------------------------------------------------------
+    keys: list = [f"seed:{i}" for i in range(8)]
+    for key in keys:
+        fleet.insert(key, 2)
+        oracle.insert(key, 2)
+    served, wrong, p99_healthy = drive(300)
+    print("== healthy baseline ==")
+    print(f"  {served} ops served, {wrong} wrong answers, "
+          f"p99 {p99_healthy:.1f}ms (simulated wire time)")
+
+    # ------------------------------------------------------------------
+    # 2. Replica r0 of every set turns gray: alive, but ~50x slower.
+    # ------------------------------------------------------------------
+    for s in range(N_SHARDS):
+        policy = FaultPolicy(latency=WIRE, slow=1.0, slow_seconds=STALL,
+                             seed=s)
+        network.set_policy("coord", f"s{s}r0", policy)
+        network.set_policy(f"s{s}r0", "coord", policy)
+    served, wrong, _p99 = drive(60)           # the detection window
+    served2, wrong2, p99_gray = drive(300)    # steady state, defended
+    snap = metrics.snapshot()["counters"]
+    opens = sum(v for n, v in snap.items() if n.endswith("breaker_opens"))
+    hedged = sum(v for n, v in snap.items()
+                 if n.endswith(".hedges") or n.endswith("write_abandons"))
+    hinted = sum(v for n, v in snap.items() if n.endswith(".hinted"))
+    print("\n== gray failure: one slow replica per set ==")
+    print(f"  detection window: breaker opened {opens}x, "
+          f"{hedged} hedged/bounded attempts abandoned the straggler")
+    print(f"  steady state: {served2} served, {wrong2} wrong answers, "
+          f"p99 {p99_gray:.1f}ms vs healthy {p99_healthy:.1f}ms")
+    print(f"  {hinted} writes hinted to the shed replica "
+          f"(up the whole time — never ejected)")
+
+    # ------------------------------------------------------------------
+    # 3. The stall clears: half-open probe, handoff, breaker closes.
+    # ------------------------------------------------------------------
+    for s in range(N_SHARDS):
+        network.set_policy("coord", f"s{s}r0", None)
+        network.set_policy(f"s{s}r0", "coord", None)
+    clock.advance(6.0)                        # past the reset timeout
+    for rset in fleet.shards:
+        rset.tick()                           # probe -> drain -> close
+        assert rset.repair().converged
+    snap = metrics.snapshot()
+    closes = sum(v for n, v in snap["counters"].items()
+                 if n.endswith("breaker_closes"))
+    half = sum(v for n, v in snap["counters"].items()
+               if n.endswith("breaker_half_opens"))
+    breaker_states = [v for n, v in snap["gauges"].items()
+                      if n.endswith("breaker_state")]
+    depth = sum(v for n, v in snap["gauges"].items()
+                if n.endswith("hint_depth"))
+    mismatches = sum(fleet.query(key) != oracle.query(key) for key in keys)
+    print("\n== recovery ==")
+    print(f"  half-open probes: {half}, breaker closes: {closes}, "
+          f"all breaker gauges closed: {all(v == 0.0 for v in breaker_states)}")
+    print(f"  hint queues drained to {depth:.0f}; "
+          f"{mismatches} answers differ from the oracle")
+    print("\ngray failure defended: slow replicas cost latency, "
+          "never correctness")
+
+
+if __name__ == "__main__":
+    main()

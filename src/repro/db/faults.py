@@ -32,6 +32,7 @@ DUPLICATE = "duplicate"
 CORRUPT = "corrupt"
 DELAY = "delay"
 REORDER = "reorder"
+SLOW = "slow"
 
 
 class FaultPolicy:
@@ -47,6 +48,16 @@ class FaultPolicy:
       the *next* frame on the same channel — i.e. late and out of order.
       (The two names share one mechanism; they are counted separately so
       schedules read naturally.)
+    - ``slow``: the frame arrives intact but ``slow_seconds`` late *in
+      time* (not in order) — the gray-failure fault.  Slowness is only
+      observable through a clock, so it takes effect when the owning
+      :class:`FaultyNetwork` has an ``advance`` hook wired to one.
+
+    Separate from the fault draw, ``latency`` is the channel's
+    deterministic per-frame transit time, charged on *every* transmit
+    through the ``advance`` hook — it gives a healthy channel a non-zero
+    baseline, which is what makes "slow replica p99 within 2x of
+    healthy" a meaningful claim.
 
     Args:
         seed: RNG seed; identical seeds replay identical fault schedules.
@@ -54,9 +65,11 @@ class FaultPolicy:
 
     def __init__(self, *, drop: float = 0.0, duplicate: float = 0.0,
                  corrupt: float = 0.0, delay: float = 0.0,
-                 reorder: float = 0.0, seed: int = 0):
+                 reorder: float = 0.0, slow: float = 0.0,
+                 slow_seconds: float = 0.05, latency: float = 0.0,
+                 seed: int = 0):
         rates = {"drop": drop, "duplicate": duplicate, "corrupt": corrupt,
-                 "delay": delay, "reorder": reorder}
+                 "delay": delay, "reorder": reorder, "slow": slow}
         for name, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(
@@ -64,11 +77,19 @@ class FaultPolicy:
         if sum(rates.values()) > 1.0 + 1e-12:
             raise ValueError(
                 f"fault probabilities must sum to <= 1, got {rates}")
+        if slow_seconds < 0:
+            raise ValueError(
+                f"slow_seconds must be >= 0, got {slow_seconds}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
         self.drop = float(drop)
         self.duplicate = float(duplicate)
         self.corrupt = float(corrupt)
         self.delay = float(delay)
         self.reorder = float(reorder)
+        self.slow = float(slow)
+        self.slow_seconds = float(slow_seconds)
+        self.latency = float(latency)
         self.seed = int(seed)
         self._rng = random.Random(self.seed)
 
@@ -79,7 +100,8 @@ class FaultPolicy:
                                (DUPLICATE, self.duplicate),
                                (CORRUPT, self.corrupt),
                                (DELAY, self.delay),
-                               (REORDER, self.reorder)):
+                               (REORDER, self.reorder),
+                               (SLOW, self.slow)):
             if u < rate:
                 return decision
             u -= rate
@@ -97,7 +119,8 @@ class FaultPolicy:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FaultPolicy(drop={self.drop}, duplicate={self.duplicate}, "
                 f"corrupt={self.corrupt}, delay={self.delay}, "
-                f"reorder={self.reorder}, seed={self.seed})")
+                f"reorder={self.reorder}, slow={self.slow}, "
+                f"latency={self.latency}, seed={self.seed})")
 
 
 class FaultyNetwork(Network):
@@ -108,20 +131,32 @@ class FaultyNetwork(Network):
     transport drives.  With no policies configured the network behaves
     exactly like the base class, so it is a drop-in replacement.
 
+    Time is injected too: *advance* is an optional callable taking
+    seconds, invoked once per transmit with the frame's transit time
+    (the policy's ``latency``, plus ``slow_seconds`` when the frame drew
+    the ``slow`` fault).  Wired to a fake clock's ``advance`` it makes
+    slowness *observable* — deadlines expire, latency EWMAs climb —
+    while the chaos run stays fully deterministic.  Without it (the
+    default) slow frames degrade to plain intact deliveries, so existing
+    schedules replay unchanged.
+
     Attributes:
         faults: running totals of injected faults per kind
             (``drops`` / ``duplicates`` / ``corruptions`` / ``delays`` /
-            ``reorders``) — chaos tests assert against these to prove
-            every injected corruption was *detected* downstream.
+            ``reorders`` / ``slowdowns``) — chaos tests assert against
+            these to prove every injected corruption was *detected*
+            downstream.
     """
 
-    def __init__(self, default_policy: FaultPolicy | None = None):
+    def __init__(self, default_policy: FaultPolicy | None = None, *,
+                 advance=None):
         super().__init__()
         self.default_policy = default_policy
+        self.advance = advance
         self._policies: dict[tuple[str, str, str | None], FaultPolicy] = {}
         self._delayed: dict[tuple[str, str], list[bytes]] = {}
         self.faults = {"drops": 0, "duplicates": 0, "corruptions": 0,
-                       "delays": 0, "reorders": 0}
+                       "delays": 0, "reorders": 0, "slowdowns": 0}
 
     def set_policy(self, sender: str, recipient: str,
                    policy: FaultPolicy | None, *,
@@ -176,7 +211,18 @@ class FaultyNetwork(Network):
             self.faults["delays" if decision == DELAY else "reorders"] += 1
             self._delayed.setdefault(key, []).append(frame)
         else:
+            if decision == SLOW:
+                self.faults["slowdowns"] += 1
             arrivals.append(frame)
+        # Transit time passes whatever the frame's fate: the channel's
+        # baseline latency on every attempt, plus the stall when this
+        # frame drew the slowness fault.
+        if self.advance is not None and policy is not None:
+            transit = policy.latency
+            if decision == SLOW:
+                transit += policy.slow_seconds
+            if transit > 0.0:
+                self.advance(transit)
         # Frames held back by earlier transmits arrive now, *after* the
         # current frame: late and out of order.
         arrivals.extend(held)

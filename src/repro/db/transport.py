@@ -84,7 +84,8 @@ class ChannelStats:
 
     __slots__ = ("attempts", "retries", "delivered", "timeouts",
                  "corrupt_detected", "duplicates_ignored", "stale_frames",
-                 "gave_up", "backoff_seconds")
+                 "gave_up", "backoff_seconds", "deadline_abandons",
+                 "budget_denied")
 
     def __init__(self):
         self.attempts = 0            # transmissions put on the wire
@@ -96,6 +97,8 @@ class ChannelStats:
         self.stale_frames = 0        # late copies of older sequences
         self.gave_up = 0             # sends that exhausted the budget
         self.backoff_seconds = 0.0   # simulated backoff time accumulated
+        self.deadline_abandons = 0   # sends cut short by caller deadlines
+        self.budget_denied = 0       # retries refused by the retry budget
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -134,12 +137,20 @@ class ReliableChannel:
             The jittered exponential schedule is identical either way —
             the point of the jitter is that a fault storm does not
             resynchronise retries across shards.
+        budget: optional retry budget shared across sends (and possibly
+            across channels): each retry must ``try_spend()`` a token and
+            each delivery ``earn()``\\ s one back, so correlated failures
+            drain the bucket and degrade to fast :class:`DeliveryFailed`
+            refusals instead of a retry storm.  Duck-typed (any object
+            with ``try_spend()``/``earn()`` works — in practice a
+            :class:`repro.serve.resilience.RetryBudget`) so this layer
+            never imports the serve layer.
     """
 
     def __init__(self, network: Network, sender: str, recipient: str, *,
                  max_retries: int = 6, base_backoff: float = 0.05,
                  max_backoff: float = 2.0, jitter: float = 0.5,
-                 seed: int = 0, validator=None, sleep=None):
+                 seed: int = 0, validator=None, sleep=None, budget=None):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if base_backoff <= 0 or max_backoff <= 0:
@@ -155,6 +166,7 @@ class ReliableChannel:
         self.jitter = float(jitter)
         self.validator = validator
         self.sleep = sleep
+        self.budget = budget
         self.stats = ChannelStats()
         self._rng = random.Random(seed)
         self._next_seq = 0
@@ -166,26 +178,55 @@ class ReliableChannel:
                     self.base_backoff * (2 ** (retry_number - 1)))
         return sleep * (1.0 + self.jitter * self._rng.random())
 
-    def send(self, label: str, payload: bytes, *, validator=None) -> bytes:
+    def send(self, label: str, payload: bytes, *, validator=None,
+             deadline=None) -> bytes:
         """Deliver *payload* reliably; returns the accepted payload bytes.
 
         Retries (with capped exponential backoff) until an arrival passes
         the envelope checksum, sequence-number dedup, and the optional
         *validator*.
 
+        *deadline* (duck-typed — any object with ``remaining()`` and
+        ``check()``, in practice a
+        :class:`repro.serve.resilience.Deadline`) bounds the whole send:
+        it is checked before every retry (no backoff is accrued for a
+        caller that already timed out — abandons are counted in
+        :attr:`ChannelStats.deadline_abandons`), each backoff pause is
+        capped at the time remaining, and a payload accepted only after
+        expiry is discarded (the caller's wait is over; a late answer is
+        no answer).
+
         Raises:
             DeliveryFailed: after ``max_retries`` retransmissions without
-                an intact delivery.
+                an intact delivery, or when the retry budget refuses a
+                retransmission.
+            Exception: whatever ``deadline.check()`` raises
+                (:class:`repro.serve.resilience.DeadlineExceeded`) once
+                the deadline has passed.
         """
         validator = validator if validator is not None else self.validator
+        if deadline is not None:
+            deadline.check(label)
         seq = self._next_seq
         self._next_seq += 1
         envelope = seal_envelope(seq, bytes(payload))
         stats = self.stats
         for attempt in range(self.max_retries + 1):
             if attempt:
+                if deadline is not None and deadline.remaining() <= 0.0:
+                    stats.deadline_abandons += 1
+                    deadline.check(label)
+                if self.budget is not None and not self.budget.try_spend():
+                    stats.budget_denied += 1
+                    stats.gave_up += 1
+                    raise DeliveryFailed(
+                        f"{label}: retry budget empty delivering seq {seq} "
+                        f"from {self.sender} to {self.recipient} after "
+                        f"{attempt} attempt(s)", stats)
                 stats.retries += 1
                 pause = self._backoff(attempt)
+                if deadline is not None:
+                    pause = min(pause, max(deadline.remaining(), 0.0))
                 stats.backoff_seconds += pause
                 if self.sleep is not None:
                     self.sleep(pause)
@@ -221,6 +262,15 @@ class ReliableChannel:
                 stats.delivered += 1
                 accepted = got_payload
             if accepted is not None:
+                if self.budget is not None:
+                    self.budget.earn()
+                if deadline is not None and deadline.remaining() <= 0.0:
+                    # Accepted, but past the caller's deadline — e.g. a
+                    # slowness fault stalled the wire.  The caller has
+                    # already timed out; delivering now would report
+                    # success nobody waited for.
+                    stats.deadline_abandons += 1
+                    deadline.check(label)
                 return accepted
             stats.timeouts += 1
         stats.gave_up += 1

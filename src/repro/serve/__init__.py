@@ -23,6 +23,11 @@ the reliable transport of :mod:`repro.db` into a request-serving system:
 - :mod:`repro.serve.ha` — :class:`ReplicaSet`, quorum reads, hinted
   handoff (:class:`HintLog`), health tracking with ejection/re-admission,
   and :func:`replicated_fleet`;
+- :mod:`repro.serve.resilience` — the gray-failure toolkit:
+  :class:`Deadline` end-to-end time budgets (:func:`deadline_scope`),
+  :class:`RetryBudget` token buckets, :class:`CircuitBreaker` with
+  error-rate *and* latency-EWMA trips, and :class:`LatencyTracker`
+  percentile windows driving hedged quorum reads;
 - :mod:`repro.serve.repair` — anti-entropy: checksum-scan replica counter
   vectors and converge them bit-identically (:func:`repair_replicas`).
 """
@@ -69,6 +74,15 @@ from repro.serve.repair import (
     block_checksums,
     repair_replicas,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LatencyTracker,
+    RetryBudget,
+    current_deadline,
+    deadline_scope,
+)
 from repro.serve.router import MANIFEST_MAGIC, RollingReshard, ShardedSBF
 
 __all__ = [
@@ -104,6 +118,13 @@ __all__ = [
     "RepairReport",
     "block_checksums",
     "repair_replicas",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "LatencyTracker",
+    "RetryBudget",
+    "current_deadline",
+    "deadline_scope",
     "MANIFEST_MAGIC",
     "RollingReshard",
     "ShardedSBF",

@@ -47,9 +47,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.persist import LockTimeout
 from repro.persist.durable import DurableSBF
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.remote import BulkFailure, BulkResult, _retryable
+from repro.serve.resilience import DeadlineExceeded, deadline_scope
 
 #: operation verbs accepted by :meth:`ShardBatcher.execute`
 VERBS = frozenset({"insert", "delete", "set", "query", "contains"})
@@ -70,7 +72,8 @@ class ShardBatcher:
 
     # -- generic mixed batches --------------------------------------------
     def execute(self, ops: Sequence[tuple], *,
-                timeout: float | None = None) -> list:
+                timeout: float | None = None,
+                deadlines: Sequence | None = None) -> list:
         """Run a batch of point operations; results in submission order.
 
         Each op is a tuple ``(verb, key[, count_or_threshold])`` with verb
@@ -79,16 +82,33 @@ class ShardBatcher:
         slot, mutations produce ``None``, and a failing op produces its
         exception *instance* (the batch continues — callers decide whether
         a slot failed with ``isinstance(result, Exception)``).
+
+        *deadlines* is a parallel sequence of per-op
+        :class:`~repro.serve.resilience.Deadline` objects (``None``
+        entries mean unbounded).  Each op runs inside its own
+        :func:`~repro.serve.resilience.deadline_scope`, so deadline-aware
+        shard handles (replica sets, remote shards) stop retrying when
+        that op's caller stops waiting; an op already expired when its
+        turn comes is failed in its slot without touching the shard.
+        A shard group whose lock acquisition fails (:class:`LockTimeout`)
+        fails its slots instead of felling the whole batch.
         """
         results: list = [None] * len(ops)
         for idx, op in enumerate(ops):
             if not op or op[0] not in VERBS:
                 raise ValueError(f"op {idx} must start with one of "
                                  f"{sorted(VERBS)}, got {op!r}")
+        if deadlines is None:
+            deadlines = [None] * len(ops)
+        elif len(deadlines) != len(ops):
+            raise ValueError(
+                f"deadlines must parallel ops: {len(deadlines)} deadlines "
+                f"for {len(ops)} ops")
         if self.router.migrating:
             for idx, op in enumerate(ops):
                 try:
-                    results[idx] = self._routed(op)
+                    with deadline_scope(deadlines[idx]):
+                        results[idx] = self._routed(op)
                 except Exception as exc:
                     results[idx] = exc
             self.metrics.counter("batch.ops").inc(len(ops))
@@ -97,16 +117,43 @@ class ShardBatcher:
         by_shard: dict[int, list[int]] = {}
         owners = self.router.shard_of_many([op[1] for op in ops])
         for idx, owner in enumerate(owners):
+            deadline = deadlines[idx]
+            if deadline is not None and deadline.expired:
+                # Fail it here rather than dragging its group's lock
+                # timeout to zero: the expired op never reaches a shard,
+                # its shard-mates keep their time budget.
+                try:
+                    deadline.check(ops[idx][0])
+                except DeadlineExceeded as exc:
+                    results[idx] = exc
+                continue
             by_shard.setdefault(owner, []).append(idx)
         for shard_id in sorted(by_shard):
             group = by_shard[shard_id]
             shard = self.router.shards[shard_id]
-            with shard.exclusive(timeout) as raw:
+            # The group's lock wait must fit the tightest member deadline:
+            # a caller with 5ms left cannot spend 5s queueing for a lock.
+            lock_timeout = timeout
+            for idx in group:
+                if deadlines[idx] is not None:
+                    left = max(deadlines[idx].remaining(), 0.0)
+                    lock_timeout = left if lock_timeout is None \
+                        else min(lock_timeout, left)
+            try:
+                with shard.exclusive(lock_timeout) as raw:
+                    for idx in group:
+                        try:
+                            deadline = deadlines[idx]
+                            if deadline is not None:
+                                deadline.check(ops[idx][0])
+                            with deadline_scope(deadline):
+                                results[idx] = _apply(raw, ops[idx])
+                        except Exception as exc:
+                            results[idx] = exc
+            except (LockTimeout, DeadlineExceeded) as exc:
                 for idx in group:
-                    try:
-                        results[idx] = _apply(raw, ops[idx])
-                    except Exception as exc:
-                        results[idx] = exc
+                    results[idx] = exc
+                continue
             if hasattr(shard, "add_operations"):
                 shard.add_operations(len(group))
             self.router.note_shard_ops(shard_id, len(group))
@@ -118,12 +165,18 @@ class ShardBatcher:
 
     # -- vectorised homogeneous batches -----------------------------------
     def query_many(self, keys: Sequence[object], *,
-                   timeout: float | None = None) -> list:
+                   timeout: float | None = None, deadline=None) -> list:
         """Frequency estimates for *keys*, in order (vectorised when the
         shard handle speaks the bulk API, per-key otherwise — identical
         results either way).  A key a partial-failure handle could not
         answer gets its exception *instance* in the slot, mirroring
-        :meth:`execute`."""
+        :meth:`execute`.  *deadline* bounds the whole bulk call — it is
+        scoped around each shard group so deadline-aware handles stop
+        mid-batch, and raises
+        :class:`~repro.serve.resilience.DeadlineExceeded` if it expires
+        before the batch is done."""
+        if deadline is not None:
+            deadline.check("query_many")
         results: list = [0] * len(keys)
         if self.router.migrating:
             for slot, key in enumerate(keys):
@@ -135,8 +188,10 @@ class ShardBatcher:
             self.metrics.counter("batch.migrating_fallback").inc(len(keys))
             return results
         for shard_id, shard, indices in self._grouped(keys):
+            if deadline is not None:
+                deadline.check("query_many")
             group_keys = [keys[i] for i in indices]
-            with shard.exclusive(timeout) as raw:
+            with deadline_scope(deadline), shard.exclusive(timeout) as raw:
                 if hasattr(raw, "query_many"):
                     outcome = raw.query_many(group_keys)
                     if isinstance(outcome, BulkResult):
@@ -159,7 +214,8 @@ class ShardBatcher:
         return results
 
     def insert_many(self, keys: Sequence[object], *,
-                    timeout: float | None = None) -> BulkResult:
+                    timeout: float | None = None,
+                    deadline=None) -> BulkResult:
         """Insert every key once through the core bulk kernels.
 
         Each shard's group is one ``insert_many`` call on the raw handle
@@ -168,9 +224,12 @@ class ShardBatcher:
         :class:`~repro.serve.remote.BulkResult` over the whole batch:
         per-key failures reported by partial-failure handles (remote
         shards, replica sets) are re-indexed to submission order, and a
-        shard group that fails outright (lock timeout, channel give-up)
-        fails its keys in their slots instead of felling the batch.
+        shard group that fails outright (lock timeout, channel give-up,
+        the optional *deadline* expiring) fails its keys in their slots
+        instead of felling the batch.
         """
+        if deadline is not None:
+            deadline.check("insert_many")
         failures: list[BulkFailure] = []
         if self.router.migrating:
             for slot, key in enumerate(keys):
@@ -185,7 +244,10 @@ class ShardBatcher:
         for shard_id, shard, indices in self._grouped(keys):
             group_keys = [keys[i] for i in indices]
             try:
-                with shard.exclusive(timeout) as raw:
+                if deadline is not None:
+                    deadline.check("insert_many")
+                with deadline_scope(deadline), \
+                        shard.exclusive(timeout) as raw:
                     if hasattr(raw, "insert_many"):
                         outcome = raw.insert_many(group_keys)
                         self.metrics.counter("batch.vectorized").inc(

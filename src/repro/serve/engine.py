@@ -17,6 +17,14 @@ policy: :func:`reject_new` (default — refuse arrivals at the bound) or
 bounding staleness instead of arrival rate); any callable with the same
 signature slots in.
 
+**End-to-end deadlines.**  :meth:`submit` takes a ``timeout`` (or a
+pre-built :class:`~repro.serve.resilience.Deadline`) covering the whole
+request lifetime: queueing, batching, shard/replica work, transport
+retries.  The pump fails already-expired requests without executing
+them, and the batcher carries the deadline down the stack via
+:func:`~repro.serve.resilience.deadline_scope` so every layer stops
+working the moment the caller stops waiting.
+
 **Graceful shutdown.**  :meth:`close` stops the worker, drains every
 queued request, checkpoints durable shards (their WAL/snapshot dance),
 and fails anything submitted afterwards — an engine never drops
@@ -38,6 +46,7 @@ from typing import Callable, Sequence
 from repro.persist.durable import DurableSBF
 from repro.serve.batch import ShardBatcher
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import Deadline, DeadlineExceeded
 from repro.serve.router import ShardedSBF
 
 #: admission decisions a policy may return
@@ -72,12 +81,14 @@ def shed_oldest(depth: int, limit: int, op: tuple) -> str:
 
 
 class _Request:
-    __slots__ = ("op", "future", "enqueued_at")
+    __slots__ = ("op", "future", "enqueued_at", "deadline")
 
-    def __init__(self, op: tuple, enqueued_at: float):
+    def __init__(self, op: tuple, enqueued_at: float,
+                 deadline: Deadline | None = None):
         self.op = op
         self.future: Future = Future()
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
 
 
 class ServingEngine:
@@ -124,14 +135,29 @@ class ServingEngine:
         self._pumps_since_maintenance = 0
 
     # -- the front door ----------------------------------------------------
-    def submit(self, verb: str, key: object, *args) -> Future:
+    def submit(self, verb: str, key: object, *args,
+               timeout: float | None = None,
+               deadline: Deadline | None = None) -> Future:
         """Enqueue one operation; returns a future for its result.
+
+        *timeout* (seconds on the registry clock) or an explicit
+        *deadline* bounds the request end to end: the whole of queueing,
+        batching, shard/replica work, and transport retries must fit the
+        one budget.  A request whose deadline passes while it is still
+        queued is failed with :class:`DeadlineExceeded` *without being
+        executed* — the caller stopped waiting, so running it would only
+        burn shard time (counted in ``engine.deadline_expired_total``).
 
         Raises:
             Overloaded: refused by the admission policy (typed, carries
                 depth/limit so clients can back off informedly).
             RuntimeError: the engine is closed.
         """
+        if timeout is not None:
+            if deadline is not None:
+                raise ValueError("pass timeout or deadline, not both")
+            deadline = Deadline(timeout, clock=self.metrics.clock,
+                                label=f"{verb} {key!r}")
         op = (verb, key, *args)
         shed: _Request | None = None
         with self._lock:
@@ -140,7 +166,7 @@ class ServingEngine:
             depth = len(self._queue)
             decision = self.policy(depth, self.max_queue, op)
             if decision == REJECT:
-                self.metrics.counter("engine.rejected").inc()
+                self.metrics.counter("engine.rejected_total").inc()
                 raise Overloaded(
                     f"queue depth {depth} at bound {self.max_queue}; "
                     f"{verb} refused", depth, self.max_queue)
@@ -150,11 +176,11 @@ class ServingEngine:
                 raise ValueError(
                     f"admission policy returned {decision!r}; expected "
                     f"one of {ACCEPT!r}, {REJECT!r}, {SHED_OLDEST!r}")
-            request = _Request(op, self.metrics.clock())
+            request = _Request(op, self.metrics.clock(), deadline)
             self._queue.append(request)
             self.metrics.gauge("engine.queue_depth").set(len(self._queue))
         if shed is not None:
-            self.metrics.counter("engine.shed").inc()
+            self.metrics.counter("engine.shed_total").inc()
             shed.future.set_exception(Overloaded(
                 f"shed after {self.max_queue} newer arrivals",
                 self.max_queue, self.max_queue))
@@ -179,13 +205,33 @@ class ServingEngine:
         if self._pumps_since_maintenance >= self.maintenance_every:
             self.maintain()
         with self._lock:
-            batch = [self._queue.popleft()
-                     for _ in range(min(budget, len(self._queue)))]
+            popped = [self._queue.popleft()
+                      for _ in range(min(budget, len(self._queue)))]
             self.metrics.gauge("engine.queue_depth").set(len(self._queue))
-        if not batch:
+        if not popped:
             return 0
+        now = self.metrics.clock()
+        queue_wait = self.metrics.histogram("engine.queue_wait_seconds")
+        batch: list[_Request] = []
+        for request in popped:
+            queue_wait.observe(now - request.enqueued_at)
+            if request.deadline is not None and request.deadline.expired:
+                # The caller stopped waiting while the request queued;
+                # executing it now would burn shard time on an answer
+                # nobody reads.
+                self.metrics.counter("engine.deadline_expired_total").inc()
+                self.metrics.counter("engine.failed").inc()
+                request.future.set_exception(DeadlineExceeded(
+                    f"{request.op[0]} expired after queueing "
+                    f"{now - request.enqueued_at:.4f}s"))
+            else:
+                batch.append(request)
+        if not batch:
+            return len(popped)
         with self.metrics.timed("engine.batch_seconds"):
-            results = self.batcher.execute([r.op for r in batch])
+            results = self.batcher.execute(
+                [r.op for r in batch],
+                deadlines=[r.deadline for r in batch])
         done = self.metrics.clock()
         latency = self.metrics.histogram("engine.latency_seconds")
         for request, result in zip(batch, results):
@@ -196,7 +242,7 @@ class ServingEngine:
             else:
                 request.future.set_result(result)
         self.metrics.counter("engine.served").inc(len(batch))
-        return len(batch)
+        return len(popped)
 
     def maintain(self) -> int:
         """Run one maintenance round: tick every shard that has one.

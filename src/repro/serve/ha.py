@@ -31,10 +31,26 @@ classic Dynamo-style availability machinery *verifiable*:
   retry ambiguity) stays out with ``needs_repair`` until
   :meth:`ReplicaSet.repair` runs the anti-entropy pass
   (:mod:`repro.serve.repair`), which converges it counter-for-counter;
+- **gray-failure defense** (:mod:`repro.serve.resilience`): ejection
+  only catches replicas that *fail*; a replica that merely answers
+  slowly passes every consecutive-failure check while dragging each
+  operation to its deadline.  Each replica therefore carries a
+  :class:`~repro.serve.resilience.CircuitBreaker` keyed on error rate
+  *and* a latency EWMA; open breakers are skipped like down replicas
+  and re-admitted through the same total-count convergence proof as
+  ejection.  Reads prefer closed-breaker/low-latency replicas, **hedge**
+  slow attempts onto spare candidates once a latency-percentile bound
+  trips, and spend a per-set :class:`RetryBudget` so correlated
+  slowness degrades to fast refusals instead of a retry storm.  The
+  whole read/write path honours the caller's end-to-end
+  :class:`~repro.serve.resilience.Deadline`
+  (:func:`~repro.serve.resilience.deadline_scope`);
 - **observability**: per-replica ``up`` / ``hint_depth`` /
-  ``last_repair`` gauges (:meth:`MetricsRegistry.replica_gauges`) plus
-  set-level counters (hinted, handoffs, ejections, re-admissions,
-  unavailable, probes, repairs) — all in the one ``snapshot()``.
+  ``last_repair`` / ``breaker_state`` gauges
+  (:meth:`MetricsRegistry.replica_gauges`) plus set-level counters
+  (hinted, handoffs, ejections, re-admissions, unavailable, probes,
+  repairs, breaker transitions, hedges, deadline refusals) — all in
+  the one ``snapshot()``.
 
 Why this converges: every acknowledged write applied to at least one
 replica that stayed fresh, so the fresh replica with the largest
@@ -72,6 +88,18 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.remote import BulkFailure, BulkResult, RemoteShardError
 from repro.serve.repair import DEFAULT_REPAIR_BLOCKS, RepairReport, \
     repair_replicas
+from repro.serve.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LatencyTracker,
+    RetryBudget,
+    current_deadline,
+    deadline_scope,
+)
 from repro.serve.router import ShardedSBF
 
 #: consistency levels: how many replicas must answer/apply
@@ -125,8 +153,17 @@ class HintLog:
                  io: FileIO | None = None):
         self._pending: deque[tuple[str, object, int]] = deque()
         self._wal: WriteAheadLog | None = None
+        self._path = path
+        self._fsync = fsync
+        self._io: FileIO | None = None
         if path is not None:
             io = io or FileIO()
+            self._io = io
+            # A crash mid-resync can strand a half-built replacement
+            # queue; the main log stayed authoritative (the rename never
+            # happened), so the stranded file is dead weight.
+            if io.exists(path + ".new"):
+                io.remove(path + ".new")
             for record in replay(path, io=io)[0]:
                 if record.op in BULK_OPS:
                     verb = "delete" if record.op == OP_DELETE_MANY \
@@ -184,10 +221,32 @@ class HintLog:
             self._wal.reset()
 
     def _resync_wal(self) -> None:
-        """Rewrite the on-disk queue to match what is still pending."""
-        self._wal.reset()
-        for verb, key, count in self._pending:
-            getattr(self._wal, f"log_{verb}")(key, count)
+        """Rewrite the on-disk queue to match what is still pending.
+
+        Crash-atomic: the replacement queue is built at ``<path>.new``
+        and renamed over the log in one step.  A crash at any byte /
+        fsync / rename leaves either the old log — a *superset* whose
+        already-drained prefix re-applies on restart, the at-least-once
+        side the convergence proof flags and :meth:`ReplicaSet.repair`
+        converges — or the new log, exactly the still-pending hints.
+        Truncate-in-place (the old implementation) had a window where a
+        crash lost pending hints outright; the crash tests in
+        ``tests/test_ha.py`` sweep every kill point to prove this one
+        does not.
+        """
+        tmp = self._path + ".new"
+        if self._io.exists(tmp):
+            self._io.remove(tmp)
+        replacement = WriteAheadLog(tmp, fsync=self._fsync, io=self._io)
+        try:
+            for verb, key, count in self._pending:
+                getattr(replacement, f"log_{verb}")(key, count)
+        finally:
+            replacement.close()
+        self._wal.close()
+        self._io.replace(tmp, self._path)
+        self._wal = WriteAheadLog(self._path, fsync=self._fsync,
+                                  io=self._io)
 
     def close(self) -> None:
         if self._wal is not None:
@@ -198,9 +257,10 @@ class _Replica:
     """One replica's handle plus its health state."""
 
     __slots__ = ("handle", "name", "up", "failures", "needs_repair",
-                 "hints", "gauges")
+                 "hints", "gauges", "breaker")
 
-    def __init__(self, handle, name: str, hints: HintLog, gauges):
+    def __init__(self, handle, name: str, hints: HintLog, gauges,
+                 breaker: CircuitBreaker):
         self.handle = handle
         self.name = name
         self.up = True
@@ -208,6 +268,7 @@ class _Replica:
         self.needs_repair = False
         self.hints = hints
         self.gauges = gauges
+        self.breaker = breaker
 
 
 class ReplicaSet:
@@ -236,6 +297,24 @@ class ReplicaSet:
         hint_fsync: fsync policy for durable hint logs.
         io: filesystem layer for durable hints (crash simulator in tests).
         metrics: registry to report through (one is created if omitted).
+        breaker: per-replica :class:`~repro.serve.resilience.
+            CircuitBreaker` options (a dict of its keyword arguments).
+            The defaults key on error rate only; pass
+            ``{"latency_threshold": ...}`` to arm the gray-failure trip
+            that ejects a slow-but-alive replica.
+        hedge: hedged-read trigger — ``None`` disables hedging; a float
+            is a fixed per-attempt bound in seconds; ``"p95"``-style
+            strings bound each attempt at that percentile of recent
+            attempt latencies (times ``hedge_factor``).  An attempt that
+            exceeds its bound is abandoned and the read fires against a
+            spare replica instead — the straggler never holds the quorum.
+        hedge_factor: safety margin on the percentile bound (an attempt
+            exactly at the percentile must not be abandoned).
+        retry_budget: a :class:`~repro.serve.resilience.RetryBudget`, a
+            dict of its keyword arguments, or ``None`` for the defaults.
+            Read attempts beyond the consistency level's quorum are
+            retries and spend from it; successes earn back.  Shared with
+            other sets by passing the same instance.
     """
 
     def __init__(self, replicas: Sequence[object], *, name: str = "rs",
@@ -246,7 +325,11 @@ class ReplicaSet:
                  hint_dir: str | None = None,
                  hint_fsync: object = "always",
                  io: FileIO | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 breaker: dict | None = None,
+                 hedge: float | str | None = None,
+                 hedge_factor: float = 2.0,
+                 retry_budget: RetryBudget | dict | None = None):
         replicas = list(replicas)
         if not replicas:
             raise ValueError("a ReplicaSet needs at least one replica")
@@ -268,6 +351,37 @@ class ReplicaSet:
             names = [f"r{i}" for i in range(rf)]
         elif len(names) != rf:
             raise ValueError(f"got {rf} replicas but {len(names)} names")
+        if hedge_factor <= 0:
+            raise ValueError(
+                f"hedge_factor must be > 0, got {hedge_factor}")
+        self._hedge_seconds: float | None = None
+        self._hedge_quantile: float | None = None
+        self._hedge_factor = float(hedge_factor)
+        if hedge is not None:
+            if isinstance(hedge, str):
+                if not hedge.startswith("p"):
+                    raise ValueError(
+                        f"hedge must be seconds, a percentile like "
+                        f"'p95', or None; got {hedge!r}")
+                quantile = float(hedge[1:]) / 100.0
+                if not 0.0 < quantile < 1.0:
+                    raise ValueError(
+                        f"hedge percentile must be in (0, 100), "
+                        f"got {hedge!r}")
+                self._hedge_quantile = quantile
+            else:
+                if hedge <= 0:
+                    raise ValueError(
+                        f"hedge seconds must be > 0, got {hedge}")
+                self._hedge_seconds = float(hedge)
+        self._latencies = LatencyTracker()
+        if retry_budget is None:
+            retry_budget = RetryBudget()
+        elif isinstance(retry_budget, dict):
+            retry_budget = RetryBudget(**retry_budget)
+        self.retry_budget = retry_budget
+        self._breaker_options = dict(breaker or {})
+        self._breaker_options.setdefault("clock", self.metrics.clock)
         self._replicas: list[_Replica] = []
         for handle, rname in zip(replicas, names):
             path = None
@@ -276,11 +390,27 @@ class ReplicaSet:
             gauges = self.metrics.replica_gauges(name, rname)
             gauges.up.set(1.0)
             hints = HintLog(path, fsync=hint_fsync, io=io)
-            replica = _Replica(handle, rname, hints, gauges)
+            replica = _Replica(handle, rname, hints, gauges,
+                               self._make_breaker(gauges))
             gauges.hint_depth.set(len(hints))
             self._replicas.append(replica)
         self._ops = 0
         self._last_probe = 0
+
+    def _make_breaker(self, gauges) -> CircuitBreaker:
+        breaker = CircuitBreaker(**self._breaker_options)
+
+        def on_transition(old: str, new: str) -> None:
+            gauges.breaker_state.set(breaker.state_code())
+            if new == OPEN:
+                self._counter("breaker_opens").inc()
+            elif new == HALF_OPEN:
+                self._counter("breaker_half_opens").inc()
+            else:
+                self._counter("breaker_closes").inc()
+
+        breaker.on_transition = on_transition
+        return breaker
 
     # -- introspection -----------------------------------------------------
     @property
@@ -293,7 +423,10 @@ class ReplicaSet:
         return [{"replica": r.name, "up": r.up,
                  "needs_repair": r.needs_repair,
                  "consecutive_failures": r.failures,
-                 "hint_depth": len(r.hints)} for r in self._replicas]
+                 "hint_depth": len(r.hints),
+                 "breaker": r.breaker.state,
+                 "latency_ewma": r.breaker.latency_ewma}
+                for r in self._replicas]
 
     @property
     def sbf(self) -> SpectralBloomFilter:
@@ -329,6 +462,46 @@ class ReplicaSet:
         replica.gauges.hint_depth.set(len(replica.hints))
         self._counter("hinted").inc()
 
+    def _hedge_bound(self) -> float | None:
+        """The per-attempt time bound, or ``None`` (no hedging / still
+        warming up the latency window)."""
+        if self._hedge_seconds is not None:
+            return self._hedge_seconds
+        if self._hedge_quantile is None:
+            return None
+        quantile = self._latencies.quantile(self._hedge_quantile)
+        return None if quantile is None else quantile * self._hedge_factor
+
+    def _attempt_deadline(self, op_deadline: Deadline | None,
+                          bound: float | None) -> Deadline | None:
+        """The deadline one replica attempt runs under: the request
+        deadline, tightened by the hedge bound when one applies."""
+        if bound is None:
+            return op_deadline
+        if op_deadline is None:
+            return Deadline(bound, clock=self.metrics.clock,
+                            label=f"ha.{self.name} attempt")
+        return op_deadline.bounded(bound)
+
+    def _check_op_deadline(self, deadline: Deadline | None, what: str,
+                           bump: int = 0) -> None:
+        """Raise the typed refusal if the request deadline has passed."""
+        if deadline is None or deadline.remaining() > 0.0:
+            return
+        self._counter("deadline_refusals").inc()
+        if bump:
+            self._bump(bump)
+            self._maybe_tick()
+        deadline.check(what)
+
+    def _ordered(self, pool: list[_Replica]) -> list[_Replica]:
+        """Healthy-first attempt order: closed breakers before probing
+        ones, then by latency EWMA — the straggler is consulted last,
+        where its cost can be hedged away (stable, so equally-healthy
+        replicas keep their configured order)."""
+        return sorted(pool, key=lambda r: (r.breaker.state != CLOSED,
+                                           r.breaker.latency_ewma or 0.0))
+
     def _bump(self, n: int = 1) -> None:
         """Count *n* operations toward the probe cadence.  The cadence
         check is separate (:meth:`_maybe_tick`) and MUST run only after
@@ -352,40 +525,77 @@ class ReplicaSet:
         self._write("set", key, count)
 
     def _write(self, verb: str, key: object, count: int) -> None:
+        op_deadline = current_deadline()
+        clock = self.metrics.clock
         applied = 0
         missed: list[_Replica] = []
         semantic: Exception | None = None
-        for replica in self._replicas:
+        for replica in self._ordered(self._replicas):
             if not replica.up:
                 missed.append(replica)
                 continue
+            if not replica.breaker.allow():
+                # Breaker-open (slow-but-alive) replica: shed it from the
+                # fan-out; if the write acknowledges it gets a hint, so
+                # nothing is lost while it is out.
+                missed.append(replica)
+                continue
+            if op_deadline is not None and op_deadline.remaining() <= 0.0:
+                missed.append(replica)
+                continue
+            # Once the ack quota is met the remaining replicas are
+            # stragglers: bound their attempts so one slow replica never
+            # prices every write (an abandoned straggler gets a hint).
+            bound = self._hedge_bound() if applied >= self._write_needed \
+                else None
+            attempt = self._attempt_deadline(op_deadline, bound)
+            start = clock()
             try:
-                getattr(replica.handle, verb)(key, count)
+                with deadline_scope(attempt):
+                    getattr(replica.handle, verb)(key, count)
+            except DeadlineExceeded:
+                # Slow, not dead: the breaker (not the ejection counter)
+                # is the health channel for slowness.
+                replica.breaker.record_failure(clock() - start)
+                self._latencies.observe(clock() - start)
+                self._counter("write_abandons").inc()
+                missed.append(replica)
             except _TRANSIENT as exc:
                 self._note_failure(replica, exc)
+                replica.breaker.record_failure(clock() - start)
                 missed.append(replica)
             except (ValueError, TypeError) as exc:
                 # The operation itself is invalid (bad key, delete below
                 # zero) — it would fail on every replica; never hint it.
                 self._note_ok(replica)
+                replica.breaker.record_success(clock() - start)
                 semantic = semantic or exc
             else:
+                latency = clock() - start
                 self._note_ok(replica)
+                replica.breaker.record_success(latency)
+                self._latencies.observe(latency)
                 applied += 1
         self._bump()
         if semantic is not None:
             self._maybe_tick()
             raise semantic
         if applied < self._write_needed:
-            self._counter("unavailable").inc()
             self._maybe_tick()
+            if op_deadline is not None and op_deadline.remaining() <= 0.0:
+                self._counter("deadline_refusals").inc()
+                op_deadline.check(f"{verb} {key!r}")
+            self._counter("unavailable").inc()
             raise Unavailable(
                 f"{verb} {key!r}: {applied} of the required "
                 f"{self._write_needed} replica(s) applied it", needed=
                 self._write_needed, got=applied)
         # Only acknowledged writes are hinted: an unacknowledged write is
         # the client's to retry, and hinting it would make replicas
-        # remember an operation the client was told failed.
+        # remember an operation the client was told failed.  (A hinted
+        # deadline abandon may double-apply — the send was in flight when
+        # the clock ran out — which is exactly the retry ambiguity the
+        # convergence proof flags and repair() converges.)
         for replica in missed:
             self._hint(replica, verb, key, count)
         self._maybe_tick()
@@ -403,26 +613,70 @@ class ReplicaSet:
                           lambda handle: handle.total_count)
 
     def _read(self, what: str, fetch: Callable[[object], int]) -> int:
+        op_deadline = current_deadline()
+        clock = self.metrics.clock
+        needed = self._read_needed
+        candidates = self._ordered(
+            [r for r in self._replicas
+             if self._fresh(r) and r.breaker.allow()])
         answers: list[int] = []
-        for replica in self._replicas:
-            if not self._fresh(replica):
-                continue
+        attempts = 0
+        budget_refused = False
+        for position, replica in enumerate(candidates):
+            if len(answers) == needed:
+                break
+            if op_deadline is not None and op_deadline.remaining() <= 0.0:
+                break
+            # The first `needed` attempts are the quorum's own; every
+            # attempt beyond them exists because something failed or
+            # stalled — that is a retry, and retries spend budget.
+            if attempts >= needed and not self.retry_budget.try_spend():
+                self._counter("budget_refusals").inc()
+                budget_refused = True
+                break
+            # Hedge only while spare candidates remain: abandoning the
+            # last possible answer would trade a slow success for none.
+            spares = len(candidates) - position - 1
+            still_needed = needed - len(answers)
+            bound = self._hedge_bound() if spares >= still_needed else None
+            attempt = self._attempt_deadline(op_deadline, bound)
+            start = clock()
+            attempts += 1
             try:
-                answers.append(fetch(replica.handle))
+                with deadline_scope(attempt):
+                    value = fetch(replica.handle)
+            except DeadlineExceeded:
+                latency = clock() - start
+                replica.breaker.record_failure(latency)
+                self._latencies.observe(latency)
+                if op_deadline is not None \
+                        and op_deadline.remaining() <= 0.0:
+                    break  # the request itself is out of time
+                # The straggler's read re-fires against the next (spare)
+                # candidate: the hedge.
+                self._counter("hedges").inc()
             except _TRANSIENT as exc:
                 self._note_failure(replica, exc)
+                replica.breaker.record_failure(clock() - start)
             else:
+                latency = clock() - start
                 self._note_ok(replica)
-                if len(answers) == self._read_needed:
-                    break
+                replica.breaker.record_success(latency)
+                self._latencies.observe(latency)
+                self.retry_budget.earn()
+                answers.append(value)
         self._bump()
         self._maybe_tick()
-        if len(answers) < self._read_needed:
+        if len(answers) < needed:
+            if op_deadline is not None and op_deadline.remaining() <= 0.0:
+                self._counter("deadline_refusals").inc()
+                op_deadline.check(what)
             self._counter("unavailable").inc()
+            detail = " (retry budget empty)" if budget_refused else ""
             raise Unavailable(
                 f"{what}: {len(answers)} of the required "
-                f"{self._read_needed} fresh replica(s) answered",
-                needed=self._read_needed, got=len(answers))
+                f"{needed} fresh replica(s) answered{detail}",
+                needed=needed, got=len(answers))
         # max keeps the one-sided guarantee: every answer is >= the true
         # count, so the largest is too (and fresh replicas agree anyway).
         return max(answers)
@@ -436,20 +690,36 @@ class ReplicaSet:
         slot falls short.
         """
         keys = list(keys)
+        op_deadline = current_deadline()
+        clock = self.metrics.clock
+        if op_deadline is not None:
+            self._check_op_deadline(op_deadline, "query_many")
         needed = self._read_needed
         best = np.zeros(len(keys), dtype=np.int64)
         answered = np.zeros(len(keys), dtype=np.int64)
-        for replica in self._replicas:
-            if not self._fresh(replica):
-                continue
+        for replica in self._ordered(
+                [r for r in self._replicas
+                 if self._fresh(r) and r.breaker.allow()]):
             if bool((answered >= needed).all()):
                 break
+            if op_deadline is not None:
+                self._check_op_deadline(op_deadline, "query_many",
+                                        bump=len(keys))
+            start = clock()
             try:
-                result = replica.handle.query_many(keys)
+                with deadline_scope(op_deadline):
+                    result = replica.handle.query_many(keys)
+            except DeadlineExceeded:
+                replica.breaker.record_failure(clock() - start)
+                self._check_op_deadline(op_deadline, "query_many",
+                                        bump=len(keys))
+                continue
             except _TRANSIENT as exc:
                 self._note_failure(replica, exc)
+                replica.breaker.record_failure(clock() - start)
                 continue
             self._note_ok(replica)
+            replica.breaker.record_success(clock() - start)
             ok = np.ones(len(keys), dtype=bool)
             if isinstance(result, BulkResult):
                 values = result.values
@@ -486,28 +756,45 @@ class ReplicaSet:
         if len(counts) != len(keys):
             raise ValueError(f"got {len(keys)} keys but {len(counts)} "
                              f"counts")
+        op_deadline = current_deadline()
+        clock = self.metrics.clock
+        if op_deadline is not None:
+            self._check_op_deadline(op_deadline, f"{verb}_many")
         applied = np.zeros(len(keys), dtype=np.int64)
         semantic: dict[int, Exception] = {}
         missed: list[tuple[_Replica, list[int] | None]] = []
-        for replica in self._replicas:
-            if not replica.up:
+        for replica in self._ordered(self._replicas):
+            if not replica.up or not replica.breaker.allow():
                 missed.append((replica, None))
                 continue
+            if op_deadline is not None and op_deadline.remaining() <= 0.0:
+                missed.append((replica, None))
+                continue
+            start = clock()
             try:
-                result = getattr(replica.handle, f"{verb}_many")(
-                    keys, counts)
+                with deadline_scope(op_deadline):
+                    result = getattr(replica.handle, f"{verb}_many")(
+                        keys, counts)
+            except DeadlineExceeded:
+                replica.breaker.record_failure(clock() - start)
+                self._counter("write_abandons").inc()
+                missed.append((replica, None))
+                continue
             except _TRANSIENT as exc:
                 self._note_failure(replica, exc)
+                replica.breaker.record_failure(clock() - start)
                 missed.append((replica, None))
                 continue
             except (ValueError, TypeError) as exc:
                 # Local bulk apply is all-or-nothing: the whole batch was
                 # rejected before mutating anything.
                 self._note_ok(replica)
+                replica.breaker.record_success(clock() - start)
                 for idx in range(len(keys)):
                     semantic.setdefault(idx, exc)
                 continue
             self._note_ok(replica)
+            replica.breaker.record_success(clock() - start)
             ok = np.ones(len(keys), dtype=np.int64)
             if isinstance(result, BulkResult):
                 retry_idx = []
@@ -552,18 +839,20 @@ class ReplicaSet:
     def tick(self) -> int:
         """Probe every unhealthy replica once; returns how many rejoined.
 
-        Unhealthy means ejected, flagged for repair, or up with pending
+        Unhealthy means ejected, flagged for repair, up with pending
         hints (a transient write failure, or durable hints recovered
-        after a coordinator restart) — handoff must not wait for an
-        ejection.  Called automatically every ``probe_every`` operations
-        and by the engine's maintenance hook — call it directly after
-        healing a partition to re-admit replicas without waiting for
-        traffic.
+        after a coordinator restart), or up with a non-closed circuit
+        breaker (a slow-but-alive replica the latency trip shed) —
+        handoff must not wait for an ejection.  Called automatically
+        every ``probe_every`` operations and by the engine's maintenance
+        hook — call it directly after healing a partition to re-admit
+        replicas without waiting for traffic.
         """
         self._last_probe = self._ops
         rejoined = 0
         for replica in self._replicas:
-            if replica.up and self._fresh(replica):
+            if replica.up and self._fresh(replica) \
+                    and replica.breaker.state == CLOSED:
                 continue
             was_down = not replica.up
             if self._probe(replica) and was_down:
@@ -572,13 +861,28 @@ class ReplicaSet:
 
     def _probe(self, replica: _Replica) -> bool:
         """One probe of an unhealthy replica: reachability, handoff,
-        proof of convergence, (re-)admission — in that order."""
+        proof of convergence, (re-)admission — in that order.
+
+        The breaker gates the probe (an open breaker sheds probes too,
+        until ``reset_timeout`` passes and it half-opens) and judges the
+        probe's own reachability latency: a replica that converged but
+        still answers slowly re-opens and stays out.
+        """
+        if not replica.breaker.allow():
+            return False
         self._counter("probes").inc()
         handle = replica.handle
+        clock = self.metrics.clock
+        start = clock()
         try:
             handle.total_count
         except _TRANSIENT:
+            # Unreachable: the ejection machinery owns dead replicas.
+            # Probe outcomes stay out of the breaker window — it is a
+            # traffic-path instrument, and letting failed probes trip it
+            # would wall off re-admission behind the reset timeout.
             return False
+        reach_latency = clock() - start
         try:
             landed = replica.hints.drain(
                 lambda verb, key, count:
@@ -604,6 +908,11 @@ class ReplicaSet:
                     return False
             except _TRANSIENT:
                 return False
+        # A half-open breaker closes on a fast probe and re-opens on a
+        # slow one (judged on this probe's latency, not the sick EWMA).
+        replica.breaker.record_success(reach_latency)
+        if replica.breaker.state != CLOSED:
+            return False
         was_down = not replica.up
         replica.up = True
         replica.failures = 0
@@ -698,6 +1007,9 @@ def replicated_fleet(n_shards: int, m: int, k: int, *, rf: int = 3,
                      replica_factory: Callable[[int, int], object]
                      | None = None,
                      metrics: MetricsRegistry | None = None,
+                     breaker: dict | None = None,
+                     hedge: float | str | None = None,
+                     retry_budget: RetryBudget | dict | None = None,
                      ) -> ShardedSBF:
     """A router whose every shard is an ``rf``-way :class:`ReplicaSet`.
 
@@ -709,6 +1021,12 @@ def replicated_fleet(n_shards: int, m: int, k: int, *, rf: int = 3,
     :class:`~repro.serve.remote.RemoteShard` to place replicas behind
     the wire; the default builds local
     :class:`~repro.persist.ConcurrentSBF` handles.
+
+    The gray-failure defenses pass straight through: *breaker* (a dict
+    of :class:`~repro.serve.resilience.CircuitBreaker` options) and
+    *hedge* apply to every replica set; *retry_budget* given as a dict
+    builds one bucket per set, while a :class:`RetryBudget` instance is
+    shared fleet-wide (one global cap on retry amplification).
     """
     if rf < 1:
         raise ValueError(f"rf must be >= 1, got {rf}")
@@ -730,7 +1048,9 @@ def replicated_fleet(n_shards: int, m: int, k: int, *, rf: int = 3,
             read_consistency=read_consistency,
             write_consistency=write_consistency,
             eject_after=eject_after, probe_every=probe_every,
-            hint_dir=hint_dir, metrics=metrics))
+            hint_dir=hint_dir, metrics=metrics,
+            breaker=breaker, hedge=hedge,
+            retry_budget=retry_budget))
     # Hand the router its routing family explicitly: a factory may have
     # placed every replica behind the wire, and without a local filter to
     # introspect the router would fall back to canonical-key routing —

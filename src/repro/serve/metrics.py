@@ -16,7 +16,7 @@ scraped from one ``snapshot()`` — the serving layer's answer to the
 satellite "stats are scrapable without touching private attributes".
 
 Naming convention: dotted lowercase paths, ``<component>.<event>``
-(``engine.rejected``, ``batch.ops``, ``shard3.inserts``).  A metric name
+(``engine.rejected_total``, ``batch.ops``, ``shard3.inserts``).  A metric name
 is created on first use and keeps its identity for the registry's
 lifetime.
 """
@@ -137,18 +137,24 @@ class ReplicaGauges:
     - ``hint_depth`` — operations queued in the replica's hint log,
       waiting for handoff (0 when the replica is caught up);
     - ``last_repair`` — registry-clock timestamp of the last anti-entropy
-      repair that touched the replica (0.0 if never repaired).
+      repair that touched the replica (0.0 if never repaired);
+    - ``breaker_state`` — the replica's circuit breaker: 0.0 closed
+      (serving), 0.5 half-open (probing), 1.0 open (shedding) — the
+      gray-failure signal; a replica can be ``up`` yet breaker-open
+      because it answers slowly.
 
     Naming convention: ``ha.<set>.<replica>.up`` etc., so a fleet of
     replica sets stays navigable in one flat namespace.
     """
 
-    __slots__ = ("up", "hint_depth", "last_repair")
+    __slots__ = ("up", "hint_depth", "last_repair", "breaker_state")
 
-    def __init__(self, up: Gauge, hint_depth: Gauge, last_repair: Gauge):
+    def __init__(self, up: Gauge, hint_depth: Gauge, last_repair: Gauge,
+                 breaker_state: Gauge):
         self.up = up
         self.hint_depth = hint_depth
         self.last_repair = last_repair
+        self.breaker_state = breaker_state
 
 
 class MetricsRegistry:
@@ -208,7 +214,8 @@ class MetricsRegistry:
         prefix = f"ha.{set_name}.{replica}"
         return ReplicaGauges(self.gauge(f"{prefix}.up"),
                              self.gauge(f"{prefix}.hint_depth"),
-                             self.gauge(f"{prefix}.last_repair"))
+                             self.gauge(f"{prefix}.last_repair"),
+                             self.gauge(f"{prefix}.breaker_state"))
 
     def timed(self, histogram_name: str):
         """Context manager observing the elapsed clock time into a histogram.

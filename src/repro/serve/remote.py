@@ -39,6 +39,7 @@ from repro.db.transport import DeliveryFailed, ReliableChannel
 from repro.persist.wal import SCALAR_KEY_TYPES
 from repro.serve import repair as _repair
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import current_deadline
 
 #: remote-shard frame magics ("Repro Shard reQuest / resPonse v1")
 REQUEST_MAGIC = b"RSQ1"
@@ -306,7 +307,13 @@ class RemoteShard:
             :class:`~repro.db.faults.FaultyNetwork`.
         client / server_name: endpoint names for traffic accounting.
         channel_options: forwarded to both :class:`ReliableChannel` legs
-            (retry budget, backoff, jitter).
+            (max retries, backoff, jitter).
+        retry_budget: optional token bucket (duck-typed
+            ``try_spend()``/``earn()``, in practice a
+            :class:`~repro.serve.resilience.RetryBudget`) shared by both
+            channel legs, so the whole round trip draws on one pool and
+            correlated retransmission storms degrade to fast
+            :class:`~repro.db.transport.DeliveryFailed` refusals.
         bulk_chunk: keys per frame on the bulk paths (:meth:`insert_many`
             etc.); each chunk is one round trip and one unit of partial
             failure.
@@ -316,6 +323,7 @@ class RemoteShard:
     def __init__(self, server: ShardServer, network: Network,
                  client: str, server_name: str, *,
                  channel_options: dict | None = None,
+                 retry_budget=None,
                  bulk_chunk: int = DEFAULT_BULK_CHUNK,
                  metrics: MetricsRegistry | None = None):
         if bulk_chunk < 1:
@@ -324,6 +332,8 @@ class RemoteShard:
         options = dict(channel_options or {})
         options.setdefault("seed", zlib.crc32(
             f"{client}->{server_name}".encode("utf-8")))
+        if retry_budget is not None:
+            options.setdefault("budget", retry_budget)
         self.server = server
         self.client = client
         self.server_name = server_name
@@ -345,16 +355,26 @@ class RemoteShard:
     def _call(self, op: str, **fields):
         """One request/response round trip.
 
+        The ambient :func:`~repro.serve.resilience.current_deadline`
+        (installed upstream by the batcher or replica set) bounds both
+        channel legs: retries stop, backoff is capped, and late answers
+        are discarded the moment the caller's budget runs out.
+
         Raises:
             DeliveryFailed: a leg exhausted its retry budget — the caller
                 (router/batcher/engine) degrades per the PR-1 contract.
             ValueError: the server rejected the operation (re-raised with
                 its original type where the client can reconstruct it).
         """
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"shard-{op}")
         frame = seal_frame(REQUEST_MAGIC, {"op": op, **fields})
-        delivered = self.requests.send(f"shard-{op}", frame)
+        delivered = self.requests.send(f"shard-{op}", frame,
+                                       deadline=deadline)
         response = self.server.handle_frame(delivered)
-        answer = self.responses.send(f"shard-{op}-reply", response)
+        answer = self.responses.send(f"shard-{op}-reply", response,
+                                     deadline=deadline)
         meta, _ = open_frame(answer, RESPONSE_MAGIC)
         if meta.get("ok"):
             return meta.get("result")

@@ -81,6 +81,7 @@ from repro.hashing.keys import canonical_key
 from repro.hashing.vectorized import indices_matrix
 from repro.persist import ConcurrentSBF, DurableSBF
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import current_deadline
 
 #: shard-manifest frame magic ("Repro Shard Manifest v1")
 MANIFEST_MAGIC = b"RSM1"
@@ -247,6 +248,7 @@ class ShardedSBF:
         self.metrics.counter("router.sets").inc()
 
     def _write(self, verb: str, key: object, count: int) -> None:
+        self._refuse_if_expired(verb)
         migration = self._migration
         if migration is None:
             _, shard = self._route(key)
@@ -277,6 +279,7 @@ class ShardedSBF:
         migration.note_new_ops(block % migration.new_n, 1)
 
     def query(self, key: object) -> int:
+        self._refuse_if_expired("query")
         self.metrics.counter("router.queries").inc()
         migration = self._migration
         if migration is None:
@@ -296,6 +299,15 @@ class ShardedSBF:
 
     def contains(self, key: object, threshold: int = 1) -> bool:
         return self.query(key) >= threshold
+
+    def _refuse_if_expired(self, what: str) -> None:
+        """Refuse point work whose ambient deadline already passed —
+        the cheapest place to stop a request that nobody is waiting for
+        (before shard routing, locks, or replica fan-out)."""
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired:
+            self.metrics.counter("router.deadline_refusals").inc()
+            deadline.check(what)
 
     @property
     def total_count(self) -> int:

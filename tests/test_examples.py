@@ -21,6 +21,7 @@ CASES = [
     ("search_engine_hotlist.py", "differential file"),
     ("serving_engine.py", "admission control"),
     ("ha_failover.py", "anti-entropy repair"),
+    ("gray_failure.py", "never correctness"),
 ]
 
 

@@ -48,7 +48,7 @@ def test_reject_new_refuses_at_the_bound():
     assert caught.value.depth == 4
     assert caught.value.limit == 4
     snapshot = engine.metrics.snapshot()["counters"]
-    assert snapshot["engine.rejected"] == 1
+    assert snapshot["engine.rejected_total"] == 1
     assert snapshot["engine.accepted"] == 4
     assert engine.pump() == 4
     assert all(future.result(timeout=0) is None for future in futures)
@@ -71,7 +71,7 @@ def test_shed_oldest_bounds_staleness_not_arrivals():
     assert second.result(timeout=0) is None
     assert third.result(timeout=0) is None
     counters = engine.metrics.snapshot()["counters"]
-    assert counters["engine.shed"] == 1
+    assert counters["engine.shed_total"] == 1
     assert counters["engine.served"] == 2
 
 
@@ -88,7 +88,7 @@ def test_rejection_counts_under_sustained_overload():
     engine.drain()
     counters = engine.metrics.snapshot()["counters"]
     assert counters["engine.accepted"] == accepted
-    assert counters["engine.rejected"] == rejected
+    assert counters["engine.rejected_total"] == rejected
     assert rejected > 0
     assert counters["engine.served"] == accepted
     assert engine.router.total_count == accepted
