@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import datetime
 import importlib.util
+import inspect
 import json
 import os
 import platform
@@ -41,7 +42,12 @@ def _load_module(path: str):
     return module
 
 
-# Map of module -> the run_* entry points that produce printable rows.
+# Curated entry points for modules whose default run needs a specific
+# subset or order (some define parameterised helpers or slow extras that
+# the driver should not call).  Modules NOT listed here are discovered
+# from disk: every ``bench_*.py`` runs its argument-free ``run_*``
+# callables, so a new benchmark can never be silently skipped by a stale
+# list — forgetting to register it just means alphabetical entry order.
 EXPERIMENTS: dict[str, list[str]] = {
     "bench_fig01_zipf_relative_error.py": ["run_figure1"],
     "bench_table1_recurring_minimum.py": ["run_table1"],
@@ -88,16 +94,61 @@ def _parse_args(argv: list[str]) -> tuple[list[str], str | None]:
     return patterns, json_out
 
 
+def _runnable_unaided(fn) -> bool:
+    """Can the driver call *fn* with no arguments?"""
+    try:
+        parameters = inspect.signature(fn).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return False
+    return all(p.default is not p.empty
+               or p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+               for p in parameters)
+
+
+def _discover_entries(module) -> list[str]:
+    """Entry points of an unregistered benchmark module.
+
+    Every module-level ``run_*`` callable the driver can invoke bare
+    (no required parameters — parameterised helpers like a per-size
+    ``run_one_size(n)`` are excluded), in definition order.
+    """
+    return [name for name in vars(module)
+            if name.startswith("run_")
+            and callable(getattr(module, name))
+            and getattr(getattr(module, name), "__module__", None)
+            == module.__name__
+            and _runnable_unaided(getattr(module, name))]
+
+
+def _all_benchmarks(here: str) -> list[str]:
+    """Every benchmark module: the registered set plus whatever is on
+    disk, so a freshly added ``bench_*.py`` runs without registration."""
+    on_disk = {name for name in os.listdir(here)
+               if name.startswith("bench_") and name.endswith(".py")}
+    missing = set(EXPERIMENTS) - on_disk
+    if missing:
+        raise SystemExit(f"EXPERIMENTS registers modules that do not "
+                         f"exist: {sorted(missing)}")
+    return sorted(on_disk)
+
+
 def main(argv: list[str]) -> int:
     here = os.path.dirname(os.path.abspath(__file__))
     patterns, json_out = _parse_args(argv)
     total = 0
     collected: dict[str, dict] = {}
-    for filename, entry_points in EXPERIMENTS.items():
+    for filename in _all_benchmarks(here):
         if patterns and not any(p in filename for p in patterns):
             continue
         path = os.path.join(here, filename)
         module = _load_module(path)
+        entry_points = EXPERIMENTS.get(filename)
+        if entry_points is None:
+            entry_points = _discover_entries(module)
+        if not entry_points:
+            print(f"!! {filename}: no argument-free run_* entry point; "
+                  f"nothing to run")
+            continue
         for entry in entry_points:
             fn = getattr(module, entry)
             started = time.perf_counter()

@@ -221,6 +221,19 @@ def _family_name(family) -> str:
         ) from None
 
 
+def family_name(family) -> str:
+    """The wire name of a built-in hash family instance.
+
+    The inverse of the ``hash_family=`` string accepted by filter
+    constructors; composite frames (shard manifests, the tenancy tree)
+    use it to record the shared family in their headers.
+
+    Raises:
+        ValueError: for custom family classes, which have no wire name.
+    """
+    return _family_name(family)
+
+
 # ----------------------------------------------------------------------
 # Bloom filter
 # ----------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""Multi-tenant fleet indexing: the spectral Bloofi tree.
+
+A fleet of per-tenant spectral filters answers "which sets contain key
+x, and how often" in sublinear time through
+:class:`~repro.tenancy.tree.SpectralBloofiTree` — a B+-tree whose inner
+nodes hold counter-wise unions of their children, pruning the descent
+exactly (bit-identical to scanning every leaf).
+:class:`~repro.tenancy.directory.TenantDirectory` fronts the tree with
+the router contract, so the existing
+:class:`~repro.serve.engine.ServingEngine` serves multi-tenant fleets
+unchanged.
+"""
+
+from repro.tenancy.directory import TenantDirectory, split_key
+from repro.tenancy.tree import (
+    TREE_MAGIC,
+    SpectralBloofiTree,
+    UnknownTenant,
+    load_tree,
+)
+
+__all__ = [
+    "SpectralBloofiTree",
+    "TenantDirectory",
+    "UnknownTenant",
+    "TREE_MAGIC",
+    "load_tree",
+    "split_key",
+]

@@ -1,0 +1,372 @@
+"""TenantDirectory: the tenancy tree behind the router contract.
+
+The serving stack (:class:`~repro.serve.batch.ShardBatcher`,
+:class:`~repro.serve.engine.ServingEngine`, the admission policies, the
+deadline/retry-budget machinery) speaks one contract — a router with
+``shards`` / ``shard_of_many`` / point verbs, whose shard handles expose
+``exclusive`` sections.  :class:`TenantDirectory` implements that
+contract over a :class:`~repro.tenancy.tree.SpectralBloofiTree`, so a
+multi-tenant fleet plugs into the existing engine **unchanged**:
+
+- keys on this surface are composite ``(tenant, key)`` pairs — the
+  directory routes each to a per-tenant slot and strips the tenant
+  before the leaf sees the key;
+- every mounted tenant owns one stable slot backed by a thin
+  :class:`_TenantLeaf` adapter that delegates each operation to the tree
+  **by tenant id at call time** (so the tree may split, merge, and
+  rebalance its nodes under live traffic without any adapter going
+  stale — an unmounted tenant's slot simply starts failing with
+  :class:`~repro.tenancy.tree.UnknownTenant`);
+- slot 0 is the *unrouted* slot: malformed keys and unknown tenants land
+  there and fail **in their result slot** (the batcher's per-op error
+  discipline), never felling a whole batch;
+- writes and single-tenant reads never descend the tree — they go
+  straight to the owning leaf, exactly like a router hop — while the
+  multi-tenant query ("which tenants hold x?") stays available as
+  :meth:`TenantDirectory.query_tenants` on the directory itself.
+
+The adapters also forward the engine's maintenance surface (``tick``,
+``replicas``, ``raw``, ``checkpoint``, ``close``), so
+``ServingEngine.maintain()`` probes replicated leaves and
+``ServingEngine.close()`` checkpoints durable leaves through the
+directory just as it would through a :class:`~repro.serve.router.
+ShardedSBF`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Sequence
+
+import numpy as np
+
+from repro.persist.durable import DurableSBF
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.remote import BulkFailure, BulkResult
+from repro.tenancy.tree import SpectralBloofiTree, UnknownTenant
+
+
+def split_key(composite: object) -> tuple:
+    """``(tenant, key)`` from a composite directory key.
+
+    Raises:
+        UnknownTenant: the composite is not a 2-tuple — the directory
+            cannot even name a tenant to blame, so the op is unroutable.
+    """
+    if isinstance(composite, tuple) and len(composite) == 2:
+        return composite
+    raise UnknownTenant(
+        f"directory keys are (tenant, key) pairs, got {composite!r}")
+
+
+class TenantDirectory:
+    """Route single-tenant operations to the owning tree leaf.
+
+    Args:
+        tree: the fleet index to front.
+        metrics: registry to report through (defaults to the tree's, so
+            ``tenancy.*`` and ``directory.*`` land in one snapshot).
+    """
+
+    def __init__(self, tree: SpectralBloofiTree, *,
+                 metrics: MetricsRegistry | None = None):
+        self.tree = tree
+        self.metrics = metrics or tree.metrics
+        self._lock = threading.Lock()
+        self._slots: dict[object, int] = {}
+        self._shards: list[object] = [_Unrouted(self)]
+        for tenant in tree.tenants:
+            self._admit(tenant)
+        self.metrics.gauge("directory.slots").set(len(self._shards))
+
+    # -- lifecycle ---------------------------------------------------------
+    def mount(self, tenant: object, handle: object = None,
+              **mount_options) -> object:
+        """Mount *tenant* in the tree and give it a routing slot.
+
+        Passes through to :meth:`~repro.tenancy.tree.SpectralBloofiTree.
+        mount`; an unmounted-then-remounted tenant gets its old slot
+        back, so long-lived batchers keep routing correctly.
+        """
+        handle = self.tree.mount(tenant, handle, **mount_options)
+        self._admit(tenant)
+        return handle
+
+    def unmount(self, tenant: object) -> object:
+        """Unmount *tenant*; its slot stays allocated but starts failing
+        every op with :class:`UnknownTenant` (in-slot, per the batch
+        error discipline)."""
+        return self.tree.unmount(tenant)
+
+    def _admit(self, tenant: object) -> None:
+        with self._lock:
+            if tenant not in self._slots:
+                self._slots[tenant] = len(self._shards)
+                self._shards.append(_TenantLeaf(self, tenant))
+        self.metrics.gauge("directory.slots").set(len(self._shards))
+
+    # -- the router contract ----------------------------------------------
+    @property
+    def shards(self) -> tuple:
+        """Slot handles, indexed by slot id (slot 0 is the unrouted
+        sink for malformed / unknown-tenant keys)."""
+        with self._lock:
+            return tuple(self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    @property
+    def migrating(self) -> bool:
+        """Always ``False``: tree rebalancing is internal and atomic per
+        operation, so batch grouping by slot is always sound."""
+        return False
+
+    def shard_of(self, composite: object) -> int:
+        """The slot owning a composite key (0 when unroutable — the op
+        will fail in its slot rather than fell its batch)."""
+        try:
+            tenant, _ = split_key(composite)
+        except UnknownTenant:
+            return 0
+        with self._lock:
+            return self._slots.get(tenant, 0)
+
+    def shard_of_many(self, composites: Sequence[object]) -> list[int]:
+        with self._lock:
+            slots = self._slots
+            return [slots.get(composite[0], 0)
+                    if isinstance(composite, tuple) and len(composite) == 2
+                    else 0
+                    for composite in composites]
+
+    def note_shard_ops(self, slot: int, n: int) -> None:
+        self.metrics.counter("directory.ops").inc(n)
+
+    # -- point verbs (the migrating-fallback / direct-call surface) -------
+    def insert(self, composite: object, count: int = 1) -> None:
+        tenant, key = split_key(composite)
+        self.tree.insert(tenant, key, count)
+
+    def delete(self, composite: object, count: int = 1) -> None:
+        tenant, key = split_key(composite)
+        self.tree.delete(tenant, key, count)
+
+    def set(self, composite: object, count: int) -> None:
+        tenant, key = split_key(composite)
+        self.tree.set_count(tenant, key, count)
+
+    def query(self, composite: object) -> int:
+        tenant, key = split_key(composite)
+        return self.tree.query_tenant(tenant, key)
+
+    def contains(self, composite: object, threshold: int = 1) -> bool:
+        return self.query(composite) >= threshold
+
+    # -- the multi-tenant verbs (what the tree exists for) -----------------
+    def query_tenants(self, key: object) -> dict:
+        """``{tenant: estimate}`` over the whole fleet — the sublinear
+        multi-set query; plain keys here, no composite."""
+        return self.tree.query(key)
+
+    def query_tenants_many(self, keys: Sequence[object]) -> list[dict]:
+        return self.tree.query_many(keys)
+
+    @property
+    def total_count(self) -> int:
+        return self.tree.total_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TenantDirectory({self.tree!r}, "
+                f"slots={len(self._shards)})")
+
+
+class _TenantLeaf:
+    """One tenant's routing slot: a shard-shaped view of a tree leaf.
+
+    Stateless beyond the tenant id — every call resolves the leaf
+    through the tree at call time, so rebalancing never invalidates a
+    slot.  Composite keys are stripped here; the tree (and the leaf
+    handle below it) see plain keys.
+    """
+
+    __slots__ = ("_directory", "tenant")
+
+    def __init__(self, directory: TenantDirectory, tenant: object):
+        self._directory = directory
+        self.tenant = tenant
+
+    @property
+    def _tree(self) -> SpectralBloofiTree:
+        return self._directory.tree
+
+    def _key(self, composite: object) -> object:
+        tenant, key = split_key(composite)
+        if tenant != self.tenant:
+            raise UnknownTenant(
+                f"key routed to tenant {self.tenant!r} names {tenant!r}")
+        return key
+
+    # -- locking: the tree serialises internally ---------------------------
+    @contextmanager
+    def exclusive(self, timeout: float | None = None):
+        """The batcher's group-lock hook.  The tree holds its own lock
+        per operation (delta propagation must be atomic tree-wide, not
+        per-leaf), so the group section is a pass-through."""
+        yield self
+
+    # -- point ops (composite keys) ----------------------------------------
+    def insert(self, composite: object, count: int = 1) -> None:
+        self._tree.insert(self.tenant, self._key(composite), count)
+
+    def delete(self, composite: object, count: int = 1) -> None:
+        self._tree.delete(self.tenant, self._key(composite), count)
+
+    def set(self, composite: object, count: int) -> None:
+        self._tree.set_count(self.tenant, self._key(composite), count)
+
+    def query(self, composite: object) -> int:
+        return self._tree.query_tenant(self.tenant, self._key(composite))
+
+    def contains(self, composite: object, threshold: int = 1) -> bool:
+        return self.query(composite) >= threshold
+
+    # -- bulk ops ----------------------------------------------------------
+    def query_many(self, composites: Sequence[object]) -> np.ndarray:
+        keys = [self._key(c) for c in composites]
+        outcome = self._tree.query_tenant_many(self.tenant, keys)
+        if isinstance(outcome, BulkResult):
+            return outcome
+        return np.asarray(outcome, dtype=np.int64)
+
+    def insert_many(self, composites: Sequence[object]):
+        keys = [self._key(c) for c in composites]
+        return self._tree.insert_many(self.tenant, keys)
+
+    def delete_many(self, composites: Sequence[object]) -> None:
+        keys = [self._key(c) for c in composites]
+        self._tree.delete_many(self.tenant, keys)
+
+    # -- accounting / engine maintenance surface ---------------------------
+    @property
+    def handle(self) -> object:
+        return self._tree.handle_of(self.tenant)
+
+    @property
+    def total_count(self) -> int:
+        total = getattr(self.handle, "total_count", None)
+        return int(total) if total is not None else 0
+
+    @property
+    def raw(self):
+        """The durable/in-memory filter behind the leaf, for the
+        engine's close-time checkpoint sweep (a bare DurableSBF leaf is
+        its own raw handle)."""
+        try:
+            handle = self.handle
+        except UnknownTenant:
+            return None
+        if isinstance(handle, DurableSBF):
+            return handle
+        return getattr(handle, "raw", None)
+
+    @property
+    def replicas(self):
+        """Replica handles when the leaf is a replica set (lets
+        ``ServingEngine.close()`` look through the slot), else ``None``."""
+        try:
+            return getattr(self.handle, "replicas", None)
+        except UnknownTenant:
+            return None
+
+    def tick(self) -> None:
+        """Forward the engine's maintenance tick to leaves that take one
+        (replica sets probe ejected replicas here).  An unmounted
+        tenant's slot has nothing to tick."""
+        try:
+            handle = self.handle
+        except UnknownTenant:
+            return
+        tick = getattr(handle, "tick", None)
+        if callable(tick):
+            tick()
+
+    def checkpoint(self):
+        return self.handle.checkpoint()
+
+    def close(self) -> None:
+        handle = self.handle
+        close = getattr(handle, "close", None)
+        if callable(close):
+            close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TenantLeaf({self.tenant!r})"
+
+
+class _Unrouted:
+    """Slot 0: where unroutable keys go to fail politely.
+
+    Malformed composites and unknown tenants group here; every operation
+    fails with :class:`UnknownTenant` *per slot* — point ops raise
+    inside the batcher's per-op guard, bulk queries return a
+    :class:`~repro.serve.remote.BulkResult` whose every slot failed —
+    so one bad key never fells its batch-mates.
+    """
+
+    __slots__ = ("_directory",)
+
+    def __init__(self, directory: TenantDirectory):
+        self._directory = directory
+
+    @contextmanager
+    def exclusive(self, timeout: float | None = None):
+        yield self
+
+    def _refuse(self, composite: object) -> UnknownTenant:
+        try:
+            tenant, _ = split_key(composite)
+        except UnknownTenant as exc:
+            return exc
+        return UnknownTenant(f"tenant {tenant!r} is not mounted")
+
+    def insert(self, composite: object, count: int = 1) -> None:
+        raise self._refuse(composite)
+
+    delete = insert
+
+    def set(self, composite: object, count: int) -> None:
+        raise self._refuse(composite)
+
+    def query(self, composite: object) -> int:
+        raise self._refuse(composite)
+
+    def contains(self, composite: object, threshold: int = 1) -> bool:
+        raise self._refuse(composite)
+
+    def query_many(self, composites: Sequence[object]) -> BulkResult:
+        return BulkResult(
+            len(composites),
+            values=np.zeros(len(composites), dtype=np.int64),
+            failures=[BulkFailure(i, c, self._refuse(c), False)
+                      for i, c in enumerate(composites)])
+
+    def insert_many(self, composites: Sequence[object]) -> BulkResult:
+        return BulkResult(
+            len(composites),
+            failures=[BulkFailure(i, c, self._refuse(c), False)
+                      for i, c in enumerate(composites)])
+
+    def delete_many(self, composites: Sequence[object]) -> None:
+        if composites:
+            raise self._refuse(composites[0])
+
+    @property
+    def total_count(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "_Unrouted()"

@@ -22,6 +22,7 @@ CASES = [
     ("serving_engine.py", "admission control"),
     ("ha_failover.py", "anti-entropy repair"),
     ("gray_failure.py", "never correctness"),
+    ("multi_tenant.py", "multi-set frequency"),
 ]
 
 

@@ -12,9 +12,11 @@ import pytest
 import repro
 import repro.persist
 import repro.serve
+import repro.tenancy
 
 
-@pytest.mark.parametrize("module", [repro, repro.persist, repro.serve],
+@pytest.mark.parametrize("module",
+                         [repro, repro.persist, repro.serve, repro.tenancy],
                          ids=lambda m: m.__name__)
 def test_every_advertised_name_resolves(module):
     assert module.__all__, f"{module.__name__} advertises nothing"
@@ -23,7 +25,8 @@ def test_every_advertised_name_resolves(module):
             f"{module.__name__}.__all__ lists {name!r} but it is missing"
 
 
-@pytest.mark.parametrize("module", [repro, repro.persist, repro.serve],
+@pytest.mark.parametrize("module",
+                         [repro, repro.persist, repro.serve, repro.tenancy],
                          ids=lambda m: m.__name__)
 def test_no_duplicate_exports(module):
     assert len(module.__all__) == len(set(module.__all__))
@@ -37,6 +40,14 @@ def test_persist_public_surface():
         "CrashIO", "SimulatedCrash",
     }
     assert expected <= set(repro.persist.__all__)
+
+
+def test_tenancy_public_surface():
+    expected = {
+        "SpectralBloofiTree", "TenantDirectory", "UnknownTenant",
+        "TREE_MAGIC", "load_tree", "split_key",
+    }
+    assert expected <= set(repro.tenancy.__all__)
 
 
 def test_serve_public_surface():
