@@ -16,27 +16,40 @@ Why each kernel is exact:
   running value monotone: it dips below zero iff the final value does).
 - **MI insert** (:func:`mi_insert_kernel`): conservative update is *not*
   order-free (a key's target depends on the current minimum, which
-  interfering keys move), so the stream is cut into *conflict-free
-  segments* — maximal runs in which no two keys share a counter.  Inside
-  a segment every key sees exactly the counter state left by the previous
-  segment, so all its rows can gather, take row-minima and scatter
-  ``max(value, min+count)`` together.  Segment boundaries come from
-  ``lp[j]`` — the last earlier row sharing a counter with row ``j`` — via
-  the running maximum ``s = cummax(lp + 1)``: within a run of constant
-  ``s`` every ``lp[j] < s[j] <= run start``, which is precisely the
-  conflict-free condition.  (``lp[j] < j`` always, since ``lp`` is an
-  earlier row, so ``s[a] <= a``.)  Two occurrences of the *same* key
-  conflict with themselves and land in different segments, preserving the
-  scalar semantics of repeated inserts.
+  interfering keys move), so the kernel runs *wavefront scheduling*: an
+  entry (row j, counter c) may apply once every earlier row's entry on
+  ``c`` has applied, and a row applies once all its entries may.  Each
+  round processes every currently-ready row at once; two rows ready in
+  the same round are provably counter-disjoint (if rows ``j < j'`` share
+  ``c``, then ``rank(j', c) > rank(j, c)`` and readiness pins
+  ``done[c]`` to both ranks — impossible), so a round's gather /
+  row-minima / scatter is equivalent to applying its rows sequentially,
+  and ordering rounds preserves the stream order between every
+  conflicting pair.  The smallest pending row is always ready, so the
+  loop terminates in at most ``max per-counter multiplicity`` rounds —
+  tens of numpy passes for a duplicate-heavy stream, against the
+  thousands of conflict-free segments the previous formulation cut the
+  same stream into.  (:func:`conflict_free_segments` is retained: it
+  still documents and tests the segmentation bound, and remains the
+  ground truth the scheduling tests compare against.)
 - **MI delete** (:func:`mi_delete_kernel`): the clamped decrement
   ``v <- max(0, v - c)`` composes to ``max(0, v - sum(c))`` for any
   same-signed sequence (once clamped to zero it stays there), so the
   batch is one aggregated gather/clamp/scatter.
-- **Observed values** (:func:`sequential_observed`): Recurring Minimum
-  needs the value each ``counters.add`` *returned* in stream order, not
-  just the final state.  For pure adds that value is ``start + inclusive
-  running sum of the deltas landing on the same counter``, recovered with
-  one stable sort and a grouped cumulative sum.
+- **Observed values** (:func:`sequential_observed`,
+  :func:`observed_add_kernel`): Recurring Minimum needs the value each
+  ``counters.add`` *returned* in stream order, not just the final state.
+  For pure adds that value is ``start + inclusive running sum of the
+  deltas landing on the same counter``, recovered with one stable sort
+  and a grouped cumulative sum.  :func:`sequential_observed` is the
+  reference formulation (explicit per-group offsets);
+  :func:`observed_add_kernel` is the production kernel — it fuses the
+  pre-gather, the aggregated scatter-add, and the grouped running sum
+  around a *single* value-sort of the position stream, carrying the
+  group-start offsets with one monotone ``maximum.accumulate`` instead
+  of materialising per-group offset/length vectors (the
+  ``repeat``/``diff`` pair over millions of tiny groups was the RM bulk
+  path's dominant cost).
 
 Backends participate through the ``get_many``/``add_many``/``set_many``
 hooks, so the same kernels drive the numpy backend (true vector speed)
@@ -161,43 +174,124 @@ def conflict_free_segments(matrix: np.ndarray) -> np.ndarray:
     return np.r_[starts, n]
 
 
-def mi_insert_kernel(counters, matrix: np.ndarray,
-                     counts: np.ndarray) -> None:
-    """Minimal-Increase insert, segment by conflict-free segment.
+def mi_schedule(matrix: np.ndarray,
+                counts: np.ndarray | None = None,
+                ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Wavefront dependency data for a Minimal-Increase row stream.
 
-    Each segment gathers its rows' values, computes the conservative
-    targets ``min + count`` and scatters only the counters below target —
-    the exact scalar update, batched.
+    An entry ``(row j, counter c)`` depends on the latest *earlier* row
+    touching ``c`` (duplicate positions inside one row count once — the
+    scalar path reads and writes them identically, so only the first
+    occurrence is a dependency).  Returned as Kahn's-algorithm inputs:
+
+    - ``succ`` — shaped like *matrix*; ``succ[j, l]`` is the next row
+      after ``j`` touching the same counter (``-1`` when none, and on
+      every deduplicated repeat of a counter within row ``j``);
+    - ``indeg`` — per row, how many of its distinct counters were
+      touched by an earlier row (its in-degree in the dependency DAG);
+    - ``max_mass`` — with *counts* given, the largest per-counter total
+      count mass of the batch (0 otherwise): an MI update never lifts a
+      counter above ``value + count``, so ``current max + max_mass``
+      bounds every counter the batch can produce, and the backend can be
+      widened once without over-shooting the dtype ladder.
+
+    One value-sort of the position stream produces all three: stable
+    grouping orders each counter's entries by row, so a group lists the
+    counter's dependency chain in order and each kept entry's successor
+    is simply the next kept entry of its group.
     """
     n, k = matrix.shape
+    if n == 0:
+        empty = np.empty((0, k), dtype=np.int32)
+        return empty, np.zeros(0, dtype=np.int64), 0
+    sf, order = _grouped_order(matrix.ravel())
+    rows_sorted = (order // np.int64(k)).astype(np.int32)
+    is_start = np.r_[True, sf[1:] != sf[:-1]]
+    # Same-row duplicates are adjacent inside a group (stable grouping
+    # orders entries by original index, i.e. by row); keep the first.
+    keep = is_start.copy()
+    keep[1:] |= rows_sorted[1:] != rows_sorted[:-1]
+    rsel = rows_sorted[keep]
+    # Group starts are always kept, so consecutive kept entries sit in
+    # the same group exactly when the second one is not a group start.
+    chained = ~is_start[keep][1:]
+    succ_sel = np.full(rsel.size, -1, dtype=np.int32)
+    succ_sel[:-1][chained] = rsel[1:][chained]
+    succ = np.full(n * k, -1, dtype=np.int32)
+    succ[order[keep]] = succ_sel
+    indeg = np.bincount(rsel[1:][chained], minlength=n)
+    max_mass = 0
+    if counts is not None and n:
+        cum = np.cumsum(counts[rows_sorted])
+        ends = np.r_[np.flatnonzero(is_start[1:]), n * k - 1]
+        group_end = cum[ends]
+        group_end[1:] -= group_end[:-1]
+        max_mass = int(group_end.max())
+    return succ.reshape(n, k), indeg, max_mass
+
+
+def mi_insert_kernel(counters, matrix: np.ndarray,
+                     counts: np.ndarray) -> None:
+    """Minimal-Increase insert by wavefront (level) scheduling.
+
+    Each round gathers every *ready* row's values (rows whose dependency
+    in-degree has dropped to zero — see :func:`mi_schedule`), computes
+    the conservative targets ``min + count`` and scatters only the
+    counters below target — the exact scalar update for those rows.
+    A round's rows are provably counter-disjoint (if rows ``j < j'``
+    share a counter, ``j'`` sits strictly deeper in that counter's
+    dependency chain, so it becomes ready strictly after ``j`` runs), so
+    the batched gather/scatter is equivalent to applying them one at a
+    time, and round order preserves the stream order between every
+    conflicting pair — bit-identical to the scalar loop.  Processing a
+    row releases each of its chain successors exactly once, so the
+    scheduling work is one pass over the entries in total, not one scan
+    per round.
+    """
+    n, k = matrix.shape
+    if n == 0:
+        return
+    counts64 = counts.astype(np.int64)
     raw = None
     if hasattr(counters, "ensure_capacity"):
-        # Widen once up front: no counter can exceed the current maximum
-        # plus the whole batch's mass, so per-segment scatters never
-        # reallocate mid-kernel — and the raw array can be written
-        # directly, skipping the get_many/set_many copies per segment.
-        counters.ensure_capacity(int(counters.raw.max())
-                                 + int(counts.sum()))
+        succ, indeg, max_mass = mi_schedule(matrix, counts64)
+        # Widen once up front — a counter never exceeds its start value
+        # plus the count mass landing on it (targets are min + count ≤
+        # own value + count), so per-round scatters cannot reallocate
+        # mid-kernel and the raw array can be written directly, skipping
+        # the get_many/set_many copies.  The per-counter mass bound
+        # keeps narrow dtypes narrow where the whole-batch total would
+        # have forced a wide (cache-hostile) ladder step.
+        counters.ensure_capacity(int(counters.raw.max(initial=0)) + max_mass)
         raw = counters.raw
-    bounds = conflict_free_segments(matrix)
-    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
-        seg = matrix[a:b]
+    else:
+        succ, indeg, _ = mi_schedule(matrix)
+    ready = np.flatnonzero(indeg == 0)
+    while ready.size:
+        rows = matrix[ready]
         if raw is not None:
-            values = raw[seg]
-            targets = values.min(axis=1).astype(np.int64) + counts[a:b]
+            values = raw[rows]
+            targets = values.min(axis=1).astype(np.int64) + counts64[ready]
             mask = values < targets[:, None]
             if mask.any():
-                raw[seg[mask]] = np.broadcast_to(
-                    targets[:, None], values.shape)[mask]
-            continue
-        flat = seg.ravel()
-        values = counters.get_many(flat).reshape(b - a, k)
-        targets = values.min(axis=1) + counts[a:b]
-        mask = values < targets[:, None]
-        if not mask.any():
-            continue
-        scattered = np.broadcast_to(targets[:, None], values.shape)[mask]
-        counters.set_many(flat[mask.ravel()], scattered)
+                raw[rows[mask]] = np.broadcast_to(
+                    targets[:, None], values.shape)[mask].astype(raw.dtype)
+        else:
+            flat = rows.ravel()
+            values = counters.get_many(flat).reshape(ready.size, k)
+            targets = values.min(axis=1) + counts64[ready]
+            mask = values < targets[:, None]
+            if mask.any():
+                counters.set_many(
+                    flat[mask.ravel()],
+                    np.broadcast_to(targets[:, None], values.shape)[mask])
+        released = succ[ready].ravel()
+        released = released[released >= 0]
+        if not released.size:
+            break
+        candidates, hits = np.unique(released, return_counts=True)
+        indeg[candidates] -= hits
+        ready = candidates[indeg[candidates] == 0]
 
 
 def mi_delete_kernel(counters, matrix: np.ndarray,
@@ -220,6 +314,8 @@ def sequential_observed(flat: np.ndarray, deltas: np.ndarray,
     whose entry ``[j, l]`` equals what ``counters.add(flat[j*k+l],
     deltas[j*k+l])`` would have returned in stream order.
     """
+    if flat.size == 0:
+        return np.zeros((n, k), dtype=np.int64)
     sf, order = _grouped_order(flat)
     sd = deltas[order]
     cum = np.cumsum(sd)
@@ -230,6 +326,66 @@ def sequential_observed(flat: np.ndarray, deltas: np.ndarray,
     inclusive = cum - np.repeat(offsets, lengths)
     observed = np.empty(n * k, dtype=np.int64)
     observed[order] = start[order] + inclusive
+    return observed.reshape(n, k)
+
+
+def observed_add_kernel(counters, matrix: np.ndarray, counts: np.ndarray,
+                        sign: int = 1) -> np.ndarray:
+    """Apply the MS scatter-add *and* return the per-entry observed values.
+
+    One call replaces the Recurring-Minimum bulk preamble — ``start =
+    get_many(flat)``; :func:`ms_add_kernel`; :func:`sequential_observed`
+    — with a single value-sort of the position stream:
+
+    - the inclusive per-group running sum yields the observed deltas
+      (group-start offsets carried by one monotone
+      ``maximum.accumulate`` / ``minimum.accumulate``: same-signed
+      deltas make the exclusive cumulative sum monotone, so the latest
+      group start dominates every earlier one and the zero filler;
+      mixed signs fall back to a group-id gather);
+    - each group's *last* inclusive sum is simultaneously the aggregated
+      per-counter delta, so the primary add needs no second
+      aggregation pass (and no dense bincount over ``m``);
+    - the batch-start counter values are gathered once per *distinct*
+      counter and broadcast back through the group ids, instead of once
+      per entry.
+
+    Returns the ``(n, k)`` observed matrix — entry ``[j, l]`` equals what
+    ``counters.add(matrix[j, l], sign * counts[j])`` would have returned
+    in stream order.  Exactly the values :func:`sequential_observed`
+    computes (the property tests pin this down), with the counter state
+    advanced the same way :func:`ms_add_kernel` advances it — including
+    raising before any mutation when a same-signed batch would drive a
+    counter negative.
+    """
+    n, k = matrix.shape
+    if n == 0:
+        return np.zeros((0, k), dtype=np.int64)
+    sf, order = _grouped_order(matrix.ravel())
+    # counts[order // k] beats materialising the k-repeated delta stream
+    # and then permuting it: one divide replaces repeat + gather.
+    sd = (counts.astype(np.int64) * sign)[order // k]
+    cum = np.cumsum(sd)
+    is_start = np.r_[True, sf[1:] != sf[:-1]]
+    excl = cum - sd
+    if sign >= 0 and bool(sd.min(initial=0) >= 0):
+        base = np.maximum.accumulate(np.where(is_start, excl, 0))
+        gid = None
+    elif sign < 0 and bool(sd.max(initial=0) <= 0):
+        base = np.minimum.accumulate(np.where(is_start, excl, 0))
+        gid = None
+    else:
+        gid = np.cumsum(is_start) - 1
+        base = excl[is_start][gid]
+    inclusive = cum - base
+    is_end = np.r_[is_start[1:], True]
+    uniq = sf[is_end]
+    start_vals = counters.get_many(uniq)
+    counters.add_many(uniq, inclusive[is_end])
+    if gid is None:
+        gid = np.cumsum(is_start) - 1
+    observed = np.empty(n * k, dtype=np.int64)
+    observed[order] = start_vals[gid] + inclusive
     return observed.reshape(n, k)
 
 

@@ -182,22 +182,12 @@ class MinimalIncrease(Method):
         return self.sbf.min_counter(key)
 
     def insert_many(self, keys, counts, canon, matrix) -> None:
-        # Conservative update is order-dependent, so the kernel processes
-        # conflict-free segments (see repro.core.kernels); it needs fast
-        # gathers/scatters to win, so the succinct backends keep the
-        # matrix-driven scalar loop instead.
-        from repro.storage.backends import ArrayBackend, NumpyBackend
-        counters = self.sbf.counters
-        if isinstance(counters, (ArrayBackend, NumpyBackend)):
-            kernels.mi_insert_kernel(counters, matrix, counts)
-            return
-        get, set_ = counters.get, counters.set
-        for row, count in zip(matrix.tolist(), counts.tolist()):
-            values = [get(i) for i in row]
-            target = min(values) + count
-            for i, value in zip(row, values):
-                if value < target:
-                    set_(i, target)
+        # Conservative update is order-dependent, so the kernel runs
+        # wavefront rounds (see repro.core.kernels).  Array-shaped
+        # backends get true vector speed; the succinct backends still
+        # profit because each round's get_many/set_many touches every
+        # coded subgroup at most once instead of once per key.
+        kernels.mi_insert_kernel(self.sbf.counters, matrix, counts)
 
     def delete_many(self, keys, counts, canon, matrix) -> None:
         kernels.mi_delete_kernel(self.sbf.counters, matrix, counts)
@@ -379,15 +369,12 @@ class RecurringMinimum(Method):
             Method.insert_many(self, keys, counts, canon, matrix)
             return
         from repro.hashing.vectorized import matrix_for
-        counters = self.sbf.counters
         n, k = matrix.shape
-        flat = matrix.ravel()
-        deltas = np.repeat(counts.astype(np.int64), k)
-        start = counters.get_many(flat)
-        kernels.ms_add_kernel(counters, matrix, counts)
-        # The values each scalar add() would have returned, in stream
-        # order — the inputs to the recurring-minimum test.
-        observed = kernels.sequential_observed(flat, deltas, start, n, k)
+        # One fused pass applies the primary adds and recovers the values
+        # each scalar add() would have returned, in stream order — the
+        # inputs to the recurring-minimum test.
+        observed = kernels.observed_add_kernel(self.sbf.counters, matrix,
+                                               counts)
         lowest = observed.min(axis=1)
         recurring = (observed == lowest[:, None]).sum(axis=1) >= 2
         # Marker membership *at each key's turn*: batch-start bits plus
@@ -421,13 +408,9 @@ class RecurringMinimum(Method):
 
     def delete_many(self, keys, counts, canon, matrix) -> None:
         from repro.hashing.vectorized import matrix_for
-        counters = self.sbf.counters
         n, k = matrix.shape
-        flat = matrix.ravel()
-        deltas = np.repeat(-counts.astype(np.int64), k)
-        start = counters.get_many(flat)
-        kernels.ms_add_kernel(counters, matrix, counts, sign=-1)
-        observed = kernels.sequential_observed(flat, deltas, start, n, k)
+        observed = kernels.observed_add_kernel(self.sbf.counters, matrix,
+                                               counts, sign=-1)
         if self.marker is not None:
             # Deletes never change the marker, so one batch-start gather
             # answers every membership test.

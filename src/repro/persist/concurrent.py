@@ -17,6 +17,16 @@ filter servable from many threads:
   exceeding it raises :class:`LockTimeout` (a typed ``TimeoutError``)
   instead of blocking forever, so a stuck peer degrades into a visible,
   retryable error rather than a deadlocked process.
+- **a shared read path for bulk queries** — ``query_many`` mutates
+  nothing, so batches of it may overlap freely; making each one take the
+  writer lock plus every stripe (the old behaviour) serialised the
+  hottest read path of the serving layer.  A group-exclusion gate now
+  separates *readers* (``query_many``) from *mutators* (every writing
+  path): any number of readers run concurrently, any number of mutators
+  run concurrently under the stripe discipline that already protects
+  them from each other, and the two groups never overlap.  Waiting
+  mutators bar new readers (writer preference), so a read storm cannot
+  starve writes.
 
 Striping is only sound for Minimum Selection over the plain array
 backend, where a counter update touches that counter's word and nothing
@@ -46,6 +56,67 @@ from repro.storage.backends import ArrayBackend
 
 class LockTimeout(TimeoutError):
     """A bounded lock wait expired (the filter stayed consistent)."""
+
+
+class _GroupGate:
+    """Group mutual exclusion between *readers* and *mutators*.
+
+    Members of the same group overlap freely; members of different
+    groups never do.  This is weaker than a read-write lock — mutators
+    do not exclude each other (the stripe locks already arbitrate them)
+    — which is exactly why a reader entering here can skip the stripe
+    locks entirely.  Waiting mutators bar new readers (writer
+    preference).  Both entries are bounded: they return ``False`` on
+    deadline instead of blocking forever.
+    """
+
+    __slots__ = ("_cond", "_readers", "_mutators", "_mutators_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._mutators = 0
+        self._mutators_waiting = 0
+
+    def enter_read(self, budget: float) -> bool:
+        deadline = time.monotonic() + budget
+        with self._cond:
+            while self._mutators or self._mutators_waiting:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    return False
+            self._readers += 1
+            return True
+
+    def exit_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def enter_mutate(self, budget: float) -> bool:
+        deadline = time.monotonic() + budget
+        with self._cond:
+            self._mutators_waiting += 1
+            try:
+                while self._readers:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return False
+            finally:
+                # Runs under the condition lock either way; a timed-out
+                # mutator must wake readers it was barring.
+                self._mutators_waiting -= 1
+                if self._mutators_waiting == 0:
+                    self._cond.notify_all()
+            self._mutators += 1
+            return True
+
+    def exit_mutate(self) -> None:
+        with self._cond:
+            self._mutators -= 1
+            if self._mutators == 0:
+                self._cond.notify_all()
 
 
 class ConcurrentSBF:
@@ -80,6 +151,7 @@ class ConcurrentSBF:
         self._locks = [threading.Lock() for _ in range(stripes)]
         self._writer = threading.Lock()
         self._count_lock = threading.Lock()
+        self._gate = _GroupGate()
         self.lock_timeouts = 0
         self.operations = 0
 
@@ -117,6 +189,24 @@ class ConcurrentSBF:
     def _all_locks(self) -> list[threading.Lock]:
         return [self._writer, *self._locks]
 
+    def _enter_gate(self, *, read: bool, timeout: float | None) -> None:
+        """Join the readers' or mutators' side of the group gate (bounded).
+
+        A mutator entering here holds no stripe locks yet and a reader
+        never takes any, so the gate adds no edge to the waits-for graph
+        — deadlock stays impossible by construction.
+        """
+        budget = self.timeout if timeout is None else timeout
+        entered = (self._gate.enter_read(budget) if read
+                   else self._gate.enter_mutate(budget))
+        if not entered:
+            with self._count_lock:
+                self.lock_timeouts += 1
+            side = "reader" if read else "mutator"
+            raise LockTimeout(
+                f"could not join the {side} side of the read/write gate "
+                f"within {budget:.3f}s")
+
     # -- mutations -----------------------------------------------------
     def insert(self, key: object, count: int = 1, *,
                timeout: float | None = None) -> None:
@@ -125,18 +215,23 @@ class ConcurrentSBF:
             raise ValueError(f"count must be >= 0, got {count}")
         if count == 0:
             return
-        taken = self._acquire(self._key_locks(key), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            if isinstance(self._handle, DurableSBF):
-                self._handle.wal.log_insert(key, count)
-            self._sbf.method.insert(key, count)
-            # Inside the stripe section so a checkpoint (which holds every
-            # stripe) always sees counters and total_count move together.
-            with self._count_lock:
-                self._sbf.total_count += count
-                self.operations += 1
+            taken = self._acquire(self._key_locks(key), timeout)
+            try:
+                if isinstance(self._handle, DurableSBF):
+                    self._handle.wal.log_insert(key, count)
+                self._sbf.method.insert(key, count)
+                # Inside the stripe section so a checkpoint (which holds
+                # every stripe) always sees counters and total_count move
+                # together.
+                with self._count_lock:
+                    self._sbf.total_count += count
+                    self.operations += 1
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
 
     def delete(self, key: object, count: int = 1, *,
                timeout: float | None = None) -> None:
@@ -145,21 +240,25 @@ class ConcurrentSBF:
             raise ValueError(f"count must be >= 0, got {count}")
         if count == 0:
             return
-        taken = self._acquire(self._key_locks(key), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            if isinstance(self._handle, DurableSBF):
-                if self._sbf.method.name != "mi" \
-                        and self._sbf.min_counter(key) < count:
-                    raise ValueError(
-                        f"deleting {count} of {key!r} would drive a "
-                        f"counter negative")
-                self._handle.wal.log_delete(key, count)
-            self._sbf.method.delete(key, count)
-            with self._count_lock:
-                self._sbf.total_count -= count
-                self.operations += 1
+            taken = self._acquire(self._key_locks(key), timeout)
+            try:
+                if isinstance(self._handle, DurableSBF):
+                    if self._sbf.method.name != "mi" \
+                            and self._sbf.min_counter(key) < count:
+                        raise ValueError(
+                            f"deleting {count} of {key!r} would drive a "
+                            f"counter negative")
+                    self._handle.wal.log_delete(key, count)
+                self._sbf.method.delete(key, count)
+                with self._count_lock:
+                    self._sbf.total_count -= count
+                    self.operations += 1
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
 
     def set(self, key: object, count: int, *,
             timeout: float | None = None) -> None:
@@ -172,18 +271,22 @@ class ConcurrentSBF:
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        taken = self._acquire(self._all_locks(), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            if isinstance(self._handle, DurableSBF):
-                self._handle.set(key, count)
-            else:
-                current = self._sbf.query(key)
-                if count > current:
-                    self._sbf.insert(key, count - current)
-                elif count < current:
-                    self._sbf.delete(key, current - count)
+            taken = self._acquire(self._all_locks(), timeout)
+            try:
+                if isinstance(self._handle, DurableSBF):
+                    self._handle.set(key, count)
+                else:
+                    current = self._sbf.query(key)
+                    if count > current:
+                        self._sbf.insert(key, count - current)
+                    elif count < current:
+                        self._sbf.delete(key, current - count)
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
         with self._count_lock:
             self.operations += 1
 
@@ -195,14 +298,18 @@ class ConcurrentSBF:
                     timeout: float | None = None) -> None:
         """Apply a whole insert batch atomically w.r.t. other threads."""
         n = len(keys)
-        taken = self._acquire(self._all_locks(), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            if isinstance(self._handle, DurableSBF):
-                self._handle.insert_many(keys, counts)
-            else:
-                self._sbf.insert_many(keys, counts)
+            taken = self._acquire(self._all_locks(), timeout)
+            try:
+                if isinstance(self._handle, DurableSBF):
+                    self._handle.insert_many(keys, counts)
+                else:
+                    self._sbf.insert_many(keys, counts)
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
         with self._count_lock:
             self.operations += n
 
@@ -210,24 +317,35 @@ class ConcurrentSBF:
                     timeout: float | None = None) -> None:
         """Apply a whole delete batch atomically w.r.t. other threads."""
         n = len(keys)
-        taken = self._acquire(self._all_locks(), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            if isinstance(self._handle, DurableSBF):
-                self._handle.delete_many(keys, counts)
-            else:
-                self._sbf.delete_many(keys, counts)
+            taken = self._acquire(self._all_locks(), timeout)
+            try:
+                if isinstance(self._handle, DurableSBF):
+                    self._handle.delete_many(keys, counts)
+                else:
+                    self._sbf.delete_many(keys, counts)
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
         with self._count_lock:
             self.operations += n
 
     def query_many(self, keys, *, timeout: float | None = None):
-        """Vectorised estimates for a batch, on a frozen cut."""
-        taken = self._acquire(self._all_locks(), timeout)
+        """Vectorised estimates for a batch, on a consistent cut.
+
+        Rides the shared side of the group gate: it takes *no* stripe
+        locks, so any number of concurrent ``query_many`` batches overlap
+        — the gate only holds off mutating paths (and is held off by
+        them), which is all a read needs.  The cut is consistent because
+        no mutator runs while any reader is inside.
+        """
+        self._enter_gate(read=True, timeout=timeout)
         try:
             return self._sbf.query_many(keys)
         finally:
-            self._release(taken)
+            self._gate.exit_read()
 
     # -- reads -----------------------------------------------------------
     def query(self, key: object, *, timeout: float | None = None) -> int:
@@ -285,11 +403,15 @@ class ConcurrentSBF:
         Raises:
             LockTimeout: if the locks cannot all be had within *timeout*.
         """
-        taken = self._acquire(self._all_locks(), timeout)
+        self._enter_gate(read=False, timeout=timeout)
         try:
-            yield self._handle
+            taken = self._acquire(self._all_locks(), timeout)
+            try:
+                yield self._handle
+            finally:
+                self._release(taken)
         finally:
-            self._release(taken)
+            self._gate.exit_mutate()
 
     def checkpoint(self, *, timeout: float | None = None):
         """Freeze a consistent cut and checkpoint it.

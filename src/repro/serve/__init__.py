@@ -20,6 +20,11 @@ the reliable transport of :mod:`repro.db` into a request-serving system:
   a shard served over :class:`~repro.db.transport.ReliableChannel` frames
   with :class:`~repro.db.transport.DeliveryFailed` degradation and
   partial-failure bulk operations (:class:`BulkResult`);
+- :mod:`repro.serve.procpool` — :class:`ProcessShardPool` /
+  :class:`ProcessShard`, the GIL-escaping multi-process shard executor:
+  one worker process per shard behind the same wire frames, with
+  shared-memory counter segments, crash re-spawn, and pipelined
+  fleet-wide bulk operations;
 - :mod:`repro.serve.ha` — :class:`ReplicaSet`, quorum reads, hinted
   handoff (:class:`HintLog`), health tracking with ejection/re-admission,
   and :func:`replicated_fleet`;
@@ -60,6 +65,11 @@ from repro.serve.metrics import (
     Histogram,
     MetricsRegistry,
     ReplicaGauges,
+)
+from repro.serve.procpool import (
+    PoolShardServer,
+    ProcessShard,
+    ProcessShardPool,
 )
 from repro.serve.remote import (
     BulkFailure,
@@ -109,6 +119,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ReplicaGauges",
+    "PoolShardServer",
+    "ProcessShard",
+    "ProcessShardPool",
     "BulkFailure",
     "BulkResult",
     "RemoteShard",

@@ -436,6 +436,15 @@ class StreamBackend(CounterBackend):
     def add_clamped(self, i: int, delta: int) -> int:
         return self.stream.increment_clamped(i, delta)
 
+    def get_many(self, indices) -> np.ndarray:
+        return self.stream.get_many(indices)
+
+    def add_many(self, indices, deltas) -> None:
+        self.stream.add_many(indices, deltas)
+
+    def set_many(self, indices, values) -> None:
+        self.stream.set_many(indices, values)
+
     def options(self) -> dict:
         return dict(self._options)
 

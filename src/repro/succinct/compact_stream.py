@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.succinct.bitvector import BitVector, BitReader, BitWriter
 from repro.succinct.elias import EliasCodec
 from repro.succinct.steps import StepsCodec
@@ -145,6 +147,107 @@ class CompactCounterStream:
         values[j] = value
         self._encode_chunk(chunk, values)
         return value
+
+    # ------------------------------------------------------------------
+    # bulk operations — one decode / re-encode per touched subgroup
+    # ------------------------------------------------------------------
+    def _chunk_runs(self, sorted_idx: np.ndarray):
+        """Yield ``(chunk_id, a, b)`` runs of a sorted index array."""
+        cid = sorted_idx // self._chunk_items
+        starts = np.flatnonzero(np.r_[True, cid[1:] != cid[:-1]])
+        ends = np.r_[starts[1:], np.int64(cid.size)]
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            yield int(cid[a]), a, b
+
+    def _check_bounds(self, idx: np.ndarray) -> None:
+        low, high = int(idx.min()), int(idx.max())
+        if low < 0 or high >= self._m:
+            bad = low if low < 0 else high
+            raise IndexError(
+                f"index {bad} out of range for {self._m} counters")
+
+    def get_many(self, indices) -> np.ndarray:
+        """Values at *indices* (repeats allowed), decoding each touched
+        subgroup exactly once instead of once per lookup."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        self._check_bounds(idx)
+        order = np.argsort(idx, kind="stable")
+        si = idx[order]
+        out = np.empty(idx.size, dtype=np.int64)
+        for cid, a, b in self._chunk_runs(si):
+            values = self._decode_chunk(self._chunks[cid])
+            base = cid * self._chunk_items
+            out[order[a:b]] = [values[i - base] for i in si[a:b].tolist()]
+        return out
+
+    def add_many(self, indices, deltas) -> None:
+        """Accumulate *deltas* into *indices*, re-encoding each touched
+        subgroup exactly once.
+
+        Matches the sequential contract of the backend bulk hooks: every
+        new value is computed and validated before *any* subgroup is
+        re-encoded, so a batch that would drive a counter negative
+        raises ``ValueError`` without mutating anything (for the
+        same-signed batches the bulk kernels submit, the sequential loop
+        fails exactly when a final value is negative).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dts = np.asarray(deltas, dtype=np.int64)
+        if idx.shape != dts.shape:
+            raise ValueError(
+                f"add_many needs matching shapes, got {idx.shape} indices "
+                f"and {dts.shape} deltas")
+        if idx.size == 0:
+            return
+        self._check_bounds(idx)
+        order = np.argsort(idx, kind="stable")
+        si = idx[order]
+        sd = dts[order]
+        staged: list[tuple[_Chunk, list[int]]] = []
+        for cid, a, b in self._chunk_runs(si):
+            chunk = self._chunks[cid]
+            values = self._decode_chunk(chunk)
+            base = cid * self._chunk_items
+            for i, d in zip(si[a:b].tolist(), sd[a:b].tolist()):
+                j = i - base
+                value = values[j] + d
+                if value < 0:
+                    raise ValueError(
+                        f"counter {i} would become negative ({value})")
+                values[j] = value
+            staged.append((chunk, values))
+        for chunk, values in staged:
+            self._encode_chunk(chunk, values)
+
+    def set_many(self, indices, values) -> None:
+        """Set counters pairwise (last write wins on repeats), re-encoding
+        each touched subgroup exactly once."""
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if idx.shape != vals.shape:
+            raise ValueError(
+                f"set_many needs matching shapes, got {idx.shape} indices "
+                f"and {vals.shape} values")
+        if vals.size == 0:
+            return
+        if int(vals.min()) < 0:
+            raise ValueError(
+                f"counter values must be >= 0, got {int(vals.min())}")
+        self._check_bounds(idx)
+        # Stable sort keeps submission order inside each index group, so
+        # writing the group in order preserves last-write-wins.
+        order = np.argsort(idx, kind="stable")
+        si = idx[order]
+        sv = vals[order]
+        for cid, a, b in self._chunk_runs(si):
+            chunk = self._chunks[cid]
+            decoded = self._decode_chunk(chunk)
+            base = cid * self._chunk_items
+            for i, v in zip(si[a:b].tolist(), sv[a:b].tolist()):
+                decoded[i - base] = v
+            self._encode_chunk(chunk, decoded)
 
     def __getitem__(self, i: int) -> int:
         return self.get(i)

@@ -237,3 +237,120 @@ class TestMethodDegradation:
             ConcurrentSBF(sbf, stripes=0)
         with pytest.raises(ValueError):
             ConcurrentSBF(sbf, timeout=0)
+
+
+class TestSharedReadPath:
+    """The group gate: bulk readers overlap; mutators exclude them."""
+
+    def _loaded_handle(self):
+        handle = ConcurrentSBF(
+            SpectralBloomFilter(2048, 4, seed=4, backend="numpy"))
+        handle.insert_many(list(range(300)), [2] * 300)
+        return handle
+
+    def test_concurrent_bulk_readers_overlap(self):
+        # Two query_many calls must be inside the read side at the same
+        # time; with the old all-locks path the second would block and
+        # the barrier would time out.
+        handle = self._loaded_handle()
+        inside = threading.Barrier(2, timeout=5)
+        errors = []
+
+        def reader():
+            try:
+                handle._enter_gate(read=True, timeout=2.0)
+                try:
+                    inside.wait()
+                finally:
+                    handle._gate.exit_read()
+                handle.query_many(list(range(100)))
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "reader deadlocked"
+        assert not errors
+
+    def test_reader_blocks_mutators_until_it_leaves(self):
+        handle = self._loaded_handle()
+        handle._enter_gate(read=True, timeout=1.0)
+        try:
+            with pytest.raises(LockTimeout):
+                handle.insert(1, 1, timeout=0.05)
+            with pytest.raises(LockTimeout):
+                handle.insert_many([1, 2], [1, 1], timeout=0.05)
+        finally:
+            handle._gate.exit_read()
+        before = handle.query(1)
+        handle.insert(1, 1, timeout=1.0)  # free again
+        assert handle.query(1) == before + 1
+
+    def test_waiting_mutator_bars_new_readers(self):
+        # Writer preference: while a mutator waits on an active reader,
+        # a newly arriving reader must queue behind it.
+        handle = self._loaded_handle()
+        handle._enter_gate(read=True, timeout=1.0)
+        release = threading.Event()
+        done = []
+
+        def mutator():
+            handle._enter_gate(read=False, timeout=10.0)
+            try:
+                done.append("mutated")
+            finally:
+                handle._gate.exit_mutate()
+
+        thread = threading.Thread(target=mutator)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while handle._gate._mutators_waiting == 0:
+            assert time.monotonic() < deadline, "mutator never queued"
+            time.sleep(0.005)
+        with pytest.raises(LockTimeout):  # reader barred by the waiter
+            handle.query_many([1, 2, 3], timeout=0.05)
+        handle._gate.exit_read()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert done == ["mutated"]
+        assert list(handle.query_many([0])) == [2]  # gate fully released
+
+    def test_mixed_reader_writer_storm_exact_final_state(self):
+        handle = self._loaded_handle()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                for i in range(200):
+                    handle.insert(i % 40, 1)
+            except BaseException as exc:
+                errors.append(exc)
+
+        def bulk_reader():
+            try:
+                while not stop.is_set():
+                    values = handle.query_many(list(range(40)))
+                    # A consistent cut: never a torn/negative estimate.
+                    assert all(int(v) >= 2 for v in values)
+            except BaseException as exc:
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=bulk_reader) for _ in range(4)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "writer deadlocked"
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "reader deadlocked"
+        assert not errors, errors[:1]
+        assert handle.total_count == 600 + 4 * 200
+        final = handle.query_many(list(range(40)))
+        assert all(int(v) >= 2 + 20 for v in final)

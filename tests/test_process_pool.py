@@ -1,0 +1,252 @@
+"""The multi-process shard executor: differential oracle + chaos.
+
+The acceptance contract of :mod:`repro.serve.procpool`:
+
+- a pool-backed fleet answers **bit-identically** to an in-process
+  :class:`ShardedSBF` oracle built with the same parameters, across
+  methods (MS/MI/RM — i.e. both the shared-memory and the snapshot
+  recovery paths), key types, point and pipelined-bulk traffic;
+- killing a worker degrades *only its shard* into typed retryable
+  :class:`DeliveryFailed` bulk failures — never a wrong answer — and the
+  worker re-spawns with its acknowledged state intact (shared-memory
+  segment for MS/MI, parent-held snapshot for RM);
+- the whole surface keeps its contract under an injected-fault network
+  (the frames ride the same reliable channels a RemoteShard uses).
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.faults import FaultPolicy, FaultyNetwork
+from repro.db.transport import DeliveryFailed
+from repro.serve import ProcessShardPool, ServingEngine, ShardedSBF
+
+M, K, SEED = 4096, 4, 21
+
+
+def _traffic(seed=13, n=1200, universe=4000):
+    rng = np.random.default_rng(seed)
+    keys = [int(x) for x in rng.integers(0, universe, n)]
+    counts = [int(c) for c in rng.integers(1, 6, n)]
+    probe = [int(x) for x in rng.integers(0, universe + universe // 4, n)]
+    return keys, counts, probe
+
+
+def _oracle(n_shards, method, backend):
+    return ShardedSBF.create(n_shards, M, K, seed=SEED, method=method,
+                             backend=backend)
+
+
+@pytest.mark.parametrize("method,backend", [
+    ("ms", "numpy"),    # shared-memory recovery path
+    ("mi", "numpy"),    # shared-memory, order-dependent method
+    ("rm", "array"),    # snapshot recovery path (secondary + marker)
+])
+def test_pool_matches_inprocess_oracle(method, backend):
+    keys, counts, probe = _traffic()
+    oracle = _oracle(4, method, backend)
+    with ProcessShardPool(4, M, K, seed=SEED, method=method,
+                          backend=backend) as pool:
+        result = pool.insert_many(keys, counts)
+        assert result.ok
+        oracle_batch = pool.router  # same routing brain on both sides
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        got = pool.query_many(probe)
+        assert got.ok
+        assert got.values.tolist() == [oracle.query(x) for x in probe]
+        # Point traffic routes through the RemoteShard channel stack.
+        for key in probe[:25]:
+            assert pool.router.query(key) == oracle.query(key)
+        assert pool.total_count == oracle.total_count
+        # Deletes too (RM exercises recurring-minimum maintenance).
+        victims = keys[:200]
+        dels = [1] * len(victims)
+        assert pool.delete_many(victims, dels).ok
+        for key in victims:
+            oracle.delete(key, 1)
+        got = pool.query_many(probe)
+        assert got.ok
+        assert got.values.tolist() == [oracle.query(x) for x in probe]
+
+
+def test_string_keys_ride_the_json_path():
+    keys = [f"user-{i % 97}" for i in range(400)]
+    counts = [1 + i % 4 for i in range(400)]
+    oracle = _oracle(3, "ms", "numpy")
+    with ProcessShardPool(3, M, K, seed=SEED) as pool:
+        assert pool.insert_many(keys, counts).ok
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        probe = [f"user-{i}" for i in range(120)]
+        got = pool.query_many(probe)
+        assert got.ok
+        assert got.values.tolist() == [oracle.query(x) for x in probe]
+
+
+def test_non_scalar_keys_fail_client_side():
+    with ProcessShardPool(2, M, K, seed=SEED) as pool:
+        result = pool.insert_many([1, ["not", "scalar"], 3])
+        assert result.applied == 2
+        assert len(result.failures) == 1
+        assert result.failures[0].index == 1
+        assert not result.failures[0].retryable
+        assert pool.query_many([1, 3]).values.tolist() == [1, 1]
+
+
+@pytest.mark.parametrize("method,backend", [
+    ("ms", "numpy"),    # state survives in the shared-memory segment
+    ("rm", "array"),    # state survives in the parent-held snapshot
+])
+def test_worker_kill_respawns_with_state_intact(method, backend):
+    keys, counts, probe = _traffic(seed=5)
+    oracle = _oracle(3, method, backend)
+    with ProcessShardPool(3, M, K, seed=SEED, method=method,
+                          backend=backend) as pool:
+        assert pool.insert_many(keys, counts).ok
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        want = [oracle.query(x) for x in probe]
+        pool.kill_worker(1)
+        assert not pool.worker_alive(1)
+        # Next use revives the worker; every acknowledged insert is
+        # still there — bit-identical answers, not approximations.
+        got = pool.query_many(probe)
+        assert got.ok
+        assert got.values.tolist() == want
+        assert pool.worker_alive(1)
+        assert pool.metrics.counter("engine.worker.1.restarts").value >= 1
+        assert pool.metrics.counter("engine.worker.1.failures").value >= 1
+        assert pool.total_count == oracle.total_count
+
+
+def test_dead_worker_degrades_its_shard_only_with_typed_failures():
+    keys, counts, probe = _traffic(seed=9)
+    oracle = _oracle(4, "ms", "numpy")
+    with ProcessShardPool(4, M, K, seed=SEED,
+                          auto_revive=False) as pool:
+        assert pool.insert_many(keys, counts).ok
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        victim = 2
+        pool.kill_worker(victim)
+        owners = pool.router.shard_of_many(probe)
+        result = pool.query_many(probe)
+        # Per-shard degradation: exactly the dead worker's keys fail,
+        # each as a typed retryable DeliveryFailed; every other key
+        # still answers bit-identically to the oracle.
+        failed = {f.index for f in result.failures}
+        assert failed == {i for i, o in enumerate(owners) if o == victim}
+        assert failed, "probe set never hit the dead shard"
+        for failure in result.failures:
+            assert isinstance(failure.error, DeliveryFailed)
+            assert failure.retryable
+        for i, key in enumerate(probe):
+            if i not in failed:
+                assert int(result.values[i]) == oracle.query(key)
+        # Point traffic to the dead shard raises the same typed error...
+        dead_keys = [probe[i] for i in sorted(failed)]
+        with pytest.raises(DeliveryFailed):
+            pool.router.query(dead_keys[0])
+        # ...until the supervisor revives it — with nothing lost.
+        pool.revive_worker(victim)
+        healed = pool.query_many(probe)
+        assert healed.ok
+        assert healed.values.tolist() == [oracle.query(x) for x in probe]
+
+
+def test_kill_between_batches_loses_no_acknowledged_mutation():
+    # The snapshot path refreshes after every acknowledged mutation, so
+    # a kill landing between two bulk calls must not roll back the first.
+    keys, counts, probe = _traffic(seed=31)
+    half = len(keys) // 2
+    oracle = _oracle(2, "rm", "array")
+    with ProcessShardPool(2, M, K, seed=SEED, method="rm",
+                          backend="array") as pool:
+        assert pool.insert_many(keys[:half], counts[:half]).ok
+        pool.kill_worker(0)
+        pool.kill_worker(1)
+        assert pool.insert_many(keys[half:], counts[half:]).ok
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        got = pool.query_many(probe)
+        assert got.ok
+        assert got.values.tolist() == [oracle.query(x) for x in probe]
+
+
+def test_pool_under_faulty_network_stays_exact():
+    # Point traffic rides the RemoteShard reliable channels; a lossy,
+    # corrupting network costs retries, never answers.
+    keys, counts, probe = _traffic(seed=17, n=150, universe=600)
+    network = FaultyNetwork(
+        FaultPolicy(drop=0.15, duplicate=0.1, corrupt=0.1, seed=77))
+    oracle = _oracle(2, "ms", "numpy")
+    with ProcessShardPool(2, M, K, seed=SEED, network=network) as pool:
+        for key, count in zip(keys, counts):
+            pool.router.insert(key, count)
+            oracle.insert(key, count)
+        for key in probe:
+            assert pool.router.query(key) == oracle.query(key)
+        assert network.faults["drops"] > 0  # the chaos actually happened
+
+
+def test_worker_kill_under_faulty_network_keeps_contract():
+    # Chaos squared: injected frame faults AND a worker kill mid-run.
+    # The surviving shard keeps answering exactly; the dead shard comes
+    # back with acknowledged state intact.
+    keys, counts, probe = _traffic(seed=23, n=200, universe=800)
+    network = FaultyNetwork(FaultPolicy(drop=0.1, corrupt=0.1, seed=5))
+    oracle = _oracle(2, "ms", "numpy")
+    with ProcessShardPool(2, M, K, seed=SEED, network=network) as pool:
+        assert pool.insert_many(keys, counts).ok
+        for key, count in zip(keys, counts):
+            oracle.insert(key, count)
+        pool.kill_worker(0)
+        for key in probe:
+            assert pool.router.query(key) == oracle.query(key)
+        assert pool.worker_alive(0)
+
+
+def test_engine_and_batcher_run_unchanged_over_the_pool():
+    with ProcessShardPool(3, M, K, seed=SEED) as pool:
+        engine = ServingEngine(pool.router, max_queue=512)
+        oracle = _oracle(3, "ms", "numpy")
+        rng = np.random.default_rng(3)
+        keys = [int(x) for x in rng.integers(0, 1500, 400)]
+        futures = [engine.submit("insert", key, 2) for key in keys]
+        engine.drain()
+        for future in futures:
+            future.result()
+        for key in keys:
+            oracle.insert(key, 2)
+        probe = [int(x) for x in rng.integers(0, 2000, 200)]
+        futures = [engine.submit("query", key) for key in probe]
+        engine.drain()
+        got = [future.result() for future in futures]
+        assert got == [oracle.query(key) for key in probe]
+        engine.close()
+
+
+def test_close_is_graceful_and_idempotent():
+    pool = ProcessShardPool(2, M, K, seed=SEED)
+    processes = [w.process for w in pool._workers]
+    assert pool.insert_many(list(range(50))).ok
+    pool.close()
+    for process in processes:
+        assert process is None or not process.is_alive()
+    assert all(not pool.worker_alive(i) for i in range(2))
+    assert pool.metrics.gauge("engine.worker.0.up").value == 0
+    pool.close()  # second close is a no-op, not an error
+
+
+def test_checkpoint_refreshes_snapshot_for_respawn():
+    with ProcessShardPool(2, M, K, seed=SEED, method="rm",
+                          backend="array", auto_snapshot=False) as pool:
+        assert pool.insert_many(list(range(80)), [3] * 80).ok
+        for shard in pool.shards:
+            shard.checkpoint()  # explicit snapshot instead of auto
+        pool.kill_worker(0)
+        pool.kill_worker(1)
+        got = pool.query_many(list(range(80)))
+        assert got.ok
+        assert all(int(v) >= 3 for v in got.values)
