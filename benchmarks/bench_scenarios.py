@@ -1,0 +1,107 @@
+"""Chaos scenarios — the six seed specs under their fault schedules.
+
+Runs every seed scenario of the declarative harness (DESIGN.md §13)
+through the real serving stack on a simulated clock: CDN hot-object
+counting on a replicated fleet with a gray-slow shard, iceberg alerting
+through a mid-run crash + WAL recovery, a rate limiter surviving a
+process-pool worker kill, bloomjoin probe traffic under 55% packet
+loss, a rolling reshard under churn, and a tenant mount/unmount storm.
+
+The bounding-pair oracle referees every answer (zero wrong answers is
+the pass bar, not a statistic), per-phase availability must clear the
+spec floors, and the aggregate document is written to
+``benchmarks/results/scenarios.json`` in the same shape as the other
+committed baselines — ``meta`` + top-level ``pass`` flag + stable
+per-scenario rows.  ``compare_to_baseline`` never compares timings, so
+quick and full runs check against the same committed file.
+
+CLI:
+    PYTHONPATH=src python benchmarks/bench_scenarios.py \
+        [--quick] [--json-out PATH] [--baseline PATH]
+
+``--baseline`` compares the fresh aggregate against a committed
+document and exits non-zero on regressions (the CI gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench.tables import format_table, results_dir, write_results
+from repro.scenario import SEED_NAMES, aggregate, compare_to_baseline, \
+    load_seed, run_scenario
+from repro.scenario.aggregator import dumps
+
+
+def _run_seeds(quick: bool) -> list[dict]:
+    reports = []
+    for name in SEED_NAMES:
+        spec = load_seed(name, quick=quick)
+        # strict=False: the aggregate pass flag and the baseline gate
+        # decide the verdict; one failing scenario should not hide the
+        # others' reports.
+        reports.append(run_scenario(spec, strict=False))
+    return reports
+
+
+def _render(document: dict) -> str:
+    headers = ["scenario", "topology", "ops", "reads", "ambiguous",
+               "compared", "exact", "wrong", "avail_min", "faults", "pass"]
+    rows = [[row["name"], row["topology"], row["ops"], row["reads"],
+             row["ambiguous"], row["compared"], row["exact_compared"],
+             row["wrong_answers"], row["availability_min"],
+             row["faults_fired"], row["pass"]]
+            for row in document["scenarios"]]
+    mode = "quick" if document["meta"]["quick"] else "full"
+    return format_table(
+        headers, rows,
+        title=f"Chaos scenarios — zero-wrong-answer oracle ({mode} mode)")
+
+
+def run_scenarios(quick: bool = False) -> dict:
+    """Run all seed scenarios; write the aggregate JSON and table."""
+    document = aggregate(_run_seeds(quick), quick=quick)
+    path = os.path.join(results_dir(), "scenarios.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(document))
+    table = _render(document)
+    write_results("scenarios", table)
+    print(table)
+    assert document["pass"], \
+        [row["failures"] for row in document["scenarios"]
+         if not row["pass"]]
+    for row in document["scenarios"]:
+        assert row["wrong_answers"] == 0, row
+        assert row["compared"] > 0, row
+    return document
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    json_out = None
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
+    baseline_path = None
+    if "--baseline" in argv:
+        baseline_path = argv[argv.index("--baseline") + 1]
+    document = run_scenarios(quick=quick)
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            fh.write(dumps(document))
+        print(f"wrote {json_out}")
+    if baseline_path:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare_to_baseline(document, baseline)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}")
+            return 1
+        print(f"no regressions against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -2,7 +2,7 @@
 
 Usage:
     python benchmarks/run_all.py [pattern ...] [--only SUBSTRING]
-                                 [--json-out PATH]
+                                 [--json-out PATH] [--quick]
 
 Runs the experiment body of each ``bench_*.py`` module directly (without
 pytest's benchmark machinery), writes the rendered tables to
@@ -14,7 +14,10 @@ raw result of every entry point (keyed ``module::entry``, plus elapsed
 seconds) is additionally dumped as one JSON document under
 ``"experiments"``, stamped with a ``"meta"`` block (git commit,
 UTC timestamp, python/numpy versions, platform) so the artifact CI
-uploads can be compared against a baseline.
+uploads can be compared against a baseline.  ``--quick`` is forwarded
+to every entry point that accepts a ``quick`` parameter (the chaos and
+failure-injection benchmarks scale themselves down); entries without
+one run at full size regardless.
 
 The pytest entry point (``pytest benchmarks/ --benchmark-only``) runs the
 same experiments *plus* the shape assertions and timing statistics; this
@@ -72,10 +75,11 @@ EXPERIMENTS: dict[str, list[str]] = {
 }
 
 
-def _parse_args(argv: list[str]) -> tuple[list[str], str | None]:
-    """Split *argv* into filename patterns and an optional JSON path."""
+def _parse_args(argv: list[str]) -> tuple[list[str], str | None, bool]:
+    """Split *argv* into filename patterns, a JSON path and quick mode."""
     patterns: list[str] = []
     json_out: str | None = None
+    quick = False
     it = iter(argv)
     for arg in it:
         if arg in ("--only", "--json-out"):
@@ -86,12 +90,15 @@ def _parse_args(argv: list[str]) -> tuple[list[str], str | None]:
                 patterns.append(value)
             else:
                 json_out = value
+        elif arg == "--quick":
+            quick = True
         elif arg.startswith("-"):
             raise SystemExit(f"unknown flag {arg!r} "
-                             "(use --only SUBSTRING / --json-out PATH)")
+                             "(use --only SUBSTRING / --json-out PATH / "
+                             "--quick)")
         else:
             patterns.append(arg)
-    return patterns, json_out
+    return patterns, json_out, quick
 
 
 def _runnable_unaided(fn) -> bool:
@@ -134,7 +141,7 @@ def _all_benchmarks(here: str) -> list[str]:
 
 def main(argv: list[str]) -> int:
     here = os.path.dirname(os.path.abspath(__file__))
-    patterns, json_out = _parse_args(argv)
+    patterns, json_out, quick = _parse_args(argv)
     total = 0
     collected: dict[str, dict] = {}
     for filename in _all_benchmarks(here):
@@ -151,8 +158,11 @@ def main(argv: list[str]) -> int:
             continue
         for entry in entry_points:
             fn = getattr(module, entry)
+            kwargs = {}
+            if quick and "quick" in inspect.signature(fn).parameters:
+                kwargs["quick"] = True
             started = time.perf_counter()
-            result = fn()
+            result = fn(**kwargs)
             elapsed = time.perf_counter() - started
             total += 1
             print(f"== {filename}::{entry}  ({elapsed:.1f}s)")

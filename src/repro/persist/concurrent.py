@@ -70,19 +70,21 @@ class _GroupGate:
     deadline instead of blocking forever.
     """
 
-    __slots__ = ("_cond", "_readers", "_mutators", "_mutators_waiting")
+    __slots__ = ("_cond", "_readers", "_mutators", "_mutators_waiting",
+                 "_clock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock=None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._mutators = 0
         self._mutators_waiting = 0
+        self._clock = clock or time.monotonic
 
     def enter_read(self, budget: float) -> bool:
-        deadline = time.monotonic() + budget
+        deadline = self._clock() + budget
         with self._cond:
             while self._mutators or self._mutators_waiting:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0 or not self._cond.wait(remaining):
                     return False
             self._readers += 1
@@ -95,12 +97,12 @@ class _GroupGate:
                 self._cond.notify_all()
 
     def enter_mutate(self, budget: float) -> bool:
-        deadline = time.monotonic() + budget
+        deadline = self._clock() + budget
         with self._cond:
             self._mutators_waiting += 1
             try:
                 while self._readers:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         return False
             finally:
@@ -132,10 +134,15 @@ class ConcurrentSBF:
             module docstring — other method/backend combinations couple
             counters across stripe boundaries).
         timeout: default bound, in seconds, on any lock wait.
+        clock: seconds-returning callable the lock-wait budgets are
+            measured on (the injected-clock convention of
+            :mod:`repro.serve.metrics`); defaults to ``time.monotonic``.
+            A simulated clock makes lock-budget arithmetic deterministic
+            — on an uncontended handle no wall-clock time is read at all.
     """
 
     def __init__(self, filter: SpectralBloomFilter | DurableSBF, *,
-                 stripes: int = 16, timeout: float = 5.0):
+                 stripes: int = 16, timeout: float = 5.0, clock=None):
         if stripes < 1:
             raise ValueError(f"stripes must be >= 1, got {stripes}")
         if timeout <= 0:
@@ -148,10 +155,11 @@ class ConcurrentSBF:
             stripes = 1
         self.stripes = stripes
         self.timeout = float(timeout)
+        self.clock = clock or time.monotonic
         self._locks = [threading.Lock() for _ in range(stripes)]
         self._writer = threading.Lock()
         self._count_lock = threading.Lock()
-        self._gate = _GroupGate()
+        self._gate = _GroupGate(self.clock)
         self.lock_timeouts = 0
         self.operations = 0
 
@@ -163,10 +171,10 @@ class ConcurrentSBF:
                  timeout: float | None) -> list[threading.Lock]:
         """Take *locks* in order under one deadline; all-or-nothing."""
         budget = self.timeout if timeout is None else timeout
-        deadline = time.monotonic() + budget
+        deadline = self.clock() + budget
         taken: list[threading.Lock] = []
         for lock in locks:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.clock()
             if remaining <= 0 or not lock.acquire(timeout=remaining):
                 for held in reversed(taken):
                     held.release()

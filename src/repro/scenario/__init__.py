@@ -1,0 +1,47 @@
+"""Declarative chaos-scenario harness with zero-wrong-answer oracles.
+
+The harness replays declarative workload specs through the real serving
+stack — engine, routers, replica sets, process pools, the tenant
+directory — while a fault schedule injects partitions, packet loss,
+gray slowness, crashes, deadline pressure and topology churn, all on a
+simulated clock.  A bounding-pair reference oracle referees every
+answer: acknowledged state must match bit-for-bit, ambiguous writes may
+only widen the envelope, and unavailability must stay inside the spec's
+floors.  See DESIGN.md §13 for the schema and the oracle argument.
+
+The package follows the config / runner / observer / aggregator split:
+
+- :mod:`~repro.scenario.spec` — load and validate scenario documents;
+- :mod:`~repro.scenario.workload` — seeded op-stream generation;
+- :mod:`~repro.scenario.topology` — build the declared serving stack;
+- :mod:`~repro.scenario.faults` — the fault schedule and its actions;
+- :mod:`~repro.scenario.oracle` — the bounding-pair referee;
+- :mod:`~repro.scenario.observer` — per-phase metrics deltas;
+- :mod:`~repro.scenario.runner` — the replay loop tying it together;
+- :mod:`~repro.scenario.aggregator` — results documents and baselines;
+- :mod:`~repro.scenario.seeds` — the six shipped scenarios.
+"""
+
+from repro.scenario.aggregator import (aggregate, compare_to_baseline,
+                                       summarize)
+from repro.scenario.clock import SimClock
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.observer import PhaseObserver
+from repro.scenario.oracle import OracleChecker, OracleViolation
+from repro.scenario.runner import (REPORT_VERSION, ScenarioError,
+                                   ScenarioRunner, run_scenario)
+from repro.scenario.seeds import SEED_NAMES, load_seed, seed_path
+from repro.scenario.spec import (SpecError, load_spec, parse_simple_yaml,
+                                 TOPOLOGY_KINDS, VERBS)
+from repro.scenario.topology import Topology, build_topology
+from repro.scenario.workload import Op, WorkloadGenerator
+
+__all__ = [
+    "SimClock", "SpecError", "load_spec", "parse_simple_yaml",
+    "TOPOLOGY_KINDS", "VERBS", "Op", "WorkloadGenerator",
+    "Topology", "build_topology", "FaultSchedule",
+    "OracleChecker", "OracleViolation", "PhaseObserver",
+    "ScenarioRunner", "ScenarioError", "run_scenario", "REPORT_VERSION",
+    "aggregate", "compare_to_baseline", "summarize",
+    "SEED_NAMES", "load_seed", "seed_path",
+]

@@ -1,0 +1,103 @@
+"""Aggregate scenario reports into the versioned results document.
+
+The aggregator leg of the harness: many per-scenario reports (the
+runner's output) fold into one JSON document shaped like every other
+file under ``benchmarks/results/`` — a ``meta`` block, a ``pass`` flag
+the baseline CI guard keys on, and one summary row per scenario.  The
+summary rows deliberately keep only the *stable* facts (op totals,
+oracle verdicts, faults fired); per-phase metrics deltas stay in the
+full reports, which the CI job uploads as an artifact instead of
+committing.
+
+:func:`compare_to_baseline` is the regression gate: a run regresses when
+a scenario that passed in the committed baseline fails now, when a
+baseline scenario disappeared, or when any oracle comparison count
+dropped to zero (the harness silently checking nothing is itself a
+failure mode).  Sim-time and throughput are *not* compared — they are
+properties of the spec, not of the code under test, and tying CI to
+them would make every workload tweak a "regression".
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["aggregate", "compare_to_baseline", "summarize"]
+
+#: bump when the aggregate document's shape changes
+AGGREGATE_VERSION = 1
+
+
+def summarize(report: dict) -> dict:
+    """The stable per-scenario row the aggregate document keeps."""
+    oracle = report["oracle"]
+    return {
+        "name": report["name"],
+        "topology": report["topology"]["kind"],
+        "pass": bool(report["pass"]),
+        "ops": report["ops"]["submitted"],
+        "acked_writes": report["ops"]["acked_writes"],
+        "reads": report["ops"]["reads"],
+        "refused": report["ops"]["refused"],
+        "ambiguous": report["ops"]["ambiguous"],
+        "compared": oracle["compared"],
+        "exact_compared": oracle["exact_compared"],
+        "wrong_answers": oracle["wrong_answers"],
+        "audit_checked": report["audit_checked"],
+        "faults_fired": report["faults_fired"],
+        "availability_min": min(report["availability"].values())
+        if report["availability"] else 1.0,
+        "sim_seconds": report["sim_seconds"],
+        "failures": report["failures"],
+    }
+
+
+def aggregate(reports: list[dict], *, quick: bool = False) -> dict:
+    """Fold per-scenario reports into one results document."""
+    scenarios = [summarize(report) for report in reports]
+    return {
+        "meta": {
+            "benchmark": "scenarios",
+            "version": AGGREGATE_VERSION,
+            "quick": bool(quick),
+            "count": len(scenarios),
+        },
+        "pass": all(row["pass"] for row in scenarios) and bool(scenarios),
+        "scenarios": scenarios,
+    }
+
+
+def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
+    """Regressions of *current* against a committed *baseline* document.
+
+    Returns human-readable regression strings (empty = clean).  Only
+    stability facts are compared — pass/fail, scenario presence, and
+    the oracle actually checking something — never timings.
+    """
+    regressions: list[str] = []
+    base_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
+    current_rows = {row["name"]: row for row in current.get("scenarios", [])}
+    for name, base in base_rows.items():
+        row = current_rows.get(name)
+        if row is None:
+            regressions.append(f"scenario {name!r} vanished from the run")
+            continue
+        if base["pass"] and not row["pass"]:
+            regressions.append(
+                f"scenario {name!r} regressed: {row['failures']}")
+        if base["compared"] > 0 and row["compared"] == 0:
+            regressions.append(
+                f"scenario {name!r} oracle compared 0 answers "
+                f"(baseline compared {base['compared']})")
+    if baseline.get("pass") and not current.get("pass"):
+        failed = [row["name"] for row in current.get("scenarios", [])
+                  if not row["pass"]]
+        if not any(r.startswith("scenario") for r in regressions):
+            regressions.append(f"aggregate pass flag dropped: {failed}")
+    return regressions
+
+
+def dumps(document: dict) -> str:
+    """Stable serialisation for committed baselines (sorted keys,
+    trailing newline — byte-stable across runs of the same code)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,38 @@
+"""The scenario clock: simulated monotonic time everything shares.
+
+A scenario is deterministic because *nothing* in it reads a wall clock:
+the one :class:`SimClock` instance is handed to the metrics registry
+(whose ``clock`` every serving component times against), to every
+:class:`~repro.serve.resilience.Deadline`, to the circuit breakers, to
+the transport's backoff ``sleep`` hook, and to the fault network's
+``advance`` hook — so wire latency, gray slowness, retry backoff, and
+deadline expiry all move the same simulated ``now``.  Two runs of the
+same spec produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated seconds; only explicit :meth:`advance` moves it.
+
+    The callable form returns the current instant, matching the
+    injected-clock convention (:mod:`repro.serve.metrics`), so the one
+    object serves as ``clock=`` and ``advance=`` / ``sleep=`` everywhere.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"time only moves forward, got {seconds}")
+        self.now += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self.now:.6f})"

@@ -1,0 +1,229 @@
+"""The fault schedule: declarative chaos events fired mid-run.
+
+A scenario's ``faults`` block is a list of events, each naming a trigger
+and an action.  Triggers:
+
+- ``at: <n>`` — fire just before global op ``n`` (0-based, across all
+  phases);
+- ``at_phase: <name>`` — fire when the named phase starts.
+
+Actions (the chaos vocabulary, each mapped onto the real mechanism the
+repo already ships — nothing here is mocked):
+
+- ``degrade`` — install a :class:`~repro.db.faults.FaultPolicy` on wire
+  channels (``drop`` / ``duplicate`` / ``corrupt`` / ``delay`` /
+  ``reorder`` / ``slow`` / ``slow_seconds`` / ``latency``), scoped by
+  ``shard`` / ``replica`` / ``worker`` or fleet-wide.  ``slow`` with a
+  probability < 1 is the gray-failure burst;
+- ``partition`` — total loss (``drop: 1.0``) on the scoped channels;
+- ``heal`` — restore the scoped channels to the topology's baseline
+  policy (wire latency only);
+- ``kill`` / ``restart`` — hard worker death: ``SIGKILL`` + respawn on
+  a procpool, full partition + heal of one shard's replicas on a
+  replicated fleet;
+- ``crash_recover`` — abandon a durable shard's live handle with no
+  checkpoint and recover it from its WAL + snapshots in place;
+- ``deadline`` — set (or with ``seconds: null`` clear) the per-op
+  end-to-end deadline from this point on: deadline pressure;
+- ``policy`` — swap the engine's admission policy (``reject_new`` /
+  ``shed_oldest``) mid-run: overload behaviour under churn;
+- ``reshard`` — start a rolling reshard to ``new_n`` shards, stepped
+  every ``step_every`` ops by the runner and committed when done;
+- ``mount`` / ``unmount`` — tenant lifecycle on a ``tenants`` topology.
+
+Every event validates at schedule construction, so a misspelled action
+fails the run before any traffic, not at minute nine.
+"""
+
+from __future__ import annotations
+
+from repro.db.faults import FaultPolicy
+from repro.scenario.spec import SpecError
+
+__all__ = ["FaultSchedule"]
+
+_POLICY_KEYS = ("drop", "duplicate", "corrupt", "delay", "reorder",
+                "slow", "slow_seconds", "latency")
+
+_SCOPE_KEYS = {"shard", "replica", "worker"}
+
+_ACTION_KEYS = {
+    "degrade": _SCOPE_KEYS | set(_POLICY_KEYS) | {"seed"},
+    "partition": _SCOPE_KEYS,
+    "heal": _SCOPE_KEYS,
+    "kill": _SCOPE_KEYS,
+    "restart": _SCOPE_KEYS,
+    "crash_recover": {"shard"},
+    "deadline": {"seconds"},
+    "policy": {"policy"},
+    "reshard": {"new_n", "step_every"},
+    "mount": {"tenant"},
+    "unmount": {"tenant"},
+}
+
+
+def _channels(topology, event: dict) -> list[tuple[str, str]]:
+    """Directed (sender, recipient) pairs an event's scope covers."""
+    kind = topology.kind
+    if kind == "procpool":
+        worker = event.get("worker", event.get("shard"))
+        indices = [worker] if worker is not None \
+            else range(topology.cfg["shards"])
+        endpoints = [f"worker-{i}" for i in indices]
+    elif kind == "replicated":
+        shard = event.get("shard")
+        replica = event.get("replica")
+        shards = [shard] if shard is not None \
+            else range(topology.cfg["shards"])
+        replicas = [replica] if replica is not None \
+            else range(topology.cfg["rf"])
+        endpoints = [f"s{s}r{r}" for s in shards for r in replicas]
+    else:
+        raise SpecError(
+            f"network fault on a wire-less topology {kind!r}")
+    client = topology.client_name
+    return ([(client, endpoint) for endpoint in endpoints]
+            + [(endpoint, client) for endpoint in endpoints])
+
+
+class FaultSchedule:
+    """Validated fault events, fired by the runner at their triggers."""
+
+    def __init__(self, events: list, topology):
+        self._topology = topology
+        self._by_phase: dict[str, list[dict]] = {}
+        self._by_op: list[tuple[int, dict]] = []
+        self._touched: set[tuple[str, str]] = set()
+        self.fired = 0
+        for index, event in enumerate(events):
+            event = dict(event)
+            action = event.pop("action", None)
+            if action not in _ACTION_KEYS:
+                raise SpecError(
+                    f"fault event {index} has unknown action {action!r}; "
+                    f"known: {sorted(_ACTION_KEYS)}")
+            at = event.pop("at", None)
+            at_phase = event.pop("at_phase", None)
+            if (at is None) == (at_phase is None):
+                raise SpecError(
+                    f"fault event {index} needs exactly one of "
+                    f"'at' (op index) or 'at_phase' (phase name)")
+            unknown = set(event) - _ACTION_KEYS[action]
+            if unknown:
+                raise SpecError(
+                    f"fault event {index} ({action}) has unknown key(s) "
+                    f"{sorted(unknown)}; known: "
+                    f"{sorted(_ACTION_KEYS[action])}")
+            if action in ("degrade", "partition", "heal") \
+                    and topology.network is None:
+                raise SpecError(
+                    f"fault event {index}: network fault on a wire-less "
+                    f"topology {topology.kind!r}")
+            if action in ("kill", "restart") \
+                    and topology.kind not in ("procpool", "replicated"):
+                raise SpecError(
+                    f"fault event {index}: {action} needs a procpool or "
+                    f"replicated topology, got {topology.kind!r}")
+            event["action"] = action
+            event["_index"] = index
+            if at_phase is not None:
+                self._by_phase.setdefault(str(at_phase), []).append(event)
+            else:
+                self._by_op.append((int(at), event))
+        self._by_op.sort(key=lambda pair: pair[0])
+        self._cursor = 0
+
+    # -- firing ------------------------------------------------------------
+    def fire_phase(self, phase_name: str, runner) -> int:
+        """Fire every event pinned to *phase_name*'s start."""
+        fired = 0
+        for event in self._by_phase.get(phase_name, ()):
+            self._apply(event, runner)
+            fired += 1
+        return fired
+
+    def fire_op(self, global_index: int, runner) -> int:
+        """Fire every event whose op index has come due."""
+        fired = 0
+        while (self._cursor < len(self._by_op)
+               and self._by_op[self._cursor][0] <= global_index):
+            self._apply(self._by_op[self._cursor][1], runner)
+            self._cursor += 1
+            fired += 1
+        return fired
+
+    def heal_all(self) -> None:
+        """Restore the baseline policy on every channel any event
+        degraded (the runner calls this before the settle audit)."""
+        topology = self._topology
+        if topology.network is None:
+            return
+        baseline = FaultPolicy(latency=topology.cfg["wire_latency"])
+        for sender, recipient in self._touched:
+            topology.network.set_policy(sender, recipient, baseline)
+
+    # -- the actions -------------------------------------------------------
+    def _apply(self, event: dict, runner) -> None:
+        action = event["action"]
+        topology = self._topology
+        self.fired += 1
+        runner.note_fault(event)
+        if action in ("degrade", "partition", "heal"):
+            if action == "degrade":
+                params = {key: event[key] for key in _POLICY_KEYS
+                          if key in event}
+                params.setdefault("latency", topology.cfg["wire_latency"])
+                policy = FaultPolicy(
+                    seed=event.get(
+                        "seed", runner.spec["seed"] + event["_index"]),
+                    **params)
+            elif action == "partition":
+                policy = FaultPolicy(drop=1.0)
+            else:
+                policy = FaultPolicy(latency=topology.cfg["wire_latency"])
+            for sender, recipient in _channels(topology, event):
+                topology.network.set_policy(sender, recipient, policy)
+                self._touched.add((sender, recipient))
+            return
+        if action in ("kill", "restart"):
+            if topology.kind == "procpool":
+                worker = event.get("worker", event.get("shard"))
+                if worker is None:
+                    raise SpecError(f"{action} needs a worker index")
+                if action == "kill":
+                    topology.pool.kill_worker(int(worker))
+                else:
+                    topology.pool.revive_worker(int(worker))
+                return
+            # Replicated: death is indistinguishable from total partition
+            # at the coordinator, so that is exactly how it is injected.
+            policy = FaultPolicy(drop=1.0) if action == "kill" \
+                else FaultPolicy(latency=topology.cfg["wire_latency"])
+            for sender, recipient in _channels(topology, event):
+                topology.network.set_policy(sender, recipient, policy)
+                self._touched.add((sender, recipient))
+            if action == "restart":
+                runner.engine.maintain()
+            return
+        if action == "crash_recover":
+            topology.crash_recover_shard(int(event.get("shard", 0)))
+            return
+        if action == "deadline":
+            seconds = event.get("seconds")
+            runner.set_deadline(None if seconds is None
+                                else float(seconds))
+            return
+        if action == "policy":
+            runner.set_policy(event.get("policy"))
+            return
+        if action == "reshard":
+            runner.start_reshard(int(event["new_n"]),
+                                 int(event.get("step_every", 16)))
+            return
+        if action == "mount":
+            runner.mount_tenant(event["tenant"])
+            return
+        if action == "unmount":
+            runner.unmount_tenant(event["tenant"])
+            return
+        raise AssertionError(f"unreachable action {action!r}")

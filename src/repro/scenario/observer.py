@@ -1,0 +1,111 @@
+"""Phase observers: metrics scraped at every phase boundary.
+
+The harness borrows the evaluation-harness split named in ROADMAP.md —
+config / runner / observer / aggregator — and this module is the
+observer leg.  A :class:`PhaseObserver` snapshots the shared
+:class:`~repro.serve.metrics.MetricsRegistry` when a phase opens and
+diffs it when the phase closes, so every phase record carries exactly
+the counter increments, histogram mass, channel traffic and fault
+injections that happened *inside* it.  Gauges are sampled (last value
+wins), not diffed — a queue depth is a level, not a flow.
+
+Deltas rather than absolutes matter because fault phases overlap
+recovery phases in their effects: "retries happened" is useless,
+"retries happened during the partition phase and stopped in the heal
+phase" is the actual robustness claim the scenario makes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PhaseObserver"]
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    out = {}
+    for name, value in after.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out
+
+
+def _histogram_delta(before: dict, after: dict) -> dict:
+    out = {}
+    for name, hist in after.items():
+        prev = before.get(name)
+        count = hist["count"] - (prev["count"] if prev else 0)
+        if count:
+            out[name] = {
+                "count": count,
+                "sum": round(hist["sum"] - (prev["sum"] if prev else 0.0), 9),
+            }
+    return out
+
+
+def _channel_delta(before: dict, after: dict) -> dict:
+    out = {}
+    for name, stats in after.items():
+        prev = before.get(name, {})
+        delta = {key: value - prev.get(key, 0)
+                 for key, value in stats.items()
+                 if isinstance(value, (int, float))}
+        delta = {key: value for key, value in delta.items() if value}
+        if delta:
+            out[name] = delta
+    return out
+
+
+class PhaseObserver:
+    """Collects one record per phase from the run's shared registry.
+
+    Usage is a strict open/close protocol per phase::
+
+        observer.open_phase("steady", clock())
+        ... run the phase ...
+        record = observer.close_phase(clock(), extra={...})
+
+    ``extra`` is the runner's own bookkeeping for the phase (op counts,
+    availability, faults fired) and is merged into the record verbatim.
+    """
+
+    def __init__(self, metrics, network=None):
+        self._metrics = metrics
+        self._network = network
+        self._open: dict | None = None
+        self.records: list[dict] = []
+
+    def open_phase(self, name: str, now: float) -> None:
+        if self._open is not None:
+            raise RuntimeError(
+                f"phase {self._open['name']!r} is still open")
+        self._open = {
+            "name": name,
+            "start": now,
+            "snapshot": self._metrics.snapshot(),
+            "faults": dict(self._network.faults) if self._network else {},
+        }
+
+    def close_phase(self, now: float, extra: dict | None = None) -> dict:
+        if self._open is None:
+            raise RuntimeError("no phase is open")
+        opened, self._open = self._open, None
+        before, after = opened["snapshot"], self._metrics.snapshot()
+        record = {
+            "phase": opened["name"],
+            "sim_seconds": round(now - opened["start"], 9),
+            "counters": _counter_delta(before["counters"],
+                                       after["counters"]),
+            "gauges": {name: value
+                       for name, value in after["gauges"].items()},
+            "histograms": _histogram_delta(before["histograms"],
+                                           after["histograms"]),
+            "channels": _channel_delta(before["channels"],
+                                       after["channels"]),
+        }
+        if self._network is not None:
+            record["injected_faults"] = _counter_delta(
+                opened["faults"], dict(self._network.faults))
+        if extra:
+            record.update(extra)
+        self.records.append(record)
+        return record

@@ -1,0 +1,408 @@
+"""The scenario runner: replay a spec through the real serving stack.
+
+:class:`ScenarioRunner` is the executor leg of the harness's
+config / runner / observer / aggregator split.  One :meth:`run` does,
+in order:
+
+1. build the simulated time base (:class:`~repro.scenario.clock.SimClock`
+   behind a :class:`~repro.serve.metrics.MetricsRegistry`) and the
+   declared topology, engine, workload generator, oracle and fault
+   schedule;
+2. replay each phase's op stream through the **real**
+   :class:`~repro.serve.engine.ServingEngine` — closed (submit, pump,
+   advance) or open (rate-driven arrivals, the queue absorbs bursts) —
+   firing fault events at their declared op indices and phase starts;
+3. classify every completed op (see below) and feed the oracle;
+4. after the last phase: finish any in-flight reshard, heal every
+   degraded channel, let replica sets repair, then run the settle
+   audit and the conservation check.
+
+**Outcome classification** is the crux of zero-wrong-answer checking
+under faults.  Every write lands in exactly one bucket:
+
+- *acked* — the future resolved; the write is durably in the fleet and
+  goes into both reference filters;
+- *refused* — the stack guaranteed no shard state moved: typed
+  :class:`~repro.serve.engine.Overloaded` admission refusals,
+  :class:`~repro.tenancy.tree.UnknownTenant`, semantic ``ValueError`` /
+  ``TypeError``, and :class:`~repro.serve.resilience.DeadlineExceeded`
+  carrying the ``unexecuted`` guarantee.  Touches neither reference;
+- *ambiguous* — the op *may* have executed (transport gave up
+  mid-flight, quorum timed out, lock abandoned):
+  :class:`~repro.serve.ha.Unavailable`,
+  :class:`~repro.db.transport.DeliveryFailed`,
+  :class:`~repro.persist.LockTimeout`,
+  :class:`~repro.serve.remote.RemoteShardError`, and executed
+  ``DeadlineExceeded``.  Widens the oracle's bounding pair on the
+  matching side.
+
+Anything else raises :class:`ScenarioError` — an unclassifiable failure
+is a harness bug or a stack bug, and the run must say so rather than
+absorb it into "ambiguous".
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import deque
+
+from repro.db.transport import DeliveryFailed
+from repro.persist import LockTimeout
+from repro.scenario.clock import SimClock
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.observer import PhaseObserver
+from repro.scenario.oracle import (ACKED, AMBIGUOUS, REFUSED, OracleChecker,
+                                   OracleViolation)
+from repro.scenario.spec import SpecError, load_spec
+from repro.scenario.topology import build_topology
+from repro.scenario.workload import WorkloadGenerator
+from repro.serve.engine import (Overloaded, ServingEngine, reject_new,
+                                shed_oldest)
+from repro.serve.ha import Unavailable
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.remote import RemoteShardError
+from repro.serve.resilience import DeadlineExceeded
+from repro.tenancy.tree import UnknownTenant
+
+__all__ = ["ScenarioRunner", "ScenarioError", "REPORT_VERSION",
+           "run_scenario"]
+
+#: bump when the report dict's shape changes (aggregator/baseline contract)
+REPORT_VERSION = 1
+
+_POLICIES = {"reject_new": reject_new, "shed_oldest": shed_oldest}
+
+#: the stack promised no shard state moved (note: UnknownTenant is a
+#: ValueError subclass — listed for the docs' sake)
+_REFUSALS = (Overloaded, UnknownTenant, ValueError, TypeError)
+
+#: the op may or may not have executed — the oracle must widen
+_AMBIGUOUS = (Unavailable, DeliveryFailed, LockTimeout, RemoteShardError)
+
+_UNSET = object()
+
+
+class ScenarioError(RuntimeError):
+    """The run failed outside the oracle's vocabulary (a harness or
+    stack bug surfaced an unclassifiable exception)."""
+
+
+class ScenarioRunner:
+    """Replays one scenario spec and referees it; see the module doc.
+
+    Args:
+        spec_source: anything :func:`~repro.scenario.spec.load_spec`
+            takes — dict, YAML text, or a path.
+        workdir: directory for durable shard state.  Defaults to a
+            fresh temp dir when the topology needs one.
+    """
+
+    def __init__(self, spec_source, *, workdir: str | None = None):
+        self.spec = load_spec(spec_source)
+        self.clock = SimClock()
+        self.metrics = MetricsRegistry(clock=self.clock)
+        if workdir is None and self.spec["topology"]["durable"]:
+            workdir = tempfile.mkdtemp(prefix="scenario-")
+        self.topology = build_topology(self.spec, self.clock, self.metrics,
+                                       workdir=workdir)
+        engine_cfg = self.spec["engine"]
+        self.engine = ServingEngine(
+            self.topology.router,
+            max_queue=engine_cfg["max_queue"],
+            batch_size=engine_cfg["batch_size"],
+            policy=_POLICIES[engine_cfg["policy"]],
+            maintenance_every=engine_cfg["maintenance_every"],
+            metrics=self.metrics)
+        self.generator = WorkloadGenerator(
+            self.spec["workload"], self.spec["seed"],
+            tenants=self.topology.tenants
+            if self.topology.kind == "tenants" else None)
+        self.oracle = OracleChecker(self.spec, self.topology)
+        self.schedule = FaultSchedule(self.spec["faults"], self.topology)
+        self.observer = PhaseObserver(self.metrics, self.topology.network)
+        self.faults_log: list[dict] = []
+        self.failures: list[str] = []
+        self._forced_deadline: object = _UNSET
+        self._reshard = None
+        self._reshard_every = 16
+        self._reshard_ops = 0
+        self._pending: deque = deque()
+        self._global_index = 0
+        self._phase_stats: dict | None = None
+        self._stats = {"submitted": 0, "ok": 0, "refused": 0,
+                       "ambiguous": 0, "acked_writes": 0, "reads": 0}
+
+    # -- fault-schedule callbacks (FaultSchedule._apply drives these) ------
+    def note_fault(self, event: dict) -> None:
+        entry = {key: value for key, value in event.items()
+                 if not key.startswith("_")}
+        entry["fired_at_op"] = self._global_index
+        self.faults_log.append(entry)
+        self.metrics.counter("scenario.faults_fired").inc()
+
+    def set_deadline(self, seconds: float | None) -> None:
+        """Runtime deadline pressure: overrides every phase's deadline
+        until cleared with ``seconds: null``."""
+        self._forced_deadline = _UNSET if seconds is None else seconds
+
+    def set_policy(self, name: str) -> None:
+        if name not in _POLICIES:
+            raise SpecError(f"unknown admission policy {name!r}; known: "
+                            f"{sorted(_POLICIES)}")
+        self.engine.policy = _POLICIES[name]
+
+    def start_reshard(self, new_n: int, step_every: int) -> None:
+        if self._reshard is not None:
+            raise SpecError("a reshard is already in flight")
+        self._reshard = self.topology.router.start_reshard(new_n)
+        self._reshard_every = max(1, step_every)
+        self._reshard_ops = 0
+
+    def mount_tenant(self, tenant: object) -> None:
+        self.topology.directory.mount(
+            tenant, method=self.topology.cfg["method"])
+        if tenant not in self.topology.tenants:
+            self.topology.tenants.append(tenant)
+        self.oracle.mount_tenant(tenant)
+
+    def unmount_tenant(self, tenant: object) -> None:
+        self.topology.directory.unmount(tenant)
+        if tenant in self.topology.tenants:
+            self.topology.tenants.remove(tenant)
+        self.generator.drop_tenant(tenant)
+        self.oracle.unmount_tenant(tenant)
+
+    # -- op lifecycle ------------------------------------------------------
+    def _effective_deadline(self, phase: dict) -> float | None:
+        if self._forced_deadline is not _UNSET:
+            return self._forced_deadline  # type: ignore[return-value]
+        return phase["deadline"]
+
+    def _submit(self, op, deadline: float | None) -> None:
+        self._stats["submitted"] += 1
+        self._phase_stats["submitted"] += 1
+        try:
+            future = self.engine.submit(*op.as_submit_args(),
+                                        timeout=deadline)
+        except Overloaded as exc:
+            self._record_failure(op, exc)
+            return
+        self._pending.append((op, future))
+
+    def _resolve_pending(self) -> None:
+        # Completion order is a prefix of submission order: the queue
+        # pops batches from the front and shedding evicts the oldest,
+        # so a done future never hides behind a pending one.
+        while self._pending and self._pending[0][1].done():
+            op, future = self._pending.popleft()
+            exc = future.exception()
+            if exc is None:
+                self._record_success(op, future.result())
+            else:
+                self._record_failure(op, exc)
+
+    def _record_success(self, op, value) -> None:
+        self._stats["ok"] += 1
+        self._phase_stats["ok"] += 1
+        if op.verb in ("query", "contains"):
+            self._stats["reads"] += 1
+            self.oracle.check_read(op, value)
+        else:
+            self._stats["acked_writes"] += 1
+            self.oracle.note_write(op, ACKED)
+            self.generator.note_acked(op)
+
+    def _classify(self, exc: BaseException) -> str:
+        if isinstance(exc, DeadlineExceeded):
+            return REFUSED if getattr(exc, "unexecuted", False) \
+                else AMBIGUOUS
+        if isinstance(exc, _AMBIGUOUS):
+            return AMBIGUOUS
+        if isinstance(exc, _REFUSALS):
+            return REFUSED
+        raise ScenarioError(
+            f"unclassifiable failure {type(exc).__name__}: {exc}") from exc
+
+    def _record_failure(self, op, exc: BaseException) -> None:
+        outcome = self._classify(exc)
+        self._stats[outcome] += 1
+        self._phase_stats[outcome] += 1
+        if op.verb in ("insert", "delete"):
+            self.oracle.note_write(op, outcome)
+
+    def _maybe_step_reshard(self) -> None:
+        if self._reshard is None:
+            return
+        self._reshard_ops += 1
+        if self._reshard_ops % self._reshard_every:
+            return
+        if self._reshard.done:
+            self._reshard.commit()
+            self._reshard = None
+        else:
+            self._reshard.step()
+
+    def _finish_reshard(self) -> None:
+        if self._reshard is not None:
+            while not self._reshard.done:
+                self._reshard.step()
+            self._reshard.commit()
+            self._reshard = None
+
+    # -- the traffic loops -------------------------------------------------
+    def _run_closed(self, phase: dict) -> None:
+        spacing = phase["arrival"]["spacing"]
+        for _ in range(phase["ops"]):
+            self.schedule.fire_op(self._global_index, self)
+            op = self.generator.next_op(phase["mix"])
+            self._submit(op, self._effective_deadline(phase))
+            self._global_index += 1
+            self.engine.pump()
+            self._resolve_pending()
+            self.clock.advance(spacing)
+            self._maybe_step_reshard()
+
+    def _run_open(self, phase: dict) -> None:
+        arrival = phase["arrival"]
+        interval = 1.0 / float(arrival["rate"])
+        tick = float(arrival["tick"])
+        pumps = int(arrival["pumps_per_tick"])
+        next_arrival = self.clock.now
+        submitted = 0
+        while submitted < phase["ops"]:
+            while submitted < phase["ops"] \
+                    and next_arrival <= self.clock.now + 1e-12:
+                self.schedule.fire_op(self._global_index, self)
+                op = self.generator.next_op(phase["mix"])
+                self._submit(op, self._effective_deadline(phase))
+                self._global_index += 1
+                submitted += 1
+                next_arrival += interval
+                self._maybe_step_reshard()
+            for _ in range(pumps):
+                self.engine.pump()
+            self._resolve_pending()
+            self.clock.advance(tick)
+
+    def _availability_floor(self, phase_name: str) -> float:
+        floor = self.spec["oracle"]["min_availability"]
+        if isinstance(floor, dict):
+            return float(floor.get(phase_name, 0.0))
+        return float(floor)
+
+    # -- the run -----------------------------------------------------------
+    def run(self, *, strict: bool = True) -> dict:
+        """Execute the scenario; returns the versioned report dict.
+
+        With *strict* (the default) any oracle violation, availability
+        breach or conservation failure raises; with ``strict=False`` the
+        report carries ``pass: false`` and a ``failures`` list instead.
+        """
+        try:
+            report = self._run()
+        finally:
+            self.topology.close()
+        if strict and not report["pass"]:
+            raise OracleViolation("; ".join(report["failures"]))
+        return report
+
+    def _run(self) -> dict:
+        availability: dict[str, float] = {}
+        for phase in self.spec["phases"]:
+            self.schedule.fire_phase(phase["name"], self)
+            self.observer.open_phase(phase["name"], self.clock.now)
+            self._phase_stats = {"submitted": 0, "ok": 0, "refused": 0,
+                                 "ambiguous": 0}
+            if phase["arrival"]["pattern"] == "closed":
+                self._run_closed(phase)
+            else:
+                self._run_open(phase)
+            self.engine.drain()
+            self._resolve_pending()
+            stats = self._phase_stats
+            phase_availability = stats["ok"] / stats["submitted"] \
+                if stats["submitted"] else 1.0
+            availability[phase["name"]] = round(phase_availability, 6)
+            floor = self._availability_floor(phase["name"])
+            if phase_availability < floor:
+                self.failures.append(
+                    f"phase {phase['name']!r} availability "
+                    f"{phase_availability:.4f} below floor {floor:.4f}")
+            self.observer.close_phase(self.clock.now, extra={
+                "ops": dict(stats),
+                "availability": availability[phase["name"]],
+            })
+        assert not self._pending, "unresolved futures after drain"
+
+        self._finish_reshard()
+        self.schedule.heal_all()
+        oracle_cfg = self.spec["oracle"]
+        audit_checked = 0
+        if oracle_cfg["settle"]:
+            self.topology.settle()
+            self.engine.maintain()
+            audit_checked = self._settle_audit()
+        conservation = self.oracle.check_conservation() \
+            if oracle_cfg["conservation"] else None
+
+        try:
+            self.oracle.assert_clean()
+        except OracleViolation as exc:
+            self.failures.append(str(exc))
+        report = {
+            "version": REPORT_VERSION,
+            "name": self.spec["name"],
+            "description": self.spec["description"],
+            "seed": self.spec["seed"],
+            "topology": {
+                "kind": self.topology.kind,
+                "shards": self.topology.cfg["shards"],
+                "rf": self.topology.cfg["rf"]
+                if self.topology.kind == "replicated" else None,
+                "durable": self.topology.cfg["durable"],
+            },
+            "sim_seconds": round(self.clock.now, 9),
+            "ops": dict(self._stats),
+            "availability": availability,
+            "phases": self.observer.records,
+            "faults_fired": self.schedule.fired,
+            "faults": self.faults_log,
+            "oracle": self.oracle.report(),
+            "audit_checked": audit_checked,
+            "conservation": conservation,
+            "failures": list(self.failures),
+        }
+        report["pass"] = not self.failures
+        return report
+
+    def _settle_audit(self) -> int:
+        """Re-query a deterministic sample of acknowledged keys (plus a
+        few definite misses) through the healed fleet."""
+        sample = int(self.spec["oracle"]["audit_sample"])
+        keys = list(self.generator.live_sample(sample))
+        if self.topology.kind == "tenants":
+            live = set(self.topology.tenants)
+            keys = [key for key in keys if key[0] in live]
+            if live:
+                anchor = sorted(live, key=repr)[0]
+                keys += [(anchor, f"miss:audit:{i}") for i in range(8)]
+        else:
+            keys += [f"miss:audit:{i}" for i in range(8)]
+
+        def query_fn(key):
+            future = self.engine.submit("query", key)
+            self.engine.drain()
+            exc = future.exception()
+            if exc is not None:
+                raise ScenarioError(
+                    f"settle audit query failed after healing: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            return future.result()
+
+        return self.oracle.audit(keys, query_fn)
+
+
+def run_scenario(spec_source, *, strict: bool = True,
+                 workdir: str | None = None) -> dict:
+    """One-call convenience: build a runner, run it, return the report."""
+    return ScenarioRunner(spec_source, workdir=workdir).run(strict=strict)

@@ -1,0 +1,85 @@
+"""The six seed scenarios shipped with the harness.
+
+Each seed is a YAML spec under ``specs/`` exercising one application
+shape from the paper on one rung of the serving ladder, with a fault
+schedule aimed at that rung's weak point:
+
+=======================  ==========  =======================================
+seed                     topology    chaos
+=======================  ==========  =======================================
+cdn_hot_objects          replicated  gray slowness burst, open arrivals
+iceberg_alerting         durable     crash-WAL recovery + deadline pressure
+rate_limiter             procpool    worker SIGKILL + respawn
+bloomjoin_packet_loss    replicated  packet loss + duplication on one shard
+rolling_reshard_churn    sharded     live reshard 4 -> 6 + policy swap
+tenant_storm             tenants     mount/unmount storm
+=======================  ==========  =======================================
+
+:func:`load_seed` returns the normalised spec; ``quick=True`` scales
+every phase down by :data:`QUICK_FACTOR` for CI, remapping each fault's
+``at`` index proportionally *within its phase* (so events keep firing
+in the same phase at the same relative point) and shrinking reshard
+step cadence to match.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+
+from repro.scenario.spec import SpecError, load_spec
+
+__all__ = ["SEED_NAMES", "QUICK_FACTOR", "seed_path", "load_seed"]
+
+SEED_NAMES = ("cdn_hot_objects", "iceberg_alerting", "rate_limiter",
+              "bloomjoin_packet_loss", "rolling_reshard_churn",
+              "tenant_storm")
+
+#: quick mode divides every phase's op count by this (floor 50 ops)
+QUICK_FACTOR = 4
+_QUICK_FLOOR = 50
+
+_SPEC_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "specs")
+
+
+def seed_path(name: str) -> str:
+    """Absolute path of a seed's YAML file."""
+    if name not in SEED_NAMES:
+        raise SpecError(f"unknown seed scenario {name!r}; "
+                        f"known: {list(SEED_NAMES)}")
+    return os.path.join(_SPEC_DIR, f"{name}.yaml")
+
+
+def _quick_scaled(spec: dict) -> dict:
+    spec = copy.deepcopy(spec)
+    old_ops = [phase["ops"] for phase in spec["phases"]]
+    new_ops = [max(_QUICK_FLOOR, ops // QUICK_FACTOR) for ops in old_ops]
+    old_starts, new_starts = [0], [0]
+    for old, new in zip(old_ops, new_ops):
+        old_starts.append(old_starts[-1] + old)
+        new_starts.append(new_starts[-1] + new)
+    for phase, ops in zip(spec["phases"], new_ops):
+        phase["ops"] = ops
+    for event in spec["faults"]:
+        if "at" in event and event["at"] is not None:
+            at = int(event["at"])
+            # Last phase containing (or preceding) the index.
+            p = max(0, min(len(old_ops) - 1,
+                           sum(1 for s in old_starts[1:] if s <= at)))
+            offset = min(at - old_starts[p], old_ops[p])
+            event["at"] = new_starts[p] + offset * new_ops[p] // old_ops[p]
+        if "step_every" in event and event["step_every"] is not None:
+            event["step_every"] = max(
+                1, int(event["step_every"]) // QUICK_FACTOR)
+    return spec
+
+
+def load_seed(name: str, *, quick: bool = False) -> dict:
+    """Load one seed scenario as a normalised spec dict."""
+    spec = load_spec(seed_path(name))
+    if quick:
+        # The scaled dict re-validates through load_spec: scaling must
+        # never produce a spec the runner would not accept from a user.
+        spec = load_spec(_quick_scaled(spec))
+    return spec

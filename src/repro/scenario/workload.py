@@ -1,0 +1,205 @@
+"""Deterministic workload generation for scenario replay.
+
+One :class:`WorkloadGenerator` per scenario turns the spec's workload
+block into a reproducible op stream: key ranks come from the repo's own
+:class:`~repro.data.zipf.ZipfDistribution` (the paper's workload model),
+op verbs from a seeded mix draw, and every random decision hangs off the
+scenario seed — the same spec always replays the same stream, which is
+what lets the oracle demand bit-identical answers.
+
+Three key distributions:
+
+- ``zipf``: ranks drawn from ``ZipfDistribution(n, skew)`` — the CDN /
+  iceberg / hotlist shape where a few keys dominate;
+- ``uniform``: ranks uniform over ``n`` — the rate-limiter shape where
+  every client is equally likely;
+- ``adversarial``: a hot set of ``hot`` keys takes ``hot_fraction`` of
+  the traffic (the deliberate hot-shard / hot-counter attack), the rest
+  uniform over ``n``.
+
+Deletes are only generated for keys whose *acknowledged* count is
+positive (the generator tracks the live multiset), so a scenario never
+manufactures semantic errors; a delete drawn with nothing to delete
+degrades to an insert.  Bulk traffic is modelled as bursts: with
+probability ``bulk_fraction`` the generator emits ``bulk_size`` ops of
+one verb back-to-back, which the engine's batcher then coalesces — the
+serving stack's actual bulk path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.zipf import ZipfDistribution
+
+__all__ = ["Op", "WorkloadGenerator"]
+
+
+class Op:
+    """One generated operation (plus the bookkeeping the oracle needs)."""
+
+    __slots__ = ("verb", "key", "count", "threshold")
+
+    def __init__(self, verb: str, key: object, count: int = 1,
+                 threshold: int = 1):
+        self.verb = verb
+        self.key = key
+        self.count = count
+        self.threshold = threshold
+
+    def as_submit_args(self) -> tuple:
+        """The ``(verb, key[, arg])`` tuple ``ServingEngine.submit`` takes."""
+        if self.verb in ("insert", "delete"):
+            return (self.verb, self.key, self.count)
+        if self.verb == "contains":
+            return (self.verb, self.key, self.threshold)
+        return (self.verb, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.verb} {self.key!r} x{self.count})"
+
+
+class WorkloadGenerator:
+    """Seeded op-stream generator over a normalised workload block.
+
+    Args:
+        workload: the spec's (normalised) ``workload`` dict.
+        seed: scenario seed; every internal RNG derives from it.
+        tenants: for tenant topologies, the live tenant list — keys are
+            emitted as composite ``(tenant, key)`` pairs drawn uniformly
+            over whatever the list holds *at generation time* (the
+            runner mutates it on mount/unmount events).
+    """
+
+    def __init__(self, workload: dict, seed: int, *,
+                 tenants: list | None = None):
+        self._workload = workload
+        self._rng = random.Random(seed ^ 0x5BF)
+        self._keys_cfg = workload["keys"]
+        self._tenants = tenants
+        self._zipf_ranks: list[int] = []
+        self._zipf_draws = 0
+        self._seed = seed
+        # The acknowledged multiset: delete targets come from here so a
+        # generated delete always has something to remove.  The *runner*
+        # confirms/cancels after the fleet acks or refuses the write.
+        self._live: dict[object, int] = {}
+        self._live_keys: list[object] = []
+        self._burst: list[Op] = []
+
+    # -- key material ------------------------------------------------------
+    def _rank(self) -> int:
+        cfg = self._keys_cfg
+        if cfg["dist"] == "zipf":
+            if not self._zipf_ranks:
+                dist = ZipfDistribution(cfg["n"], cfg["skew"])
+                sample = dist.sample(
+                    4096, seed=(self._seed + self._zipf_draws) & 0x7FFFFFFF)
+                self._zipf_ranks = [int(r) for r in sample][::-1]
+                self._zipf_draws += 1
+            return self._zipf_ranks.pop()
+        if cfg["dist"] == "adversarial" \
+                and self._rng.random() < cfg["hot_fraction"]:
+            return self._rng.randrange(cfg["hot"])
+        return self._rng.randrange(cfg["n"])
+
+    def _key(self) -> object:
+        key = f"k:{self._rank()}"
+        if self._tenants is not None:
+            if not self._tenants:
+                raise RuntimeError("no tenant is mounted; the fault "
+                                   "schedule unmounted them all")
+            return (self._rng.choice(self._tenants), key)
+        return key
+
+    def _absent_key(self) -> object:
+        key = f"miss:{self._rng.randrange(1 << 30)}"
+        if self._tenants is not None:
+            return (self._rng.choice(self._tenants), key)
+        return key
+
+    # -- the acknowledged multiset (runner feedback) -----------------------
+    def note_acked(self, op: Op) -> None:
+        """Record an acknowledged write so deletes stay well-founded."""
+        if op.verb == "insert":
+            if op.key not in self._live:
+                self._live_keys.append(op.key)
+            self._live[op.key] = self._live.get(op.key, 0) + op.count
+        elif op.verb == "delete":
+            left = self._live.get(op.key, 0) - op.count
+            if left > 0:
+                self._live[op.key] = left
+            else:
+                self._live.pop(op.key, None)
+
+    def live_sample(self, n: int) -> list:
+        """The first *n* keys with positive acknowledged count, in first-
+        insertion order — the settle audit's deterministic sample."""
+        out = []
+        for key in self._live_keys:
+            if self._live.get(key, 0) > 0:
+                out.append(key)
+                if len(out) >= n:
+                    break
+        return out
+
+    def drop_tenant(self, tenant: object) -> None:
+        """Forget a tenant's keys (its filter was unmounted)."""
+        dead = [key for key in self._live
+                if isinstance(key, tuple) and key[0] == tenant]
+        for key in dead:
+            del self._live[key]
+
+    def _deletable(self) -> Op | None:
+        for _ in range(8):
+            if not self._live:
+                return None
+            key = self._rng.choice(self._live_keys)
+            count = self._live.get(key, 0)
+            if count > 0:
+                if self._tenants is not None \
+                        and key[0] not in self._tenants:
+                    continue
+                return Op("delete", key, 1)
+            self._live_keys.remove(key)
+        return None
+
+    # -- op stream ---------------------------------------------------------
+    def _draw_verb(self, mix: dict) -> str:
+        u = self._rng.random()
+        for verb, p in mix.items():
+            if u < p:
+                return verb
+            u -= p
+        return next(iter(mix))
+
+    def _one(self, mix: dict) -> Op:
+        verb = self._draw_verb(mix)
+        if verb == "insert":
+            return Op("insert", self._key(),
+                      self._rng.randint(
+                          1, self._workload["insert_count_max"]))
+        if verb == "delete":
+            op = self._deletable()
+            return op if op is not None else Op(
+                "insert", self._key(), 1)
+        if verb == "contains":
+            return Op("contains", self._key(),
+                      threshold=self._workload["contains_threshold"])
+        # query: mostly present-distribution keys, some definite misses
+        # (false-positive territory — still bit-identical to the oracle).
+        if self._rng.random() < self._workload["absent_fraction"]:
+            return Op("query", self._absent_key())
+        return Op("query", self._key())
+
+    def next_op(self, mix: dict) -> Op:
+        """The next op of the stream under *mix* (phase-resolved)."""
+        if self._burst:
+            return self._burst.pop()
+        if self._workload["bulk_fraction"] > 0 \
+                and self._rng.random() < self._workload["bulk_fraction"]:
+            verb = self._draw_verb(mix)
+            size = self._workload["bulk_size"]
+            self._burst = [self._one({verb: 1.0}) for _ in range(size - 1)]
+            self._burst.reverse()
+        return self._one(mix)

@@ -123,7 +123,7 @@ class ShardBatcher:
                 # timeout to zero: the expired op never reaches a shard,
                 # its shard-mates keep their time budget.
                 try:
-                    deadline.check(ops[idx][0])
+                    deadline.check(ops[idx][0], unexecuted=True)
                 except DeadlineExceeded as exc:
                     results[idx] = exc
                 continue
@@ -145,7 +145,8 @@ class ShardBatcher:
                         try:
                             deadline = deadlines[idx]
                             if deadline is not None:
-                                deadline.check(ops[idx][0])
+                                deadline.check(ops[idx][0],
+                                               unexecuted=True)
                             with deadline_scope(deadline):
                                 results[idx] = _apply(raw, ops[idx])
                         except Exception as exc:

@@ -180,10 +180,22 @@ class ServingEngine:
             self._queue.append(request)
             self.metrics.gauge("engine.queue_depth").set(len(self._queue))
         if shed is not None:
-            self.metrics.counter("engine.shed_total").inc()
-            shed.future.set_exception(Overloaded(
-                f"shed after {self.max_queue} newer arrivals",
-                self.max_queue, self.max_queue))
+            if shed.deadline is not None and shed.deadline.expired:
+                # The victim was already dead on arrival of the shed: its
+                # caller stopped waiting while it queued.  That is one
+                # event, counted once — a deadline expiry, not a shed
+                # (the queue slot was free either way), surfacing as one
+                # typed DeadlineExceeded with the unexecuted guarantee.
+                self.metrics.counter("engine.deadline_expired_total").inc()
+                self.metrics.counter("engine.failed").inc()
+                shed.future.set_exception(DeadlineExceeded(
+                    f"{shed.op[0]} expired while queued (evicted by a "
+                    f"newer arrival)", unexecuted=True))
+            else:
+                self.metrics.counter("engine.shed_total").inc()
+                shed.future.set_exception(Overloaded(
+                    f"shed after {self.max_queue} newer arrivals",
+                    self.max_queue, self.max_queue))
         self.metrics.counter("engine.accepted").inc()
         return request.future
 
@@ -223,7 +235,7 @@ class ServingEngine:
                 self.metrics.counter("engine.failed").inc()
                 request.future.set_exception(DeadlineExceeded(
                     f"{request.op[0]} expired after queueing "
-                    f"{now - request.enqueued_at:.4f}s"))
+                    f"{now - request.enqueued_at:.4f}s", unexecuted=True))
             else:
                 batch.append(request)
         if not batch:

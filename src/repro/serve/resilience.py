@@ -72,11 +72,20 @@ class DeadlineExceeded(RuntimeError):
     Attributes:
         overrun: seconds past the deadline at the moment of the check
             (0.0 when raised exactly at expiry).
+        unexecuted: ``True`` when the refusal provably happened *before*
+            the operation touched any shard state (failed in queue, shed
+            at admission, pre-failed by the batcher or router) — the
+            caller may retry without at-most-once ambiguity, and an
+            oracle can treat the write as never applied.  ``False``
+            (default) means the budget ran out somewhere mid-flight and
+            partial application is possible.
     """
 
-    def __init__(self, message: str, *, overrun: float = 0.0):
+    def __init__(self, message: str, *, overrun: float = 0.0,
+                 unexecuted: bool = False):
         super().__init__(message)
         self.overrun = float(overrun)
+        self.unexecuted = bool(unexecuted)
 
 
 class Deadline:
@@ -117,14 +126,20 @@ class Deadline:
     def expired(self) -> bool:
         return self.remaining() <= 0.0
 
-    def check(self, what: str | None = None) -> None:
-        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+    def check(self, what: str | None = None, *,
+              unexecuted: bool = False) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed.
+
+        Pass ``unexecuted=True`` from pre-execution refusal sites (the
+        operation has not touched shard state yet) so the typed error
+        carries the retry-safety signal.
+        """
         left = self.remaining()
         if left <= 0.0:
             what = what or self.label
             raise DeadlineExceeded(
                 f"{what}: deadline exceeded by {-left:.6f}s",
-                overrun=-left)
+                overrun=-left, unexecuted=unexecuted)
 
     def bounded(self, budget: float) -> "Deadline":
         """The tighter of this deadline and ``now + budget``.

@@ -307,7 +307,7 @@ class ShardedSBF:
         deadline = current_deadline()
         if deadline is not None and deadline.expired:
             self.metrics.counter("router.deadline_refusals").inc()
-            deadline.check(what)
+            deadline.check(what, unexecuted=True)
 
     @property
     def total_count(self) -> int:

@@ -1,0 +1,56 @@
+"""The committed result baselines stay honest.
+
+``benchmarks/results/*.json`` files are checked in so CI can diff a
+fresh run against them.  A baseline that itself records a failure is
+worse than no baseline — ``compare_to_baseline`` would happily report
+"no regression" against an already-red document.  So: every committed
+JSON that carries a ``pass`` verdict must carry ``pass: true``, be
+parseable, and (for the scenario aggregate) keep its oracle counters
+coherent.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenario import SEED_NAMES
+from repro.scenario.aggregator import AGGREGATE_VERSION, compare_to_baseline
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "results")
+
+BASELINES = sorted(name for name in os.listdir(RESULTS_DIR)
+                   if name.endswith(".json"))
+
+
+def _load(name):
+    with open(os.path.join(RESULTS_DIR, name), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_there_are_committed_baselines():
+    assert "scenarios.json" in BASELINES
+
+
+@pytest.mark.parametrize("name", BASELINES)
+def test_every_committed_baseline_passes(name):
+    document = _load(name)
+    if "pass" in document:
+        assert document["pass"] is True, \
+            f"{name} is committed with pass: false"
+
+
+def test_scenario_baseline_is_coherent():
+    document = _load("scenarios.json")
+    assert document["meta"]["benchmark"] == "scenarios"
+    assert document["meta"]["version"] == AGGREGATE_VERSION
+    rows = {row["name"]: row for row in document["scenarios"]}
+    assert set(rows) == set(SEED_NAMES)
+    for name, row in rows.items():
+        assert row["pass"], (name, row["failures"])
+        assert row["wrong_answers"] == 0, name
+        assert row["compared"] > 0, name
+        assert row["faults_fired"] > 0, name
+    # The baseline compared against itself is by definition clean.
+    assert compare_to_baseline(document, document) == []

@@ -23,6 +23,7 @@ CASES = [
     ("ha_failover.py", "anti-entropy repair"),
     ("gray_failure.py", "never correctness"),
     ("multi_tenant.py", "multi-set frequency"),
+    ("scenario_replay.py", "zero wrong answers"),
 ]
 
 

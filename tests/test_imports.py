@@ -11,12 +11,14 @@ import pytest
 
 import repro
 import repro.persist
+import repro.scenario
 import repro.serve
 import repro.tenancy
 
 
 @pytest.mark.parametrize("module",
-                         [repro, repro.persist, repro.serve, repro.tenancy],
+                         [repro, repro.persist, repro.scenario, repro.serve,
+                          repro.tenancy],
                          ids=lambda m: m.__name__)
 def test_every_advertised_name_resolves(module):
     assert module.__all__, f"{module.__name__} advertises nothing"
@@ -26,7 +28,8 @@ def test_every_advertised_name_resolves(module):
 
 
 @pytest.mark.parametrize("module",
-                         [repro, repro.persist, repro.serve, repro.tenancy],
+                         [repro, repro.persist, repro.scenario, repro.serve,
+                          repro.tenancy],
                          ids=lambda m: m.__name__)
 def test_no_duplicate_exports(module):
     assert len(module.__all__) == len(set(module.__all__))
@@ -68,3 +71,14 @@ def test_channel_stats_is_the_transport_one():
     snapshot = stats.as_dict()
     assert snapshot["attempts"] == 0
     assert set(snapshot) == set(ChannelStats.__slots__)
+
+
+def test_scenario_public_surface():
+    expected = {
+        "SimClock", "SpecError", "load_spec", "parse_simple_yaml",
+        "WorkloadGenerator", "build_topology", "FaultSchedule",
+        "OracleChecker", "OracleViolation", "PhaseObserver",
+        "ScenarioRunner", "run_scenario", "aggregate",
+        "compare_to_baseline", "SEED_NAMES", "load_seed",
+    }
+    assert expected <= set(repro.scenario.__all__)

@@ -1,0 +1,414 @@
+"""The chaos-scenario harness (DESIGN.md §13).
+
+Covers the whole pipeline: spec loading/validation (including the
+dependency-free mini-YAML parser's parity with PyYAML where PyYAML is
+installed), seeded workload generation, fault-schedule validation, the
+bounding-pair oracle's envelope arithmetic and its soundness guards,
+quick-mode scaling, and — the point of it all — every shipped seed
+scenario running green under its fault schedule with zero wrong
+answers, twice, byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    Op,
+    OracleChecker,
+    OracleViolation,
+    ScenarioRunner,
+    SEED_NAMES,
+    SimClock,
+    SpecError,
+    WorkloadGenerator,
+    build_topology,
+    load_seed,
+    load_spec,
+    parse_simple_yaml,
+    run_scenario,
+    seed_path,
+)
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.oracle import ACKED, AMBIGUOUS, REFUSED
+from repro.scenario.seeds import QUICK_FACTOR
+from repro.serve import MetricsRegistry
+
+
+def build(spec):
+    clock = SimClock()
+    return build_topology(spec, clock, MetricsRegistry(clock=clock))
+
+
+def minimal_spec(**overrides) -> dict:
+    document = {"name": "t", "phases": [{"name": "only", "ops": 40}]}
+    document.update(overrides)
+    return load_spec(document)
+
+
+# --------------------------------------------------------------------------
+# Spec loading and validation
+# --------------------------------------------------------------------------
+
+class TestSpec:
+    def test_defaults_fill_in(self):
+        spec = minimal_spec()
+        assert spec["topology"]["kind"] == "sharded"
+        assert spec["topology"]["method"] == "ms"
+        assert spec["workload"]["arrival"]["pattern"] == "closed"
+        assert spec["oracle"]["conservation"] is True
+        assert spec["faults"] == []
+
+    def test_unknown_top_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            load_spec({"name": "t", "phases": [{"name": "p", "ops": 1}],
+                       "typo": 1})
+
+    def test_unknown_topology_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            minimal_spec(topology={"shardz": 4})
+
+    def test_bad_topology_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            minimal_spec(topology={"kind": "mainframe"})
+
+    def test_mix_normalises_to_unit_sum(self):
+        spec = minimal_spec(workload={"mix": {"insert": 2, "query": 2}})
+        assert spec["workload"]["mix"] == {"insert": 0.5, "query": 0.5}
+
+    def test_mix_unknown_verb_rejected(self):
+        with pytest.raises(SpecError, match="unknown verb"):
+            minimal_spec(workload={"mix": {"upsert": 1.0}})
+
+    def test_phases_must_be_a_list(self):
+        with pytest.raises(SpecError, match="phases"):
+            load_spec({"name": "t", "phases": 5})
+
+    def test_name_required(self):
+        with pytest.raises(SpecError, match="name"):
+            load_spec({"phases": [{"name": "p", "ops": 1}]})
+
+
+class TestMiniYaml:
+    TEXT = """\
+# comment
+name: demo
+seed: 7
+topology:
+  kind: single   # trailing comment
+  m: 8192
+  durable: true
+  breaker: null
+workload:
+  mix:
+    insert: 0.5
+    query: 0.5
+phases:
+  - name: a
+    ops: 10
+  - name: b
+    ops: 20
+faults:
+  - at: 5
+    action: deadline
+    seconds: 0.25
+"""
+
+    def test_scalars_and_nesting(self):
+        doc = parse_simple_yaml(self.TEXT)
+        assert doc["seed"] == 7
+        assert doc["topology"]["kind"] == "single"
+        assert doc["topology"]["durable"] is True
+        assert doc["topology"]["breaker"] is None
+        assert doc["phases"][1] == {"name": "b", "ops": 20}
+        assert doc["faults"][0]["seconds"] == 0.25
+
+    def test_parity_with_pyyaml_on_seed_specs(self):
+        yaml = pytest.importorskip("yaml")
+        for name in SEED_NAMES:
+            with open(seed_path(name), encoding="utf-8") as fh:
+                text = fh.read()
+            assert parse_simple_yaml(text) == yaml.safe_load(text), name
+
+
+# --------------------------------------------------------------------------
+# Workload generation
+# --------------------------------------------------------------------------
+
+class TestWorkload:
+    def _stream(self, n=200, seed=11):
+        spec = minimal_spec(workload={
+            "mix": {"insert": 0.5, "delete": 0.2, "query": 0.2,
+                    "contains": 0.1}})
+        gen = WorkloadGenerator(spec["workload"], seed)
+        ops = []
+        for _ in range(n):
+            op = gen.next_op(spec["workload"]["mix"])
+            ops.append(op)
+            if op.verb in ("insert", "delete"):
+                gen.note_acked(op)
+        return ops
+
+    def test_deterministic(self):
+        first = [(o.verb, o.key, o.count) for o in self._stream()]
+        second = [(o.verb, o.key, o.count) for o in self._stream()]
+        assert first == second
+
+    def test_deletes_never_overdraw(self):
+        live = {}
+        for op in self._stream(400):
+            if op.verb == "insert":
+                live[op.key] = live.get(op.key, 0) + op.count
+            elif op.verb == "delete":
+                assert live.get(op.key, 0) >= op.count, op
+                live[op.key] -= op.count
+
+    def test_live_sample_tracks_positive_keys(self):
+        spec = minimal_spec()
+        gen = WorkloadGenerator(spec["workload"], 3)
+        for _ in range(50):
+            op = gen.next_op({"insert": 1.0})
+            gen.note_acked(op)
+        sample = gen.live_sample(10)
+        assert 0 < len(sample) <= 10
+        assert len(set(sample)) == len(sample)
+
+
+# --------------------------------------------------------------------------
+# Fault-schedule validation
+# --------------------------------------------------------------------------
+
+class TestFaultValidation:
+    def _topology(self, **overrides):
+        return build(minimal_spec(topology=overrides)
+                     if overrides else minimal_spec())
+
+    def test_unknown_action_rejected(self):
+        topo = self._topology()
+        try:
+            with pytest.raises(SpecError, match="unknown action"):
+                FaultSchedule([{"at": 1, "action": "meteor"}], topo)
+        finally:
+            topo.close()
+
+    def test_trigger_exactly_one(self):
+        topo = self._topology()
+        try:
+            with pytest.raises(SpecError, match="exactly one"):
+                FaultSchedule([{"action": "heal"}], topo)
+            with pytest.raises(SpecError, match="exactly one"):
+                FaultSchedule([{"at": 1, "at_phase": "p",
+                                "action": "heal"}], topo)
+        finally:
+            topo.close()
+
+    def test_unknown_action_key_rejected(self):
+        topo = self._topology()
+        try:
+            with pytest.raises(SpecError, match="unknown key"):
+                FaultSchedule([{"at": 1, "action": "deadline",
+                                "shard": 0}], topo)
+        finally:
+            topo.close()
+
+    def test_network_fault_needs_a_wire(self):
+        # sharded topology is in-process: no channels to degrade
+        topo = self._topology()
+        try:
+            with pytest.raises(SpecError, match="wire-less"):
+                FaultSchedule([{"at": 1, "action": "degrade",
+                                "drop": 0.5}], topo)
+        finally:
+            topo.close()
+
+
+# --------------------------------------------------------------------------
+# The bounding-pair oracle
+# --------------------------------------------------------------------------
+
+class TestOracle:
+    def _oracle(self, **topology):
+        topology.setdefault("kind", "single")
+        spec = minimal_spec(topology=topology)
+        topo = build(spec)
+        return OracleChecker(spec, topo), topo
+
+    def test_acked_stream_is_bit_exact(self):
+        oracle, topo = self._oracle()
+        try:
+            oracle.note_write(Op("insert", "a", 3), ACKED)
+            oracle.note_write(Op("insert", "b", 1), ACKED)
+            oracle.check_read(Op("query", "a"), 3)
+            oracle.check_read(Op("contains", "a", threshold=2), True)
+            assert oracle.compared == oracle.exact_compared == 2
+            oracle.assert_clean()
+        finally:
+            topo.close()
+
+    def test_wrong_answer_is_a_violation(self):
+        oracle, topo = self._oracle()
+        try:
+            oracle.note_write(Op("insert", "a", 3), ACKED)
+            oracle.check_read(Op("query", "a"), 2)   # fleet says 2, truth 3
+            assert oracle.violations
+            with pytest.raises(OracleViolation):
+                oracle.assert_clean()
+        finally:
+            topo.close()
+
+    def test_ambiguous_insert_widens_only_the_ceiling(self):
+        oracle, topo = self._oracle()
+        try:
+            oracle.note_write(Op("insert", "a", 2), ACKED)
+            oracle.note_write(Op("insert", "a", 5), AMBIGUOUS)
+            oracle.check_read(Op("query", "a"), 2)   # did not land: fine
+            oracle.check_read(Op("query", "a"), 7)   # landed: also fine
+            oracle.check_read(Op("query", "a"), 8)   # above ceiling: wrong
+            assert len(oracle.violations) == 1
+            assert oracle.ambiguous_writes == 1
+        finally:
+            topo.close()
+
+    def test_ambiguous_delete_lowers_only_the_floor(self):
+        oracle, topo = self._oracle()
+        try:
+            oracle.note_write(Op("insert", "a", 4), ACKED)
+            oracle.note_write(Op("delete", "a", 1), AMBIGUOUS)
+            oracle.check_read(Op("query", "a"), 3)
+            oracle.check_read(Op("query", "a"), 4)
+            oracle.check_read(Op("query", "a"), 2)   # below floor: wrong
+            assert len(oracle.violations) == 1
+        finally:
+            topo.close()
+
+    def test_refused_touches_nothing(self):
+        oracle, topo = self._oracle()
+        try:
+            oracle.note_write(Op("insert", "a", 9), REFUSED)
+            oracle.check_read(Op("query", "a"), 0)
+            oracle.assert_clean()
+            assert oracle.ambiguous_writes == 0
+        finally:
+            topo.close()
+
+    def test_max_ambiguous_bound_enforced(self):
+        spec = minimal_spec(topology={"kind": "single"},
+                            oracle={"max_ambiguous": 0})
+        topo = build(spec)
+        try:
+            oracle = OracleChecker(spec, topo)
+            oracle.note_write(Op("insert", "a", 1), AMBIGUOUS)
+            with pytest.raises(OracleViolation, match="ambiguous"):
+                oracle.assert_clean()
+        finally:
+            topo.close()
+
+    def test_non_ms_method_refused(self):
+        spec = minimal_spec(topology={"kind": "single", "method": "mi"})
+        topo = build(spec)
+        try:
+            with pytest.raises(SpecError, match="Minimum Selection"):
+                OracleChecker(spec, topo)
+        finally:
+            topo.close()
+
+    def test_hint_double_apply_guard(self):
+        # replicated + write_consistency below "all" + loss faults can
+        # double-apply an acked write through hinted handoff, which no
+        # envelope can bound — the oracle must refuse the spec outright.
+        spec = minimal_spec(
+            topology={"kind": "replicated", "shards": 1, "rf": 2,
+                      "write_consistency": "one"},
+            faults=[{"at_phase": "only", "action": "degrade",
+                     "shard": 0, "drop": 0.5}])
+        topo = build(spec)
+        try:
+            with pytest.raises(SpecError, match="hinted handoff"):
+                OracleChecker(spec, topo)
+        finally:
+            topo.close()
+        # the same spec with write_consistency: all is sound
+        spec["topology"]["write_consistency"] = "all"
+        topo = build(spec)
+        try:
+            OracleChecker(spec, topo)
+        finally:
+            topo.close()
+
+
+# --------------------------------------------------------------------------
+# Quick-mode scaling
+# --------------------------------------------------------------------------
+
+class TestQuickScaling:
+    def test_phases_shrink_with_floor(self):
+        for name in SEED_NAMES:
+            full, quick = load_seed(name), load_seed(name, quick=True)
+            for fp, qp in zip(full["phases"], quick["phases"]):
+                assert qp["ops"] == max(50, fp["ops"] // QUICK_FACTOR)
+
+    def test_at_indices_stay_in_their_phase(self):
+        for name in SEED_NAMES:
+            full, quick = load_seed(name), load_seed(name, quick=True)
+
+            def phase_of(spec, at):
+                start = 0
+                for i, phase in enumerate(spec["phases"]):
+                    if at < start + phase["ops"]:
+                        return i
+                    start += phase["ops"]
+                return len(spec["phases"]) - 1
+
+            for fe, qe in zip(full["faults"], quick["faults"]):
+                if fe.get("at") is not None:
+                    assert phase_of(full, fe["at"]) \
+                        == phase_of(quick, qe["at"]), (name, fe, qe)
+
+    def test_scaled_spec_revalidates(self):
+        # load_seed(quick=True) round-trips through load_spec; reaching
+        # here without SpecError is the assertion.
+        for name in SEED_NAMES:
+            assert load_seed(name, quick=True)["name"] == name
+
+
+# --------------------------------------------------------------------------
+# The seed scenarios, end to end
+# --------------------------------------------------------------------------
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", SEED_NAMES)
+def test_seed_scenario_green_under_chaos(name):
+    report = run_scenario(load_seed(name, quick=True))
+    assert report["pass"], report["failures"]
+    assert report["oracle"]["wrong_answers"] == 0
+    assert report["oracle"]["compared"] > 0
+    assert report["faults_fired"] > 0, "the chaos never fired"
+    assert report["audit_checked"] > 0
+    assert not report["conservation"] or report["conservation"]["ok"]
+
+
+@pytest.mark.chaos
+def test_runs_are_byte_identical():
+    # Everything runs on the injected SimClock, so two runs of the same
+    # spec must serialise identically — including across real OS
+    # processes (rate_limiter is the procpool seed).
+    for name in ("bloomjoin_packet_loss", "rate_limiter"):
+        first = run_scenario(load_seed(name, quick=True))
+        second = run_scenario(load_seed(name, quick=True))
+        assert json.dumps(first, sort_keys=True, default=str) \
+            == json.dumps(second, sort_keys=True, default=str), name
+
+
+@pytest.mark.chaos
+def test_availability_floor_enforced():
+    spec = load_seed("bloomjoin_packet_loss", quick=True)
+    spec["oracle"]["min_availability"] = {"lossy": 1.0}  # unreachable
+    report = run_scenario(spec, strict=False)
+    assert not report["pass"]
+    assert any("availability" in failure for failure in report["failures"])
+
+
+def test_runner_rejects_malformed_spec_before_traffic():
+    with pytest.raises(SpecError):
+        ScenarioRunner({"name": "t", "phases": [{"name": "p", "ops": 1}],
+                        "topology": {"kind": "starfish"}})

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.sbf import SpectralBloomFilter
 from repro.serve import (
+    DeadlineExceeded,
     MetricsRegistry,
     Overloaded,
     ServingEngine,
@@ -224,3 +225,46 @@ def test_constructor_validation():
     bad = ServingEngine(router, policy=lambda depth, limit, op: "maybe")
     with pytest.raises(ValueError, match="admission policy"):
         bad.submit("insert", 1)
+
+
+def test_shed_oldest_expired_victim_counts_as_deadline_not_shed():
+    # The victim of a shed whose deadline already passed while queued is
+    # one event, counted once: a deadline expiry (the caller had stopped
+    # waiting either way), surfaced as one typed DeadlineExceeded with
+    # the unexecuted guarantee — never double-counted as a shed too.
+    clock = FakeClock()
+    metrics = MetricsRegistry(clock=clock)
+    engine = ServingEngine(make_router(), max_queue=2, batch_size=8,
+                           policy=shed_oldest, metrics=metrics)
+    first = engine.submit("insert", 1, timeout=0.05)
+    second = engine.submit("insert", 2)
+    clock.advance(0.1)                      # first's deadline passes
+    third = engine.submit("insert", 3)      # sheds the expired victim
+    error = first.exception(timeout=0)
+    assert isinstance(error, DeadlineExceeded)
+    assert error.unexecuted is True
+    counters = engine.metrics.snapshot()["counters"]
+    assert counters["engine.deadline_expired_total"] == 1
+    assert counters.get("engine.shed_total", 0) == 0
+    assert counters["engine.failed"] == 1
+    # The shed never executed: only the two live requests reach shards.
+    assert engine.drain() == 2
+    assert second.result(timeout=0) is None
+    assert third.result(timeout=0) is None
+    assert engine.router.total_count == 2
+    counters = engine.metrics.snapshot()["counters"]
+    assert counters["engine.deadline_expired_total"] == 1
+
+
+def test_shed_oldest_live_victim_still_counts_as_shed():
+    clock = FakeClock()
+    metrics = MetricsRegistry(clock=clock)
+    engine = ServingEngine(make_router(), max_queue=2, batch_size=8,
+                           policy=shed_oldest, metrics=metrics)
+    first = engine.submit("insert", 1, timeout=10.0)  # alive when shed
+    engine.submit("insert", 2)
+    engine.submit("insert", 3)
+    assert isinstance(first.exception(timeout=0), Overloaded)
+    counters = engine.metrics.snapshot()["counters"]
+    assert counters["engine.shed_total"] == 1
+    assert counters.get("engine.deadline_expired_total", 0) == 0
